@@ -1,0 +1,154 @@
+(* Benchmark and experiment harness.
+
+   Usage:
+     bench/main.exe               run every experiment (full sweeps) and
+                                  the microbenchmarks
+     bench/main.exe quick         reduced sweeps (CI-sized)
+     bench/main.exe e3            one experiment
+     bench/main.exe quick e3      one experiment, reduced
+     bench/main.exe micro         microbenchmarks only
+
+   Each experiment prints the table(s) recorded in EXPERIMENTS.md; see
+   DESIGN.md section 5 for the experiment index. *)
+
+open Tasim
+open Timewheel
+open Broadcast
+
+(* ------------------------------------------------------------------ *)
+(* M0: Bechamel microbenchmarks of protocol hot paths                  *)
+
+let microbenches () =
+  let open Bechamel in
+  let params = Params.make ~n:5 () in
+  let fd = Failure_detector.create params ~self:(Proc_id.of_int 0) in
+  let fd = Failure_detector.expect fd ~sender:(Proc_id.of_int 1) ~base:Tasim.Time.zero in
+  let oal =
+    List.fold_left
+      (fun oal i ->
+        fst
+          (Oal.append_update oal
+             {
+               Oal.proposal_id = { Proposal.origin = Proc_id.of_int (i mod 5); seq = i };
+               semantics = Semantics.total_strong;
+               send_ts = Tasim.Time.of_us i;
+               hdo = i - 1;
+             }
+             ~acks:(Proc_set.singleton (Proc_id.of_int 0))))
+      Oal.empty
+      (List.init 32 Fun.id)
+  in
+  let env =
+    {
+      Group_creator.self = Proc_id.of_int 0;
+      group = Proc_set.full ~n:5;
+      n = 5;
+      majority = 3;
+      current_slot = 10;
+      single_failure_election = true;
+    }
+  in
+  let gc_event =
+    Group_creator.Fd_timeout { suspect = Proc_id.of_int 2; since = Tasim.Time.zero }
+  in
+  let heap_test =
+    Test.make ~name:"event-queue add+pop"
+      (Staged.stage (fun () ->
+           let h = Heap.create () in
+           for i = 0 to 31 do
+             Heap.add h ~time:(i * 13 mod 32) i
+           done;
+           while Heap.pop h <> None do
+             ()
+           done))
+  in
+  let fd_test =
+    Test.make ~name:"failure-detector admit"
+      (Staged.stage (fun () ->
+           ignore
+             (Failure_detector.admit fd ~from:(Proc_id.of_int 1)
+                ~ts:(Tasim.Time.of_ms 5) ~now:(Tasim.Time.of_ms 7))))
+  in
+  let oal_test =
+    Test.make ~name:"oal merge (32 entries)"
+      (Staged.stage (fun () -> ignore (Oal.merge ~local:oal ~incoming:oal)))
+  in
+  let gc_test =
+    Test.make ~name:"group-creator step"
+      (Staged.stage (fun () ->
+           ignore (Group_creator.step env Creator_state.Failure_free gc_event)))
+  in
+  let dispatcher_test =
+    Test.make ~name:"dispatcher post+run"
+      (Staged.stage
+         (let d = Eventloop.Dispatcher.create () in
+          Eventloop.Dispatcher.register d ~kind:0 (fun _ -> ());
+          fun () ->
+            Eventloop.Dispatcher.post d ~kind:0 0;
+            ignore (Eventloop.Dispatcher.run_pending d)))
+  in
+  let wheel_test =
+    Test.make ~name:"timer-wheel schedule+advance"
+      (Staged.stage
+         (let w = Eventloop.Timer_wheel.create ~tick:10 () in
+          let now = ref 0 in
+          fun () ->
+            ignore (Eventloop.Timer_wheel.schedule w ~at:(!now + 50) (fun () -> ()));
+            now := !now + 10;
+            ignore (Eventloop.Timer_wheel.advance w ~to_:!now)))
+  in
+  [ heap_test; fd_test; oal_test; gc_test; dispatcher_test; wheel_test ]
+
+let run_micro () =
+  let open Bechamel in
+  Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) ~kde:None ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let table = Harness.Table.create ~title:"M0: ns per call" ~columns:[ "operation"; "ns/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          let name =
+            if String.length name > 2 && String.sub name 0 2 = "g/" then
+              String.sub name 2 (String.length name - 2)
+            else name
+          in
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Harness.Table.add_row table [ name; Harness.Table.cell_f est ]
+          | _ -> ())
+        ols)
+    (microbenches ());
+  Harness.Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "quick" args in
+  let targets = List.filter (fun a -> a <> "quick") args in
+  match targets with
+  | [] ->
+    Harness.Experiments.run_all ~quick ();
+    run_micro ()
+  | [ "micro" ] -> run_micro ()
+  | ids ->
+    List.iter
+      (fun id ->
+        match Harness.Experiments.find id with
+        | Some e ->
+          Fmt.pr "@.=== %s: %s ===@.@." e.Harness.Experiments.id
+            e.Harness.Experiments.title;
+          List.iter Harness.Table.print (e.Harness.Experiments.run ~quick ())
+        | None when id = "micro" -> run_micro ()
+        | None -> Fmt.epr "unknown experiment %S@." id)
+      ids

@@ -1,0 +1,184 @@
+(* timewheel-sim: command-line driver for the timewheel group
+   communication service.
+
+   Subcommands:
+     run         simulate a scenario and print the observation trace
+     experiment  run a paper-reproduction experiment (e1..e10, ablate)
+     list        list scenarios and experiments *)
+
+open Cmdliner
+open Tasim
+open Timewheel
+open Broadcast
+
+(* scenarios live in Harness.Scenario, shared with the tests *)
+
+let pid = Proc_id.of_int
+
+let run_scenario ~name ~n ~seed ~omission ~duration_s ~workload ~verbose
+    ~timeline =
+  match Harness.Scenario.find name with
+  | None ->
+    Fmt.epr "unknown scenario %S; try `timewheel-sim list'@." name;
+    exit 1
+  | Some scenario ->
+    let svc = Harness.Run.service ~seed ~omission ~n () in
+    let trace =
+      if timeline then Some (Service.enable_trace svc) else None
+    in
+    Service.on_view svc (fun proc view ->
+        Fmt.pr "[%a] %a view #%d %a@." Time.pp view.Service.at Proc_id.pp proc
+          view.Service.group_id Proc_set.pp view.Service.group);
+    Service.on_obs svc (fun at proc obs ->
+        match obs with
+        | Member.Suspected _ | Member.Transition _ when verbose ->
+          Fmt.pr "[%a] %a %a@." Time.pp at Proc_id.pp proc Member.pp_obs obs
+        | Member.Delivered _ when verbose ->
+          Fmt.pr "[%a] %a %a@." Time.pp at Proc_id.pp proc Member.pp_obs obs
+        | _ -> ());
+    let svc = Harness.Run.settle svc in
+    let t = Service.now svc in
+    Fmt.pr "scenario %S: %s@.expected: %s@.@." scenario.Harness.Scenario.name
+      scenario.Harness.Scenario.doc scenario.Harness.Scenario.expected_outcome;
+    scenario.Harness.Scenario.inject svc t;
+    if workload > 0 then
+      for i = 0 to workload - 1 do
+        Service.submit_at svc
+          (Time.add t (Time.of_ms (20 * i)))
+          (pid (i mod n))
+          ~semantics:Semantics.total_strong i
+      done;
+    Service.run svc ~until:(Time.add t (Time.of_sec duration_s));
+    (match Service.agreed_view svc with
+    | Some v ->
+      Fmt.pr "@.agreed view #%d %a@." v.Service.group_id Proc_set.pp
+        v.Service.group
+    | None -> Fmt.pr "@.no agreed view among up-to-date members@.");
+    if workload > 0 then
+      Fmt.pr "survivor logs prefix-consistent: %b@."
+        (Harness.Run.survivors_consistent svc);
+    Fmt.pr "@.message counters:@.";
+    List.iter
+      (fun (k, v) -> Fmt.pr "  %-32s %d@." k v)
+      (List.filter
+         (fun (k, _) -> String.length k > 5 && String.sub k 0 5 = "sent:")
+         (Stats.counters (Service.stats svc)));
+    match trace with
+    | Some trace ->
+      Fmt.pr "@.timeline (control messages only):@.";
+      List.iter
+        (fun (e : Trace.entry) ->
+          match e.Trace.event with
+          | Trace.Sent { kind; _ }
+            when kind = "proposal" || kind = "retransmit" || kind = "nack"
+                 || kind = "submit" ->
+            ()
+          | Trace.Delivered _ -> ()
+          | Trace.Dropped { kind; _ }
+            when kind = "proposal" || kind = "retransmit" ->
+            ()
+          | _ -> Fmt.pr "  %a@." Trace.pp_entry e)
+        (Trace.entries trace)
+    | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner terms *)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Team size.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let omission_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P" ~doc:"Message omission probability.")
+
+let duration_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "duration" ] ~docv:"SECONDS"
+        ~doc:"Simulated seconds after group formation.")
+
+let workload_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "updates" ] ~docv:"K"
+        ~doc:"Submit K totally ordered updates during the run.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Print suspicions, transitions, deliveries.")
+
+let timeline_arg =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:"Print the control-message timeline at the end of the run.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps.")
+
+let scenario_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see `list').")
+
+let experiment_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"EXPERIMENT" ~doc:"Experiment id: e1 .. e10, ablate, or `all'.")
+
+let run_cmd =
+  let doc = "simulate a fault scenario and print the membership trace" in
+  let term =
+    Term.(
+      const (fun name n seed omission duration_s workload verbose timeline ->
+          run_scenario ~name ~n ~seed ~omission ~duration_s ~workload ~verbose
+            ~timeline)
+      $ scenario_arg $ n_arg $ seed_arg $ omission_arg $ duration_arg
+      $ workload_arg $ verbose_arg $ timeline_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc) term
+
+let experiment_cmd =
+  let doc = "run a paper-reproduction experiment (tables on stdout)" in
+  let run id quick =
+    if id = "all" then Harness.Experiments.run_all ~quick ()
+    else
+      match Harness.Experiments.find id with
+      | Some e -> List.iter Harness.Table.print (e.Harness.Experiments.run ~quick ())
+      | None ->
+        Fmt.epr "unknown experiment %S@." id;
+        exit 1
+  in
+  let term = Term.(const run $ experiment_arg $ quick_arg) in
+  Cmd.v (Cmd.info "experiment" ~doc) term
+
+let list_cmd =
+  let doc = "list scenarios and experiments" in
+  let run () =
+    Fmt.pr "scenarios:@.";
+    List.iter
+      (fun s ->
+        Fmt.pr "  %-16s %s@." s.Harness.Scenario.name s.Harness.Scenario.doc)
+      Harness.Scenario.all;
+    Fmt.pr "@.experiments:@.";
+    List.iter
+      (fun e ->
+        Fmt.pr "  %-4s %s@." e.Harness.Experiments.id
+          e.Harness.Experiments.title)
+      Harness.Experiments.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let main =
+  let doc = "the timewheel group membership protocol, simulated" in
+  let info = Cmd.info "timewheel-sim" ~version:"1.0.0" ~doc in
+  Cmd.group info [ run_cmd; experiment_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

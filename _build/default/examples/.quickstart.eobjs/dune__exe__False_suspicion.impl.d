@@ -1,0 +1,1 @@
+examples/false_suspicion.ml: Broadcast Control_msg Creator_state Engine Fmt List Member Net Params Proc_id Proc_set Semantics Service Tasim Time Timewheel

@@ -1,0 +1,1 @@
+examples/full_stack_demo.ml: Array Broadcast Clocksync Engine Fmt Full_stack Hardware_clock List Member Params Proc_id Proc_set Rng Semantics Stats Tasim Time Timewheel

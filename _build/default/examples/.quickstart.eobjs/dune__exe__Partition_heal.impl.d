@@ -1,0 +1,1 @@
+examples/partition_heal.ml: Broadcast Creator_state Fmt List Member Params Proc_id Proc_set Semantics Service Tasim Time Timewheel

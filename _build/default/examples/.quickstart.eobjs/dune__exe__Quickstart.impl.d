@@ -1,0 +1,1 @@
+examples/quickstart.ml: Broadcast Fmt List Params Proc_id Proc_set Proposal Semantics Service Tasim Time Timewheel

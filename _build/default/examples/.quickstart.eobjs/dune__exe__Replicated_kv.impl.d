@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Broadcast Engine Fmt Int List Map Member Option Params Proc_id Proc_set Semantics Service String Tasim Time Timewheel

@@ -1,0 +1,79 @@
+(* False suspicion masked: the wrong-suspicion state at work.
+
+   One decision message is dropped between the decider and its successor
+   only. The successor's failure detector times out and starts a
+   no-decision election — but every other member still holds the
+   decision, does not concur, and the sender's successor takes the
+   decider role over immediately (Section 4.2, wrong-suspicion state).
+   Result: the group never changes and the update stream continues
+   undisturbed — the paper's claim that "the group communication service
+   is not interrupted, if a failure suspicion turns out to be a false
+   alarm".
+
+   Run with:  dune exec examples/false_suspicion.exe *)
+
+open Tasim
+open Timewheel
+open Broadcast
+
+let () =
+  let n = 5 in
+  let params = Params.make ~n () in
+  let svc =
+    Service.create ~apply:(fun log v -> v :: log) ~initial_app:[] params
+  in
+  Service.on_view svc (fun proc view ->
+      Fmt.pr "[%a] %a installed view #%d = %a@." Time.pp view.Service.at
+        Proc_id.pp proc view.Service.group_id Proc_set.pp view.Service.group);
+  Service.on_obs svc (fun at proc obs ->
+      match obs with
+      | Member.Suspected { suspect } ->
+        Fmt.pr "[%a] %a SUSPECTS %a@." Time.pp at Proc_id.pp proc Proc_id.pp
+          suspect
+      | Member.Transition { from_; to_ } ->
+        Fmt.pr "[%a] %a: %a -> %a@." Time.pp at Proc_id.pp proc
+          Creator_state.pp_kind from_ Creator_state.pp_kind to_
+      | _ -> ());
+  Service.run svc ~until:(Time.of_sec 1);
+
+  (* steady update stream so the disturbance would be visible *)
+  for i = 0 to 199 do
+    Service.submit_at svc
+      (Time.add (Time.of_sec 1) (Time.of_ms (10 * i)))
+      (Proc_id.of_int (i mod n))
+      ~semantics:Semantics.{ ordering = Total; atomicity = Weak }
+      i
+  done;
+
+  (* at t = 1.5s, drop exactly one decision on the link from the current
+     decider to its group successor *)
+  let engine = Service.engine svc in
+  Engine.at engine (Time.of_ms 1500) (fun () ->
+      Fmt.pr "@.--- arming a one-shot drop: next decision to its successor ---@.";
+      Net.add_filter (Engine.net engine) ~max_drops:1 ~name:"lose-one-decision"
+        (fun ~src ~dst msg ->
+          Control_msg.kind msg = "decision"
+          &&
+          match Engine.state_of engine src with
+          | Some s -> (
+            match Proc_set.successor_in (Member.group s) src ~n with
+            | Some next -> Proc_id.equal next dst
+            | None -> false)
+          | None -> false));
+  Service.run svc ~until:(Time.of_sec 4);
+
+  (* verdict *)
+  let views =
+    Service.views_installed svc
+    |> List.map (fun (_, v) -> v.Service.group_id)
+    |> List.sort_uniq compare
+  in
+  Fmt.pr "@.distinct groups over the whole run: %d (1 = formation only)@."
+    (List.length views);
+  (match Service.agreed_view svc with
+  | Some v when Proc_set.cardinal v.Service.group = n ->
+    Fmt.pr "group intact: the false alarm was masked.@."
+  | _ -> Fmt.pr "group changed: unexpected!@.");
+  match Service.app_state svc (Proc_id.of_int 0) with
+  | Some log -> Fmt.pr "p0 delivered %d/200 updates@." (List.length log)
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/baseline/heartbeat.ml: Engine List Map Proc_id Proc_set Tasim Time

@@ -1,0 +1,1 @@
+lib/baseline/heartbeat.mli: Engine Proc_id Proc_set Tasim Time

@@ -1,0 +1,1 @@
+lib/baseline/token_ring.ml: Engine List Map Proc_id Proc_set Tasim Time

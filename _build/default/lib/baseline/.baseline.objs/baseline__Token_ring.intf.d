@@ -1,0 +1,1 @@
+lib/baseline/token_ring.mli: Engine Proc_set Tasim Time

@@ -1,0 +1,53 @@
+(** Baseline: single-ring token-passing membership (Totem-style).
+
+    The paper's Section 4.1 credits its core idea to the membership
+    protocols of Transis, Totem and Consul ([1], [2], [20, 21]). This
+    module implements a simplified Totem single-ring membership so the
+    experiments can compare the timewheel against its closest ancestor:
+
+    - {e operational}: a token circulates on the logical ring (one
+      unicast per hold period); receiving the token proves the ring is
+      whole. A member that misses the token for a full timeout enters
+      the gather state.
+    - {e gather}: members broadcast join messages carrying their
+      perceived membership sets and merge what they receive; when every
+      process in a member's set reported exactly that set (consensus),
+      the lowest-id member installs a new ring and launches a fresh
+      token.
+    - A recovered process starts in gather; an operational member that
+      receives a foreign join message falls back to gather so rings
+      merge.
+
+    Cost shape versus the timewheel: the token is a {e unicast} per
+    hold period (cheaper than broadcast decisions) but detection needs
+    a full token circulation timeout, and every membership change stops
+    the ring (no masked false suspicions, no distinction between one
+    and many failures). *)
+
+open Tasim
+
+type config = {
+  n : int;
+  hold : Time.t;  (** token hold time at each member *)
+  token_timeout_factor : int;
+      (** token declared lost after factor * n * hold without it *)
+  gather_period : Time.t;  (** join message cadence while gathering *)
+}
+
+val default_config : n:int -> config
+
+type msg =
+  | Token of { ring_id : int; seq : int; members : Proc_set.t }
+  | Join_msg of { ring_id : int; set : Proc_set.t }
+
+val kind_of_msg : msg -> string
+
+type obs =
+  | Ring_installed of { ring_id : int; members : Proc_set.t }
+  | Token_lost
+
+type state
+
+val automaton : config -> (state, msg, obs) Engine.automaton
+val ring_of : state -> (int * Proc_set.t) option
+val is_operational : state -> bool

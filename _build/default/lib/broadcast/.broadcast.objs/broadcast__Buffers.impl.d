@@ -1,0 +1,1 @@
+lib/broadcast/buffers.ml: Int List Proc_id Proposal Set Tasim Time

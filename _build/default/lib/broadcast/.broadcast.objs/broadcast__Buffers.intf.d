@@ -1,0 +1,1 @@
+lib/broadcast/buffers.mli: Proc_id Proposal Tasim Time

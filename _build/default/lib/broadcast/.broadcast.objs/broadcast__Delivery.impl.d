@@ -1,0 +1,1 @@
+lib/broadcast/delivery.ml: Buffers Int List Oal Proposal Semantics Tasim Time

@@ -1,0 +1,1 @@
+lib/broadcast/delivery.mli: Buffers Oal Proposal Tasim Time

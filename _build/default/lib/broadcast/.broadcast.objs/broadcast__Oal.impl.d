@@ -1,0 +1,1 @@
+lib/broadcast/oal.ml: Fmt Int List Map Option Proc_set Proposal Semantics Tasim Time

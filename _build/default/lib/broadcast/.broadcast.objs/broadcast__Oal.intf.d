@@ -1,0 +1,1 @@
+lib/broadcast/oal.mli: Fmt Proc_id Proc_set Proposal Semantics Tasim Time

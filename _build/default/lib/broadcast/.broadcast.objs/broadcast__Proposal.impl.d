@@ -1,0 +1,1 @@
+lib/broadcast/proposal.ml: Fmt Int Map Proc_id Semantics Tasim Time

@@ -1,0 +1,1 @@
+lib/broadcast/proposal.mli: Fmt Map Proc_id Semantics Tasim Time

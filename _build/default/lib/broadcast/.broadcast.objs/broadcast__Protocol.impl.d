@@ -1,0 +1,1 @@
+lib/broadcast/protocol.ml: Buffers Delivery Engine Fmt Hashtbl List Oal Proc_id Proc_set Proposal Rotation Semantics Tasim Time

@@ -1,0 +1,1 @@
+lib/broadcast/protocol.mli: Buffers Engine Fmt Oal Proposal Semantics Tasim Time

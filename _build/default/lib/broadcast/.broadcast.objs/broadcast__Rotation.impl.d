@@ -1,0 +1,1 @@
+lib/broadcast/rotation.ml: Proc_id Proc_set Tasim Time

@@ -1,0 +1,1 @@
+lib/broadcast/rotation.mli: Proc_id Proc_set Tasim Time

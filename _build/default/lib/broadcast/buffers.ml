@@ -1,0 +1,124 @@
+open Tasim
+module Id_map = Proposal.Id_map
+module Int_set = Set.Make (Int)
+
+type 'u t = {
+  proposals : 'u Proposal.t Id_map.t;
+      (* every received proposal still of possible use: undelivered, or
+         delivered but maybe needed for retransmission until stable *)
+  delivered_map : int option Id_map.t; (* delivered id -> ordinal if known *)
+  delivered_ordinals : Int_set.t;
+  marks : (Proposal.id * Time.t) list;
+  blocked_origins : (Proc_id.t * Time.t) list;
+}
+
+let empty =
+  {
+    proposals = Id_map.empty;
+    delivered_map = Id_map.empty;
+    delivered_ordinals = Int_set.empty;
+    marks = [];
+    blocked_origins = [];
+  }
+
+let received t id =
+  Id_map.mem id t.proposals || Id_map.mem id t.delivered_map
+
+let store t proposal =
+  let id = proposal.Proposal.id in
+  if received t id then (t, false)
+  else ({ t with proposals = Id_map.add id proposal t.proposals }, true)
+
+let get t id = Id_map.find_opt id t.proposals
+
+let stored t = List.map snd (Id_map.bindings t.proposals)
+let remove t id = { t with proposals = Id_map.remove id t.proposals }
+let delivered t id = Id_map.mem id t.delivered_map
+
+let note_delivered t id ~ordinal =
+  let t = { t with delivered_map = Id_map.add id ordinal t.delivered_map } in
+  match ordinal with
+  | Some o ->
+    { t with delivered_ordinals = Int_set.add o t.delivered_ordinals }
+  | None -> t
+
+let note_ordinal t id ordinal =
+  match Id_map.find_opt id t.delivered_map with
+  | Some None ->
+    {
+      t with
+      delivered_map = Id_map.add id (Some ordinal) t.delivered_map;
+      delivered_ordinals = Int_set.add ordinal t.delivered_ordinals;
+    }
+  | Some (Some _) | None -> t
+
+let delivered_ordinal t o = Int_set.mem o t.delivered_ordinals
+
+let highest_delivered_ordinal t =
+  match Int_set.max_elt_opt t.delivered_ordinals with
+  | Some o -> o
+  | None -> -1
+
+let dpd t =
+  Id_map.fold
+    (fun id ordinal acc -> match ordinal with None -> id :: acc | Some _ -> acc)
+    t.delivered_map []
+  |> List.rev
+
+let ordinal_of_delivered t id =
+  match Id_map.find_opt id t.delivered_map with
+  | Some (Some o) -> Some o
+  | Some None | None -> None
+
+let compact t ~purged =
+  (* forget payloads of delivered proposals whose descriptor was purged
+     from the oal (stable everywhere, so nobody can ask for them) *)
+  let keep id _ =
+    match Id_map.find_opt id t.delivered_map with
+    | Some (Some ordinal) -> not (purged ordinal)
+    | Some None | None -> true
+  in
+  { t with proposals = Id_map.filter keep t.proposals }
+
+let mark_undeliverable t id ~expires =
+  let marks =
+    (id, expires)
+    :: List.filter (fun (i, _) -> not (Proposal.id_equal i id)) t.marks
+  in
+  { t with marks }
+
+let block_origin t origin ~expires =
+  let blocked_origins =
+    (origin, expires)
+    :: List.filter
+         (fun (p, _) -> not (Proc_id.equal p origin))
+         t.blocked_origins
+  in
+  { t with blocked_origins }
+
+let is_marked t id ~now =
+  List.exists
+    (fun (i, expires) ->
+      Proposal.id_equal i id && Time.compare now expires <= 0)
+    t.marks
+  || List.exists
+       (fun (p, expires) ->
+         Proc_id.equal p id.Proposal.origin && Time.compare now expires <= 0)
+       t.blocked_origins
+
+let expire_marks t ~now =
+  {
+    t with
+    marks = List.filter (fun (_, e) -> Time.compare now e <= 0) t.marks;
+    blocked_origins =
+      List.filter (fun (_, e) -> Time.compare now e <= 0) t.blocked_origins;
+  }
+
+let purge_marked t ~now =
+  {
+    t with
+    proposals =
+      Id_map.filter
+        (fun id _ -> (not (is_marked t id ~now)) || delivered t id)
+        t.proposals;
+  }

@@ -1,0 +1,73 @@
+(** Per-member proposal storage.
+
+    Each member maintains two buffers (paper, Section 2): a {e proposal
+    buffer} storing received proposals and a {e proposal descriptor
+    buffer} storing descriptors and ordinals — the latter is the
+    member's oal view and lives in {!Oal}; this module owns the
+    proposal buffer plus the local delivery and undeliverable-mark
+    bookkeeping of Section 4.3. *)
+
+open Tasim
+
+type 'u t
+
+val empty : 'u t
+
+(** {1 Proposal buffer} *)
+
+val store : 'u t -> 'u Proposal.t -> 'u t * bool
+(** Insert a received proposal; [false] when it was a duplicate. *)
+
+val received : 'u t -> Proposal.id -> bool
+val get : 'u t -> Proposal.id -> 'u Proposal.t option
+val stored : 'u t -> 'u Proposal.t list
+(** Every proposal still buffered, including delivered ones retained
+    for retransmission until stable. *)
+
+val remove : 'u t -> Proposal.id -> 'u t
+
+(** {1 Delivery bookkeeping} *)
+
+val delivered : 'u t -> Proposal.id -> bool
+val note_delivered : 'u t -> Proposal.id -> ordinal:int option -> 'u t
+(** Mark delivered. The payload is retained (other members may still
+    need a retransmission) until {!compact} drops it. [ordinal = None]
+    for updates delivered before being ordered (unordered
+    semantics). *)
+
+val note_ordinal : 'u t -> Proposal.id -> int -> 'u t
+(** Record the ordinal of an already-delivered proposal once learned. *)
+
+val delivered_ordinal : 'u t -> int -> bool
+val highest_delivered_ordinal : 'u t -> int
+(** -1 when nothing ordered was delivered yet. *)
+
+val dpd : 'u t -> Proposal.id list
+(** Delivered proposal descriptors with no ordinal yet — the [dpd]
+    field carried on no-decision and reconfiguration messages. *)
+
+val ordinal_of_delivered : 'u t -> Proposal.id -> int option
+
+val compact : 'u t -> purged:(int -> bool) -> 'u t
+(** Drop retained payloads of delivered proposals whose ordinal has
+    been purged from the oal (they are stable everywhere). *)
+
+(** {1 Undeliverable marks (auto-clearing, Section 4.3)} *)
+
+val mark_undeliverable : 'u t -> Proposal.id -> expires:Time.t -> 'u t
+(** Explicitly mark one proposal until the synchronized-clock time
+    [expires] ("an undeliverable mark is automatically cleared after
+    one cycle, unless it was set again"). *)
+
+val block_origin : 'u t -> Proc_id.t -> expires:Time.t -> 'u t
+(** Mark every proposal from this origin received before [expires] —
+    the "received after p has sent the no-decision or reconfiguration
+    message" rule. *)
+
+val is_marked : 'u t -> Proposal.id -> now:Time.t -> bool
+val expire_marks : 'u t -> now:Time.t -> 'u t
+
+val purge_marked : 'u t -> now:Time.t -> 'u t
+(** Drop marked proposals from the proposal buffer ("each group member
+    purges all proposals marked as undeliverable from their pdb and
+    pb"). *)

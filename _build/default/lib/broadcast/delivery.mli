@@ -1,0 +1,46 @@
+(** Delivery conditions.
+
+    "Updates stored in these buffers are delivered to the clients when
+    three delivery conditions, atomicity, order, and general, are
+    satisfied" (paper, Section 2). This module concretizes the three
+    conditions for the nine (ordering x atomicity) combinations — see
+    DESIGN.md for the mapping to the companion paper [19]:
+
+    - {e general}: the proposal has been received, is not marked
+      undeliverable (locally or in the oal), and — except for unordered
+      proposals, which may be delivered before being ordered — has been
+      assigned an ordinal.
+    - {e order}: [Unordered] has no constraint. [Total] and [Timed]
+      deliver in ordinal order: every lower-ordinal ordered update must
+      be delivered or undeliverable first. [Timed] additionally waits
+      until the synchronized clock passes [send_ts + timed_delay].
+    - {e atomicity}: [Weak] has no constraint. [Strong] requires every
+      update with ordinal <= the proposal's hdo to be received locally
+      (or undeliverable). [Strict] requires those updates to be stable
+      (acknowledged by all group members, or undeliverable). *)
+
+open Tasim
+
+type 'u delivery = { proposal : 'u Proposal.t; ordinal : int option }
+
+val step :
+  oal:Oal.t ->
+  buffers:'u Buffers.t ->
+  now_sync:Time.t ->
+  timed_delay:Time.t ->
+  'u delivery list * 'u Buffers.t
+(** Compute every proposal deliverable right now, iterating to a fixed
+    point (a delivery may unblock the next), and mark them delivered in
+    the returned buffers. Ordered deliveries come out in ascending
+    ordinal order; unordered ones in proposal-id order, before ordered
+    ones of the same round. *)
+
+val blocked_reason :
+  oal:Oal.t ->
+  buffers:'u Buffers.t ->
+  now_sync:Time.t ->
+  timed_delay:Time.t ->
+  'u Proposal.t ->
+  string option
+(** Diagnostic: why a given stored proposal is not deliverable right
+    now ([None] when it is). Used by tests and the CLI inspector. *)

@@ -1,0 +1,219 @@
+open Tasim
+
+type update_info = {
+  proposal_id : Proposal.id;
+  semantics : Semantics.t;
+  send_ts : Time.t;
+  hdo : int;
+}
+
+type body =
+  | Update of update_info
+  | Membership of { group : Proc_set.t; group_id : int }
+
+type entry = {
+  ordinal : int;
+  body : body;
+  acks : Proc_set.t;
+  undeliverable : bool;
+  known_stable : bool;
+}
+
+module Imap = Map.Make (Int)
+
+type t = {
+  entries : entry Imap.t;
+  low : int;
+  next_ordinal : int;
+  current : (int * Proc_set.t * int) option;
+      (* newest membership: (ordinal, group, group id) — kept as a
+         field so the descriptor entry itself can be purged once
+         stable *)
+}
+
+let empty = { entries = Imap.empty; low = 0; next_ordinal = 0; current = None }
+let low t = t.low
+let next_ordinal t = t.next_ordinal
+let entries t = List.map snd (Imap.bindings t.entries)
+let cardinal t = Imap.cardinal t.entries
+let is_empty t = Imap.is_empty t.entries
+
+let append t body ~acks =
+  let ordinal = t.next_ordinal in
+  let entry =
+    { ordinal; body; acks; undeliverable = false; known_stable = false }
+  in
+  ( { t with entries = Imap.add ordinal entry t.entries;
+      next_ordinal = ordinal + 1 },
+    ordinal )
+
+let append_update t info ~acks = append t (Update info) ~acks
+
+let append_membership t ~group ~group_id =
+  (* the creating decider has, by definition, the membership change *)
+  let t, ordinal = append t (Membership { group; group_id }) ~acks:Proc_set.empty in
+  ({ t with current = Some (ordinal, group, group_id) }, ordinal)
+
+let entry_at t ordinal = Imap.find_opt ordinal t.entries
+
+let find_update t id =
+  Imap.fold
+    (fun _ e acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match e.body with
+        | Update info when Proposal.id_equal info.proposal_id id -> Some e
+        | Update _ | Membership _ -> None))
+    t.entries None
+
+let mem_update t id = Option.is_some (find_update t id)
+
+let highest_ordinal t =
+  match Imap.max_binding_opt t.entries with
+  | Some (ordinal, _) -> ordinal
+  | None -> t.next_ordinal - 1
+
+let latest_membership t = t.current
+
+let update_entry t ordinal f =
+  match Imap.find_opt ordinal t.entries with
+  | None -> t
+  | Some e -> { t with entries = Imap.add ordinal (f e) t.entries }
+
+let ack_update t id p =
+  match find_update t id with
+  | None -> t
+  | Some e ->
+    update_entry t e.ordinal (fun e -> { e with acks = Proc_set.add p e.acks })
+
+let ack_all_received t ~received ~by =
+  let ack _ e =
+    match e.body with
+    | Update info when received info.proposal_id ->
+      { e with acks = Proc_set.add by e.acks }
+    | Membership _ ->
+      (* a membership descriptor present in a process's list was, by
+         construction, received by that process *)
+      { e with acks = Proc_set.add by e.acks }
+    | Update _ -> e
+  in
+  { t with entries = Imap.mapi ack t.entries }
+
+let refresh_stability t ~group =
+  let refresh _ e =
+    if e.known_stable then e
+    else { e with known_stable = Proc_set.subset group e.acks }
+  in
+  { t with entries = Imap.mapi refresh t.entries }
+
+let purge_stable t ~delivered =
+  (* the current group survives purging in the [current] field, so a
+     stable membership descriptor is as purgeable as a delivered
+     update *)
+  let purgeable e =
+    e.known_stable
+    &&
+    match e.body with
+    | Update _ -> delivered e.ordinal || e.undeliverable
+    | Membership _ -> true
+  in
+  let rec advance t =
+    match Imap.find_opt t.low t.entries with
+    | Some e when purgeable e ->
+      advance { t with entries = Imap.remove t.low t.entries; low = t.low + 1 }
+    | Some _ | None -> t
+  in
+  advance t
+
+let mark_undeliverable t id =
+  match find_update t id with
+  | None -> t
+  | Some e ->
+    update_entry t e.ordinal (fun e -> { e with undeliverable = true })
+
+let undeliverable_ids t =
+  Imap.fold
+    (fun _ e acc ->
+      match e.body with
+      | Update info when e.undeliverable -> info.proposal_id :: acc
+      | Update _ | Membership _ -> acc)
+    t.entries []
+  |> List.rev
+
+let merge ~local ~incoming =
+  (* local entries below the incoming purge frontier are known stable *)
+  let entries =
+    Imap.mapi
+      (fun ordinal e ->
+        if ordinal < incoming.low then { e with known_stable = true } else e)
+      local.entries
+  in
+  (* incoming entries are authoritative from incoming.low upwards *)
+  let entries =
+    Imap.fold
+      (fun ordinal inc acc ->
+        if ordinal < local.low then acc
+        else
+          match Imap.find_opt ordinal acc with
+          | None -> Imap.add ordinal inc acc
+          | Some mine ->
+            Imap.add ordinal
+              {
+                inc with
+                acks = Proc_set.union mine.acks inc.acks;
+                undeliverable = mine.undeliverable || inc.undeliverable;
+                known_stable = mine.known_stable || inc.known_stable;
+              }
+              acc)
+      incoming.entries entries
+  in
+  let current =
+    match (local.current, incoming.current) with
+    | Some (_, _, g1), Some (_, _, g2) when g2 >= g1 -> incoming.current
+    | Some _, Some _ -> local.current
+    | Some c, None | None, Some c -> Some c
+    | None, None -> None
+  in
+  {
+    entries;
+    low = local.low;
+    next_ordinal = max local.next_ordinal incoming.next_ordinal;
+    current;
+  }
+
+let body_equal a b =
+  match (a, b) with
+  | Update x, Update y ->
+    Proposal.id_equal x.proposal_id y.proposal_id
+    && Semantics.equal x.semantics y.semantics
+    && Time.equal x.send_ts y.send_ts && x.hdo = y.hdo
+  | Membership m1, Membership m2 ->
+    Proc_set.equal m1.group m2.group && m1.group_id = m2.group_id
+  | Update _, Membership _ | Membership _, Update _ -> false
+
+let is_prefix a ~of_ =
+  Imap.for_all
+    (fun ordinal ea ->
+      if ordinal < of_.low then true
+      else
+        match Imap.find_opt ordinal of_.entries with
+        | None -> ordinal >= of_.next_ordinal && false
+        | Some eb -> body_equal ea.body eb.body)
+    a.entries
+
+let pp_entry ppf e =
+  let mark =
+    if e.undeliverable then "!" else if e.known_stable then "*" else ""
+  in
+  match e.body with
+  | Update info ->
+    Fmt.pf ppf "%d%s:%a(acks=%a)" e.ordinal mark Proposal.pp_id
+      info.proposal_id Proc_set.pp e.acks
+  | Membership { group; group_id } ->
+    Fmt.pf ppf "%d%s:grp#%d%a" e.ordinal mark group_id Proc_set.pp group
+
+let pp ppf t =
+  Fmt.pf ppf "oal[low=%d next=%d %a]" t.low t.next_ordinal
+    Fmt.(list ~sep:sp pp_entry)
+    (entries t)

@@ -1,0 +1,117 @@
+(** The ordering and acknowledgement list (oal).
+
+    A decision message includes an oal "consisting of update/membership
+    change descriptors, along with information about which group members
+    have received those update/membership changes" (paper, Section 2).
+    The oal associates unique numbers — {e ordinals} — to updates and
+    membership changes, establishes their stability, and lets receivers
+    detect message losses (a descriptor for a proposal they never
+    received).
+
+    An oal value is one process's current view of the list. The decider
+    extends it and broadcasts it inside its decision message; receivers
+    {!merge} the incoming (authoritative) list into their local copy and
+    add their own acknowledgements. Entries whose update is stable
+    (acknowledged by all group members) and locally delivered are purged
+    from the head; [low] records the purge frontier, so a receiver of a
+    purged list learns that every ordinal below [low] is stable. *)
+
+open Tasim
+
+type update_info = {
+  proposal_id : Proposal.id;
+  semantics : Semantics.t;
+  send_ts : Time.t;
+  hdo : int;
+}
+
+type body =
+  | Update of update_info
+  | Membership of { group : Proc_set.t; group_id : int }
+
+type entry = {
+  ordinal : int;
+  body : body;
+  acks : Proc_set.t;  (** members known to have received the item *)
+  undeliverable : bool;
+      (** decider-set mark: no group member may deliver this update *)
+  known_stable : bool;
+      (** acknowledged by all members of the group (directly observed,
+          or learned from a purged incoming list) *)
+}
+
+type t
+
+val empty : t
+val low : t -> int
+(** Smallest ordinal not yet purged; every ordinal below is stable. *)
+
+val next_ordinal : t -> int
+val entries : t -> entry list
+(** In increasing ordinal order. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** {1 Extension (decider side)} *)
+
+val append_update : t -> update_info -> acks:Proc_set.t -> t * int
+(** Assign the next ordinal to an update descriptor. Returns the
+    ordinal. *)
+
+val append_membership : t -> group:Proc_set.t -> group_id:int -> t * int
+
+(** {1 Lookup} *)
+
+val entry_at : t -> int -> entry option
+val find_update : t -> Proposal.id -> entry option
+val mem_update : t -> Proposal.id -> bool
+val highest_ordinal : t -> int
+(** -1 when the list never held an entry. *)
+
+val latest_membership : t -> (int * Proc_set.t * int) option
+(** The newest membership: [(ordinal, group, group_id)]. Kept even
+    after the descriptor entry itself is purged, so receivers of a
+    truncated list still learn the current group. *)
+
+(** {1 Acknowledgements and stability} *)
+
+val ack_update : t -> Proposal.id -> Proc_id.t -> t
+(** No-op when the descriptor is absent. *)
+
+val ack_all_received : t -> received:(Proposal.id -> bool) -> by:Proc_id.t -> t
+(** Add [by]'s acknowledgement to every update descriptor whose
+    proposal [by] has received — how a process turns the incoming oal
+    into its own view v_p (paper, Section 4.3). *)
+
+val refresh_stability : t -> group:Proc_set.t -> t
+(** Set [known_stable] on every entry acknowledged by all of [group].
+    Membership entries are acked like updates (receipt of the decision
+    message that introduced them). *)
+
+val purge_stable : t -> delivered:(int -> bool) -> t
+(** Advance [low] over the longest head run of entries that are
+    [known_stable] and either [delivered] locally, undeliverable, or
+    membership descriptors (whose information survives in
+    {!latest_membership}). Purged entries are dropped. *)
+
+(** {1 Undeliverable marking (group changes, Section 4.3)} *)
+
+val mark_undeliverable : t -> Proposal.id -> t
+val undeliverable_ids : t -> Proposal.id list
+
+(** {1 Merging views} *)
+
+val merge : local:t -> incoming:t -> t
+(** Adopt the incoming list as authoritative for ordinals >=
+    [low incoming]: incoming entries replace or extend local ones (acks
+    are unioned; undeliverable marks are or-ed). Local entries below
+    [low incoming] become [known_stable]. The local purge frontier
+    [low local] is kept. *)
+
+val is_prefix : t -> of_:t -> bool
+(** [is_prefix a ~of_:b]: every entry of [a] appears in [b] with the
+    same ordinal and body, ignoring acknowledgement and stability
+    differences and entries already purged from either list. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,32 @@
+open Tasim
+
+type id = { origin : Proc_id.t; seq : int }
+
+let id_compare a b =
+  match Proc_id.compare a.origin b.origin with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let id_equal a b = id_compare a b = 0
+let pp_id ppf id = Fmt.pf ppf "%a#%d" Proc_id.pp id.origin id.seq
+
+type 'u t = {
+  id : id;
+  semantics : Semantics.t;
+  send_ts : Time.t;
+  hdo : int;
+  payload : 'u;
+}
+
+let make ~origin ~seq ~semantics ~send_ts ~hdo payload =
+  { id = { origin; seq }; semantics; send_ts; hdo; payload }
+
+let pp pp_payload ppf t =
+  Fmt.pf ppf "proposal(%a %a ts=%a hdo=%d payload=%a)" pp_id t.id Semantics.pp
+    t.semantics Time.pp t.send_ts t.hdo pp_payload t.payload
+
+module Id_map = Map.Make (struct
+  type t = id
+
+  let compare = id_compare
+end)

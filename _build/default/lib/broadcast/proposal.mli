@@ -1,0 +1,39 @@
+(** Proposals: updates submitted for broadcast.
+
+    A broadcast is initiated by sending a {e proposal message} to all
+    group members (paper, Section 2). The proposal carries the update
+    payload, the requested semantics, the sender's synchronized-clock
+    send timestamp, and the sender's {e hdo} — the highest delivery
+    ordinal the sender had seen when proposing, which bounds the set of
+    updates this one may depend on (used by strong/strict atomicity and
+    by the unknown-dependency rule of Section 4.3). *)
+
+open Tasim
+
+type id = { origin : Proc_id.t; seq : int }
+(** Unique proposal identity: [seq] counts the origin's proposals. *)
+
+val id_equal : id -> id -> bool
+val id_compare : id -> id -> int
+val pp_id : id Fmt.t
+
+type 'u t = {
+  id : id;
+  semantics : Semantics.t;
+  send_ts : Time.t;  (** sender's synchronized clock at proposal time *)
+  hdo : int;  (** highest delivery ordinal known to the sender; -1 if none *)
+  payload : 'u;
+}
+
+val make :
+  origin:Proc_id.t ->
+  seq:int ->
+  semantics:Semantics.t ->
+  send_ts:Time.t ->
+  hdo:int ->
+  'u ->
+  'u t
+
+val pp : 'u Fmt.t -> 'u t Fmt.t
+
+module Id_map : Map.S with type key = id

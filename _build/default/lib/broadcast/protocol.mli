@@ -1,0 +1,58 @@
+(** Standalone timewheel atomic broadcast automaton.
+
+    The full system couples broadcast and membership through shared
+    decision messages (that coupling lives in [Timewheel.Member]). This
+    automaton runs the broadcast machinery alone over a {e static}
+    group of all team members, under the stable-period assumption (no
+    crashes; decision messages reach the next decider). It exists to
+    test the broadcast substrate in isolation and to drive experiment
+    E8 (per-semantics delivery cost), exactly because the paper
+    evaluates semantics behaviour during failure-free periods.
+
+    Mechanism: the decider role rotates in the cyclic order; a decider
+    sends its decision message D time units after assuming the role.
+    The decision carries the decider's oal view: its own
+    acknowledgements merged in, descriptors appended (ordinals
+    assigned) for every received-but-unordered proposal, stability
+    refreshed and the stable delivered prefix purged. Receivers merge
+    the oal, detect losses by descriptor-without-proposal and recover
+    them with a targeted negative acknowledgement to a process the oal
+    proves has the proposal. *)
+
+open Tasim
+
+type config = {
+  d : Time.t;  (** D: max time the decider holds the role *)
+  timed_delay : Time.t;  (** delivery delay of [Timed] ordering *)
+}
+
+val default_config : config
+
+type 'u msg =
+  | Submit of { semantics : Semantics.t; payload : 'u }
+      (** client call, injected locally via [Engine.inject] *)
+  | Proposal_msg of 'u Proposal.t
+  | Decision of { ts : Time.t; oal : Oal.t }
+  | Nack of { missing : Proposal.id list }
+  | Retransmit of 'u Proposal.t
+
+val kind_of_msg : 'u msg -> string
+val pp_msg : 'u Fmt.t -> 'u msg Fmt.t
+
+type 'u obs =
+  | Delivered of { proposal : 'u Proposal.t; ordinal : int option }
+  | Became_decider
+  | Stable of { proposal_id : Proposal.id; ordinal : int }
+
+val pp_obs : 'u Fmt.t -> 'u obs Fmt.t
+
+type 'u state
+
+val automaton : config -> ('u state, 'u msg, 'u obs) Engine.automaton
+
+(** {1 Inspection (tests, CLI)} *)
+
+val oal_of : 'u state -> Oal.t
+val buffers_of : 'u state -> 'u Buffers.t
+val is_decider : 'u state -> bool
+val delivered_count : 'u state -> int

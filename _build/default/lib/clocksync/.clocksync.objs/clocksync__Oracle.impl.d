@@ -1,0 +1,1 @@
+lib/clocksync/oracle.ml: Array Engine Hardware_clock Rng Tasim Time

@@ -1,0 +1,1 @@
+lib/clocksync/oracle.mli: Engine Rng Tasim Time

@@ -1,0 +1,1 @@
+lib/clocksync/protocol.ml: Engine Fmt Proc_id Reading Sync_clock Tasim Time

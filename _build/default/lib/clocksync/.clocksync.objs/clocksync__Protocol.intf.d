@@ -1,0 +1,1 @@
+lib/clocksync/protocol.mli: Engine Fmt Proc_id Sync_clock Tasim Time

@@ -1,0 +1,1 @@
+lib/clocksync/reading.ml: Fmt Tasim Time

@@ -1,0 +1,1 @@
+lib/clocksync/reading.mli: Fmt Tasim

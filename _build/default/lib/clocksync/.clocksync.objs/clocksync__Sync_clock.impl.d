@@ -1,0 +1,1 @@
+lib/clocksync/sync_clock.ml: Map Proc_id Proc_set Reading Tasim Time

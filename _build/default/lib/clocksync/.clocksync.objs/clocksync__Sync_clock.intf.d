@@ -1,0 +1,1 @@
+lib/clocksync/sync_clock.mli: Proc_id Proc_set Reading Tasim Time

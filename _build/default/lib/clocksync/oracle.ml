@@ -1,0 +1,13 @@
+open Tasim
+
+let clocks rng ~n ~epsilon ~max_drift =
+  Array.init n (fun _ ->
+      let half = Time.div epsilon 2 in
+      let offset =
+        Time.sub (Rng.uniform_time rng Time.zero epsilon) half
+      in
+      let drift = (Rng.float rng *. 2.0 -. 1.0) *. max_drift in
+      let hc = Hardware_clock.create ~offset ~drift in
+      Engine.clock_source_of_hardware hc)
+
+let perfect ~n = Array.init n (fun _ -> Engine.ideal_clock)

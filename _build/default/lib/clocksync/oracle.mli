@@ -1,0 +1,24 @@
+(** Oracle synchronized clocks.
+
+    When an experiment studies the membership protocol in isolation it
+    should not entangle the measurement with the clock-synchronization
+    substrate; the paper does the same by {e assuming} the service of
+    [15]. The oracle hands every process a clock source that satisfies
+    exactly the assumed interface — pairwise deviation at most epsilon,
+    small bounded drift — without exchanging any messages.
+
+    DESIGN.md documents this substitution; experiment E7 validates the
+    real {!Protocol} against the same interface. *)
+
+open Tasim
+
+val clocks :
+  Rng.t -> n:int -> epsilon:Time.t -> max_drift:float -> Engine.clock_source array
+(** [clocks rng ~n ~epsilon ~max_drift] returns one clock source per
+    process: clock [i] reads [real + off_i] scaled by an individual
+    drift in [\[-max_drift, +max_drift\]], with all offsets within
+    [epsilon / 2] of zero, so any two clocks deviate by at most
+    [epsilon] (plus the negligible drift accumulation). *)
+
+val perfect : n:int -> Engine.clock_source array
+(** All clocks equal to real time; for deterministic unit tests. *)

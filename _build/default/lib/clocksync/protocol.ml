@@ -1,0 +1,167 @@
+open Tasim
+
+type config = {
+  clock : Sync_clock.params;
+  resync_period : Time.t;
+  delta : Time.t;
+  min_delay : Time.t;
+}
+
+let default_config ~n =
+  {
+    clock =
+      {
+        Sync_clock.epsilon = Time.of_ms 20;
+        drift_bound = 1e-5;
+        validity = Time.of_sec 2;
+        n;
+      };
+    resync_period = Time.of_ms 200;
+    delta = Time.of_ms 10;
+    min_delay = Time.of_ms 1;
+  }
+
+type msg =
+  | Request of { seq : int; sender_clock : Time.t }
+  | Reply of {
+      seq : int;
+      echo_sender_clock : Time.t;
+      replier_clock : Time.t;
+    }
+
+let pp_msg ppf = function
+  | Request { seq; sender_clock } ->
+    Fmt.pf ppf "request(seq=%d at=%a)" seq Time.pp sender_clock
+  | Reply { seq; replier_clock; _ } ->
+    Fmt.pf ppf "reply(seq=%d clock=%a)" seq Time.pp replier_clock
+
+let kind_of_msg = function Request _ -> "cs-request" | Reply _ -> "cs-reply"
+
+type obs = Status_change of { synchronized : bool; reference : Proc_id.t }
+
+let pp_obs ppf (Status_change { synchronized; reference }) =
+  Fmt.pf ppf "status(sync=%b ref=%a)" synchronized Proc_id.pp reference
+
+type state = {
+  cfg : config;
+  self_id : Proc_id.t;
+  clock : Sync_clock.t;
+  next_seq : int;
+  last_synchronized : bool;
+  last_reference : Proc_id.t;
+}
+
+let timer_resync = 1
+
+let sync_clock state = state.clock
+let self state = state.self_id
+
+let sync_reading state ~now_local =
+  Sync_clock.reading state.clock ~now_local
+
+(* Emit a Status_change observation whenever the synchronization status
+   or reference process changed since last reported. *)
+let with_status_obs state ~clock_now effects =
+  let st = Sync_clock.status state.clock ~now_local:clock_now in
+  if
+    st.Sync_clock.synchronized <> state.last_synchronized
+    || not (Proc_id.equal st.Sync_clock.reference state.last_reference)
+  then
+    ( {
+        state with
+        last_synchronized = st.Sync_clock.synchronized;
+        last_reference = st.Sync_clock.reference;
+      },
+      effects
+      @ [
+          Engine.Observe
+            (Status_change
+               {
+                 synchronized = st.Sync_clock.synchronized;
+                 reference = st.Sync_clock.reference;
+               });
+        ] )
+  else (state, effects)
+
+let init cfg ~self ~n:_ ~clock ~incarnation:_ =
+  let state =
+    {
+      cfg;
+      self_id = self;
+      clock = Sync_clock.create cfg.clock ~self;
+      next_seq = 1;
+      last_synchronized = false;
+      last_reference = self;
+    }
+  in
+  (* poll immediately, then periodically *)
+  let effects =
+    [
+      Engine.Broadcast (Request { seq = 0; sender_clock = clock });
+      Engine.Set_timer
+        { key = timer_resync; at_clock = Time.add clock cfg.resync_period };
+    ]
+  in
+  (state, effects)
+
+let on_timer state ~clock ~key =
+  if key <> timer_resync then (state, [])
+  else begin
+    let seq = state.next_seq in
+    let state =
+      {
+        state with
+        next_seq = seq + 1;
+        clock = Sync_clock.drop_stale state.clock ~now_local:clock;
+      }
+    in
+    let effects =
+      [
+        Engine.Broadcast (Request { seq; sender_clock = clock });
+        Engine.Set_timer
+          {
+            key = timer_resync;
+            at_clock = Time.add clock state.cfg.resync_period;
+          };
+      ]
+    in
+    with_status_obs state ~clock_now:clock effects
+  end
+
+let on_receive state ~clock ~src msg =
+  match msg with
+  | Request { seq; sender_clock } ->
+    ( state,
+      [
+        Engine.Send
+          ( src,
+            Reply
+              { seq; echo_sender_clock = sender_clock; replier_clock = clock }
+          );
+      ] )
+  | Reply { echo_sender_clock; replier_clock; _ } ->
+    let rtt = Time.sub clock echo_sender_clock in
+    if Time.compare rtt (Time.mul state.cfg.delta 2) > 0 then
+      (* late reply: performance failure, fail-aware rejection *)
+      (state, [])
+    else begin
+      match
+        Reading.of_round_trip ~send_local:echo_sender_clock ~recv_local:clock
+          ~remote_clock:replier_clock ~min_delay:state.cfg.min_delay
+          ~drift_bound:state.cfg.clock.Sync_clock.drift_bound
+      with
+      | None -> (state, [])
+      | Some reading ->
+        let state =
+          { state with clock = Sync_clock.note_reading state.clock ~of_:src reading }
+        in
+        with_status_obs state ~clock_now:clock []
+    end
+
+let automaton cfg =
+  {
+    Engine.name = "clocksync";
+    init = (fun ~self ~n ~clock ~incarnation -> init cfg ~self ~n ~clock ~incarnation);
+    on_receive;
+    on_timer;
+  }

@@ -1,0 +1,50 @@
+(** The distributed clock synchronization automaton.
+
+    Each process periodically broadcasts a clock-reading request; every
+    receiver answers with its current hardware clock value. Timely
+    replies (round trip at most [2 * delta]) become {!Reading}s feeding
+    the owner's {!Sync_clock}; late replies are detected by their
+    excessive round trip and rejected — the fail-awareness property of
+    the underlying datagram service put to work.
+
+    The automaton plugs into {!Tasim.Engine}; its observations report
+    every change of synchronization status, which experiment E7
+    consumes. *)
+
+open Tasim
+
+type config = {
+  clock : Sync_clock.params;
+  resync_period : Time.t;  (** how often a process polls all clocks *)
+  delta : Time.t;  (** one-way network timeout *)
+  min_delay : Time.t;  (** minimum one-way network delay *)
+}
+
+val default_config : n:int -> config
+
+type msg =
+  | Request of { seq : int; sender_clock : Time.t }
+  | Reply of {
+      seq : int;
+      echo_sender_clock : Time.t;  (** copied from the request *)
+      replier_clock : Time.t;
+    }
+
+val pp_msg : msg Fmt.t
+val kind_of_msg : msg -> string
+
+type obs =
+  | Status_change of { synchronized : bool; reference : Proc_id.t }
+
+val pp_obs : obs Fmt.t
+
+type state
+
+val automaton : config -> (state, msg, obs) Engine.automaton
+
+val sync_clock : state -> Sync_clock.t
+val self : state -> Proc_id.t
+
+val sync_reading : state -> now_local:Time.t -> Time.t option
+(** Synchronized clock value given the current hardware clock reading
+    (as obtained from [Engine.clock_of]). *)

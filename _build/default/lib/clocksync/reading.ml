@@ -1,0 +1,28 @@
+open Tasim
+
+type t = { offset : Time.t; error : Time.t; read_at : Time.t }
+
+let of_round_trip ~send_local ~recv_local ~remote_clock ~min_delay
+    ~drift_bound =
+  if Time.compare recv_local send_local < 0 then None
+  else begin
+    let rtt = Time.sub recv_local send_local in
+    let half = Time.div rtt 2 in
+    let estimate = Time.add remote_clock half in
+    let drift_term = Time.scale rtt (2.0 *. drift_bound) in
+    let base_error = Time.max Time.zero (Time.sub half min_delay) in
+    Some
+      {
+        offset = Time.sub estimate recv_local;
+        error = Time.add base_error drift_term;
+        read_at = recv_local;
+      }
+  end
+
+let error_at t ~now_local ~drift_bound =
+  let age = Time.max Time.zero (Time.sub now_local t.read_at) in
+  Time.add t.error (Time.scale age (2.0 *. drift_bound))
+
+let pp ppf t =
+  Fmt.pf ppf "reading(offset=%a error=%a at=%a)" Time.pp t.offset Time.pp
+    t.error Time.pp t.read_at

@@ -1,0 +1,42 @@
+(** Remote clock reading with explicit error bounds.
+
+    The fail-aware clock synchronization service the membership protocol
+    relies on ([15] in the paper) rests on one primitive: reading a
+    remote clock together with a bound on the reading error, derived
+    from the round-trip time of a request/reply exchange (Cristian's
+    probabilistic clock reading). A reading whose error bound is too
+    large is {e rejected} — that is what makes the service fail-aware
+    rather than merely best-effort. *)
+
+type t = {
+  offset : Tasim.Time.t;
+      (** estimated [remote_clock - local_clock] at [read_at] *)
+  error : Tasim.Time.t;  (** bound on the estimation error *)
+  read_at : Tasim.Time.t;  (** local clock time of the reading *)
+}
+
+val of_round_trip :
+  send_local:Tasim.Time.t ->
+  recv_local:Tasim.Time.t ->
+  remote_clock:Tasim.Time.t ->
+  min_delay:Tasim.Time.t ->
+  drift_bound:float ->
+  t option
+(** [of_round_trip ~send_local ~recv_local ~remote_clock ~min_delay
+    ~drift_bound] computes a reading from one request/reply round trip:
+    the request left when the local clock read [send_local], the reply
+    carrying the remote clock value [remote_clock] (sampled when the
+    reply was sent) arrived at local clock time [recv_local].
+
+    The remote clock at [recv_local] is estimated as
+    [remote_clock + rtt/2] with error
+    [rtt/2 - min_delay + 2 * drift_bound * rtt].
+    Returns [None] when the round trip is invalid ([recv_local <
+    send_local]). *)
+
+val error_at :
+  t -> now_local:Tasim.Time.t -> drift_bound:float -> Tasim.Time.t
+(** The reading's error bound grown by relative clock drift since it
+    was taken: [error + 2 * drift_bound * (now - read_at)]. *)
+
+val pp : t Fmt.t

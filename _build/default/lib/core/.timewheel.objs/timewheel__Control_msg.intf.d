@@ -1,0 +1,1 @@
+lib/core/control_msg.mli: Broadcast Buffers Fmt Oal Proc_id Proc_set Proposal Semantics Tasim Time

@@ -1,0 +1,1 @@
+lib/core/creator_state.ml: Fmt Proc_id Tasim Time

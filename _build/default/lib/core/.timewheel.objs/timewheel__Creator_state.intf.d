@@ -1,0 +1,1 @@
+lib/core/creator_state.mli: Fmt Proc_id Tasim Time

@@ -1,0 +1,1 @@
+lib/core/failure_detector.ml: Fmt Map Option Params Proc_id Proc_set Tasim Time

@@ -1,0 +1,1 @@
+lib/core/failure_detector.mli: Fmt Params Proc_id Proc_set Tasim Time

@@ -1,0 +1,1 @@
+lib/core/full_stack.ml: Clocksync Control_msg Engine Int List Map Member Proc_id Tasim Time

@@ -1,0 +1,1 @@
+lib/core/full_stack.mli: Broadcast Clocksync Control_msg Engine Member Tasim Time

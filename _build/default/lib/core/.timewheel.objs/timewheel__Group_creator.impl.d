@@ -1,0 +1,1 @@
+lib/core/group_creator.ml: Creator_state Fmt Proc_id Proc_set Tasim Time

@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Broadcast Creator_state Engine Fmt Hashtbl List Member Oal Proc_id Proc_set Proposal Tasim

@@ -1,0 +1,1 @@
+lib/core/invariant.mli: Control_msg Engine Fmt Member Proc_id Tasim

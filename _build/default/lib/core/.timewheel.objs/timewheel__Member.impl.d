@@ -1,0 +1,1 @@
+lib/core/member.ml: Broadcast Buffers Control_msg Creator_state Delivery Engine Failure_detector Fmt Group_creator Hashtbl List Map Oal Params Proc_id Proc_set Proposal Slots Tasim Time Undeliverable

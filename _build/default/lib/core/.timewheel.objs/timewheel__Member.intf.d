@@ -1,0 +1,1 @@
+lib/core/member.mli: Broadcast Buffers Control_msg Creator_state Engine Failure_detector Fmt Oal Params Proc_id Proc_set Proposal Semantics Tasim Time

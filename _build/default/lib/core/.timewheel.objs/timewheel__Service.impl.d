@@ -1,0 +1,1 @@
+lib/core/service.ml: Array Broadcast Clocksync Control_msg Creator_state Engine List Member Net Option Params Proc_id Proc_set Proposal String Tasim Time Trace

@@ -1,0 +1,1 @@
+lib/core/service.mli: Broadcast Control_msg Engine Member Params Proc_id Proc_set Proposal Semantics Stats Tasim Time Trace

@@ -1,0 +1,1 @@
+lib/core/slots.ml: Params Proc_id Tasim Time

@@ -1,0 +1,1 @@
+lib/core/slots.mli: Params Proc_id Tasim Time

@@ -1,0 +1,1 @@
+lib/core/undeliverable.ml: Broadcast Fmt Int List Oal Proc_id Proc_set Proposal Semantics Tasim

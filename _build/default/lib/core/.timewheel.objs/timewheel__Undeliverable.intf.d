@@ -1,0 +1,1 @@
+lib/core/undeliverable.mli: Broadcast Fmt Oal Proc_set Proposal Semantics Tasim

@@ -1,0 +1,80 @@
+open Tasim
+
+module Pmap = Map.Make (struct
+  type t = Proc_id.t
+
+  let compare = Proc_id.compare
+end)
+
+type t = {
+  params : Params.t;
+  self : Proc_id.t;
+  heard : Time.t Pmap.t; (* proc -> freshest control msg send ts *)
+  surveillance : (Proc_id.t * Time.t) option; (* expected sender, base ts *)
+}
+
+let create params ~self = { params; self; heard = Pmap.empty; surveillance = None }
+
+type verdict = Fresh | Stale | Late
+
+let admit t ~from ~ts ~now =
+  let late_bound = Params.late_bound t.params in
+  if Time.compare (Time.sub now ts) late_bound > 0 then (t, Late)
+  else
+    match Pmap.find_opt from t.heard with
+    | Some prev when Time.compare ts prev <= 0 -> (t, Stale)
+    | Some _ | None -> ({ t with heard = Pmap.add from ts t.heard }, Fresh)
+
+let note_sent t ~ts = { t with heard = Pmap.add t.self ts t.heard }
+let last_heard t p = Pmap.find_opt p t.heard
+
+let heard_after t p ~since =
+  match Pmap.find_opt p t.heard with
+  | Some ts -> Time.compare ts since > 0
+  | None -> false
+
+let alive_list t ~now =
+  let window = Params.alive_window t.params in
+  let horizon = Time.sub now window in
+  Pmap.fold
+    (fun p ts acc ->
+      if Time.compare ts horizon >= 0 then Proc_set.add p acc else acc)
+    t.heard
+    (Proc_set.singleton t.self)
+
+let forget t p = { t with heard = Pmap.remove p t.heard }
+
+let expect t ~sender ~base = { t with surveillance = Some (sender, base) }
+let suspend t = { t with surveillance = None }
+let expected t = Option.map fst t.surveillance
+
+let deadline t =
+  Option.map
+    (fun (_, base) -> Time.add base (Params.fd_timeout t.params))
+    t.surveillance
+
+let satisfied_by t ~from ~ts =
+  (* [ts] and [base] were read on different synchronized clocks, which
+     may deviate by up to epsilon: allow that slack *)
+  match t.surveillance with
+  | Some (sender, base) ->
+    Proc_id.equal from sender
+    && Time.compare ts (Time.sub base t.params.Params.epsilon) > 0
+  | None -> false
+
+let timeout_suspect t ~now =
+  match t.surveillance with
+  | Some (sender, base)
+    when Time.compare now (Time.add base (Params.fd_timeout t.params)) >= 0
+    ->
+    Some sender
+  | Some _ | None -> None
+
+let pp ppf t =
+  let pp_surv ppf = function
+    | None -> Fmt.string ppf "idle"
+    | Some (p, base) ->
+      Fmt.pf ppf "expect %a after %a" Proc_id.pp p Time.pp base
+  in
+  Fmt.pf ppf "fd(self=%a %a heard=%d)" Proc_id.pp t.self pp_surv
+    t.surveillance (Pmap.cardinal t.heard)

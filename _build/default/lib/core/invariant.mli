@@ -1,0 +1,53 @@
+(** Cross-member safety invariants.
+
+    Machine-checkable statements of the protocol's safety claims,
+    evaluated over a snapshot of every member's state. The property
+    tests and experiment E5b sample these during randomized churn; any
+    violation is a protocol bug, never load-dependent noise.
+
+    - {!ordinals_consistent} is the heart of the broadcast/membership
+      coupling: ordinals are assigned by exactly one decider at a time,
+      so two members may disagree on what they have {e seen} but never
+      on what an ordinal {e means}. A dual-decider bug shows up here
+      first.
+    - {!views_consistent} is Section 3's property (2) restricted to
+      up-to-date members.
+    - {!groups_majority} is Section 3's property (5). *)
+
+open Tasim
+
+val take :
+  (('u, 'app) Member.state, ('u, 'app) Control_msg.t, 'u Member.obs) Engine.t ->
+  (Proc_id.t * ('u, 'app) Member.state) list
+(** States of every process that is currently up. *)
+
+type violation = {
+  property : string;
+  detail : string;
+}
+
+val pp_violation : violation Fmt.t
+
+val ordinals_consistent :
+  (Proc_id.t * ('u, 'app) Member.state) list -> violation list
+(** Among up-to-date members of the newest group: for every ordinal
+    present in two oals, the entries carry the same body (same
+    proposal / same membership change). Stale epochs are out of scope:
+    they may hold void assignments from a decider that crashed before
+    anyone heard it, and their holders are excluded and rejoin with a
+    fresh replica. *)
+
+val views_consistent :
+  n:int -> (Proc_id.t * ('u, 'app) Member.state) list -> violation list
+(** Any two up-to-date members (ring states, holding a group containing
+    themselves) with the same group id hold the same group; and the
+    newest group id is held identically by all up-to-date members that
+    reached it. *)
+
+val groups_majority :
+  n:int -> (Proc_id.t * ('u, 'app) Member.state) list -> violation list
+(** Every group currently held by a member that belongs to it contains
+    a majority of the team. *)
+
+val check_all :
+  n:int -> (Proc_id.t * ('u, 'app) Member.state) list -> violation list

@@ -1,0 +1,1174 @@
+open Tasim
+open Broadcast
+module C = Control_msg
+module CS = Creator_state
+module FD = Failure_detector
+module GC = Group_creator
+
+module Pmap = Map.Make (struct
+  type t = Proc_id.t
+
+  let compare = Proc_id.compare
+end)
+
+(* timer keys *)
+let timer_expect = 1
+let timer_decide = 2
+let timer_slot = 3
+
+type ('u, 'app) config = {
+  params : Params.t;
+  apply : 'app -> 'u -> 'app;
+  initial_app : 'app;
+}
+
+let config ?apply ~initial_app params =
+  let apply = match apply with Some f -> f | None -> fun app _ -> app in
+  { params; apply; initial_app }
+
+type 'u obs =
+  | View_installed of { group : Proc_set.t; group_id : int }
+  | Delivered of { proposal : 'u Proposal.t; ordinal : int option }
+  | Transition of { from_ : CS.kind; to_ : CS.kind }
+  | Suspected of { suspect : Proc_id.t }
+  | Late_rejected of { from : Proc_id.t }
+  | Became_decider
+  | Excluded
+
+let pp_obs ppf = function
+  | View_installed { group; group_id } ->
+    Fmt.pf ppf "view#%d%a" group_id Proc_set.pp group
+  | Delivered { proposal; ordinal } ->
+    Fmt.pf ppf "delivered(%a ord=%a)" Proposal.pp_id proposal.Proposal.id
+      Fmt.(option ~none:(any "-") int)
+      ordinal
+  | Transition { from_; to_ } ->
+    Fmt.pf ppf "%a->%a" CS.pp_kind from_ CS.pp_kind to_
+  | Suspected { suspect } -> Fmt.pf ppf "suspected(%a)" Proc_id.pp suspect
+  | Late_rejected { from } -> Fmt.pf ppf "late-rejected(%a)" Proc_id.pp from
+  | Became_decider -> Fmt.string ppf "became-decider"
+  | Excluded -> Fmt.string ppf "excluded"
+
+type peer_view = {
+  pv_ts : Time.t;
+  pv_view : Oal.t;
+  pv_dpd : Oal.update_info list;
+}
+
+type join_info = { ji_ts : Time.t; ji_list : Proc_set.t }
+
+type reconfig_info = {
+  rc_ts : Time.t;
+  rc_list : Proc_set.t;
+  rc_last_decision_ts : Time.t;
+}
+
+type alive_info = { ai_ts : Time.t; ai_alive : Proc_set.t }
+
+type ('u, 'app) state = {
+  cfg : ('u, 'app) config;
+  self : Proc_id.t;
+  n : int;
+  creator : CS.t;
+  group : Proc_set.t;
+  group_id : int; (* -1 until a first group is known *)
+  fd : FD.t;
+  oal : Oal.t;
+  buffers : 'u Buffers.t;
+  next_seq : int;
+  last_decision_ts : Time.t;
+  decider : bool;
+  last_control_sent : ('u, 'app) C.t option;
+  app : 'app;
+  join_msgs : join_info Pmap.t;
+  reconfig_msgs : reconfig_info Pmap.t;
+  peer_views : peer_view Pmap.t;
+  alive_views : alive_info Pmap.t;
+  pending_new_group : (int * Proc_set.t * Proc_set.t) option;
+      (* excluded while in n-failure: (group_id, group, members heard) *)
+}
+
+type ('u, 'app) eff = (('u, 'app) C.t, 'u obs) Engine.effect
+
+let creator_state s = s.creator
+let group s = s.group
+let group_id s = s.group_id
+let has_group s = s.group_id >= 0
+let is_decider s = s.decider
+let app s = s.app
+let oal_of s = s.oal
+let buffers_of s = s.buffers
+let alive_list s ~now = FD.alive_list s.fd ~now
+let failure_detector s = s.fd
+
+let submit ~semantics payload = C.Submit { semantics; payload }
+
+let params s = s.cfg.params
+let majority s = Params.majority (params s)
+
+let env_of s ~clock =
+  {
+    GC.self = s.self;
+    group = s.group;
+    n = s.n;
+    majority = majority s;
+    current_slot = Slots.index (params s) clock;
+    single_failure_election = (params s).Params.single_failure_election;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* small helpers producing (state, effect list)                        *)
+
+let member_of_current_group s =
+  s.group_id >= 0 && Proc_set.mem s.self s.group
+
+let can_deliver s =
+  member_of_current_group s && CS.kind_of s.creator <> CS.KJoin
+
+let fsm_transition s creator' : ('u, 'app) eff list =
+  let from_ = CS.kind_of s.creator and to_ = CS.kind_of creator' in
+  if CS.equal_kind from_ to_ then []
+  else [ Engine.Observe (Transition { from_; to_ }) ]
+
+(* Keep the engine timer for the FD surveillance deadline in sync. *)
+let sync_expect_timer s : ('u, 'app) eff list =
+  match FD.deadline s.fd with
+  | Some dl -> [ Engine.Set_timer { key = timer_expect; at_clock = dl } ]
+  | None -> [ Engine.Cancel_timer timer_expect ]
+
+let my_view s =
+  Oal.ack_all_received s.oal
+    ~received:(fun id -> Buffers.received s.buffers id)
+    ~by:s.self
+
+let dpd_infos s =
+  List.filter_map
+    (fun id ->
+      match Buffers.get s.buffers id with
+      | Some (p : 'u Proposal.t) ->
+        Some
+          {
+            Oal.proposal_id = p.Proposal.id;
+            semantics = p.Proposal.semantics;
+            send_ts = p.Proposal.send_ts;
+            hdo = p.Proposal.hdo;
+          }
+      | None -> None)
+    (Buffers.dpd s.buffers)
+
+let deliver s ~clock : ('u, 'app) state * ('u, 'app) eff list =
+  if not (can_deliver s) then (s, [])
+  else begin
+    let deliveries, buffers =
+      Delivery.step ~oal:s.oal ~buffers:s.buffers ~now_sync:clock
+        ~timed_delay:(params s).Params.timed_delay
+    in
+    let app =
+      List.fold_left
+        (fun app { Delivery.proposal; _ } ->
+          s.cfg.apply app proposal.Proposal.payload)
+        s.app deliveries
+    in
+    let effects =
+      List.map
+        (fun { Delivery.proposal; ordinal } ->
+          Engine.Observe (Delivered { proposal; ordinal }))
+        deliveries
+    in
+    ({ s with buffers; app }, effects)
+  end
+
+(* Negative acknowledgements for updates the oal proves exist but we
+   never received: ask the ring-wise closest acknowledged holder. *)
+let recover_missing s : ('u, 'app) eff list =
+  let missing =
+    List.filter_map
+      (fun e ->
+        match e.Oal.body with
+        | Oal.Update info
+          when (not (Buffers.received s.buffers info.Oal.proposal_id))
+               && not e.Oal.undeliverable ->
+          Some (info.Oal.proposal_id, e.Oal.acks)
+        | Oal.Update _ | Oal.Membership _ -> None)
+      (Oal.entries s.oal)
+  in
+  let by_holder = Hashtbl.create 4 in
+  List.iter
+    (fun (id, acks) ->
+      (* ask a holder that is still a group member; an acknowledged
+         departed process can no longer retransmit *)
+      let holders =
+        let members = Proc_set.inter acks s.group in
+        if Proc_set.is_empty members then acks else members
+      in
+      match Proc_set.successor_in holders s.self ~n:s.n with
+      | Some holder ->
+        let prev = try Hashtbl.find by_holder holder with Not_found -> [] in
+        Hashtbl.replace by_holder holder (id :: prev)
+      | None -> ())
+    missing;
+  Hashtbl.fold
+    (fun holder ids acc ->
+      Engine.Send (holder, C.Nack { missing = List.rev ids }) :: acc)
+    by_holder []
+
+let housekeeping_oal s =
+  let oal = Oal.refresh_stability s.oal ~group:s.group in
+  let oal =
+    Oal.purge_stable oal ~delivered:(fun o ->
+        Buffers.delivered_ordinal s.buffers o)
+  in
+  let low = Oal.low oal in
+  let buffers = Buffers.compact s.buffers ~purged:(fun o -> o < low) in
+  { s with oal; buffers }
+
+(* Record a control message we are about to broadcast: remember it for
+   wrong-suspicion retransmission and, for ring messages (decisions and
+   no-decisions), point the surveillance at our own successor. *)
+let send_control s ~ring ~ts msg : ('u, 'app) state * ('u, 'app) eff list =
+  let s =
+    { s with last_control_sent = Some msg; fd = FD.note_sent s.fd ~ts }
+  in
+  if not ring then (s, [ Engine.Broadcast msg ])
+  else begin
+    match Proc_set.successor_in s.group s.self ~n:s.n with
+    | Some next ->
+      let s = { s with fd = FD.expect s.fd ~sender:next ~base:ts } in
+      (s, (Engine.Broadcast msg :: sync_expect_timer s))
+    | None -> (s, [ Engine.Broadcast msg ])
+  end
+
+(* ------------------------------------------------------------------ *)
+(* decision construction                                               *)
+
+(* Append descriptors (assign ordinals) for every buffered proposal that
+   is not yet ordered and not locally marked undeliverable. *)
+let order_pending s ~clock =
+  let oal, buffers =
+    List.fold_left
+      (fun (oal, buffers) (p : 'u Proposal.t) ->
+        if Oal.mem_update oal p.Proposal.id then (oal, buffers)
+        else if Buffers.is_marked buffers p.Proposal.id ~now:clock then
+          (oal, buffers)
+        else
+          let info =
+            {
+              Oal.proposal_id = p.Proposal.id;
+              semantics = p.Proposal.semantics;
+              send_ts = p.Proposal.send_ts;
+              hdo = p.Proposal.hdo;
+            }
+          in
+          (* the ack bit means "has merged an oal containing this
+             descriptor (and holds the payload)": only the appender
+             qualifies at append time — pre-acking the origin would let
+             the entry stabilize and be purged before the origin ever
+             learned its ordinal, leaving it a silent gap *)
+          let acks = Proc_set.singleton s.self in
+          let oal, ordinal = Oal.append_update oal info ~acks in
+          (oal, Buffers.note_ordinal buffers p.Proposal.id ordinal))
+      (s.oal, s.buffers) (Buffers.stored s.buffers)
+  in
+  { s with oal; buffers }
+
+(* Integration of joiners (Section 4.2): a decider adds process p to the
+   group when every current member's (fresh) piggybacked alive-list
+   contains p. Also detect members that never got their state transfer
+   (still sending join messages) and re-send it. *)
+let joiners_ready s ~clock =
+  let fresh_alive m =
+    if Proc_id.equal m s.self then Some (FD.alive_list s.fd ~now:clock)
+    else
+      match Pmap.find_opt m s.alive_views with
+      | Some { ai_ts; ai_alive }
+        when Time.compare (Time.sub clock ai_ts)
+               (Params.alive_window (params s))
+             <= 0 ->
+        Some ai_alive
+      | Some _ | None -> None
+  in
+  let all_views =
+    Proc_set.fold
+      (fun m acc ->
+        match acc with
+        | None -> None
+        | Some views -> (
+          match fresh_alive m with
+          | Some v -> Some (v :: views)
+          | None -> None))
+      s.group (Some [])
+  in
+  match all_views with
+  | None -> Proc_set.empty (* missing a fresh view: integrate nothing *)
+  | Some views ->
+    let everywhere p = List.for_all (Proc_set.mem p) views in
+    let candidates =
+      Proc_set.diff (FD.alive_list s.fd ~now:clock) s.group
+    in
+    Proc_set.filter everywhere candidates
+
+let needs_transfer_refresh s ~clock =
+  (* members still in join state keep sending join messages *)
+  Proc_set.filter
+    (fun m ->
+      (not (Proc_id.equal m s.self))
+      &&
+      match Pmap.find_opt m s.join_msgs with
+      | Some { ji_ts; _ } ->
+        Time.compare (Time.sub clock ji_ts) (Params.cycle (params s)) <= 0
+      | None -> false)
+    s.group
+
+let state_transfer_msg s ~ts =
+  C.State_transfer
+    {
+      st_ts = ts;
+      st_group = s.group;
+      st_group_id = s.group_id;
+      st_oal = s.oal;
+      st_app = s.app;
+      st_buffers = s.buffers;
+    }
+
+(* The decider's decision send: integrate joiners, order pending
+   proposals, refresh/purge the oal, broadcast, hand the role over. *)
+let send_decision s ~clock : ('u, 'app) state * ('u, 'app) eff list =
+  let s = { s with oal = my_view s } in
+  let joiners = joiners_ready s ~clock in
+  let s, view_effects =
+    if Proc_set.is_empty joiners then (s, [])
+    else begin
+      let group = Proc_set.union s.group joiners in
+      let group_id = s.group_id + 1 in
+      let oal, _ = Oal.append_membership s.oal ~group ~group_id in
+      ( { s with group; group_id; oal },
+        [ Engine.Observe (View_installed { group; group_id }) ] )
+    end
+  in
+  let s = order_pending s ~clock in
+  let s = housekeeping_oal s in
+  let ts = clock in
+  let msg =
+    C.Decision
+      { d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
+  in
+  let s = { s with decider = false; last_decision_ts = ts } in
+  let s, send_effects = send_control s ~ring:true ~ts msg in
+  let transfer_targets =
+    Proc_set.union joiners (needs_transfer_refresh s ~clock)
+  in
+  let transfer_effects =
+    Proc_set.fold
+      (fun p acc -> Engine.Send (p, state_transfer_msg s ~ts) :: acc)
+      transfer_targets []
+  in
+  let s, deliver_effects = deliver s ~clock in
+  (s, view_effects @ send_effects @ transfer_effects @ deliver_effects)
+
+let become_decider s ~clock : ('u, 'app) state * ('u, 'app) eff list =
+  if s.decider then (s, [])
+  else begin
+    let s = { s with decider = true } in
+    let delay =
+      if (params s).Params.eager_decisions then Time.of_us 1
+      else (params s).Params.d
+    in
+    ( s,
+      [
+        Engine.Set_timer { key = timer_decide; at_clock = Time.add clock delay };
+        Engine.Observe Became_decider;
+      ] )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* group-changing decisions (elections)                                *)
+
+(* Rebuild the oal as the new decider of [new_group]: merge the views
+   collected from the no-decision / reconfiguration messages of the new
+   members, classify and mark undeliverable proposals, append the dpd
+   descriptors every member reported, and append the membership
+   descriptor. *)
+let create_group s ~clock ~new_group : ('u, 'app) state * ('u, 'app) eff list =
+  let departed = Proc_set.diff s.group new_group in
+  (* 1. my own view, acks refreshed *)
+  let oal = my_view s in
+  (* 2. merge peer views *)
+  let oal =
+    Proc_set.fold
+      (fun m oal ->
+        match Pmap.find_opt m s.peer_views with
+        | Some { pv_view; _ } -> Oal.merge ~local:oal ~incoming:pv_view
+        | None -> oal)
+      new_group oal
+  in
+  (* 3. classify undeliverable proposals *)
+  let highest_known = Oal.highest_ordinal oal in
+  let classified =
+    Undeliverable.classify ~oal ~departed ~highest_known_ordinal:highest_known
+  in
+  let oal = Undeliverable.apply ~oal classified in
+  (* 4. append dpd descriptors reported by new members (and self) *)
+  let dpd_all =
+    let own = List.map (fun info -> (info, s.self)) (dpd_infos s) in
+    Proc_set.fold
+      (fun m acc ->
+        match Pmap.find_opt m s.peer_views with
+        | Some { pv_dpd; _ } ->
+          List.map (fun info -> (info, m)) pv_dpd @ acc
+        | None -> acc)
+      new_group own
+  in
+  let oal =
+    List.fold_left
+      (fun oal ((info : Oal.update_info), reporter) ->
+        if Oal.mem_update oal info.Oal.proposal_id then
+          Oal.ack_update oal info.Oal.proposal_id reporter
+        else
+          fst
+            (Oal.append_update oal info
+               ~acks:(Proc_set.singleton reporter)))
+      oal dpd_all
+  in
+  let s = { s with oal } in
+  (* 5. block further proposals from departed members for one cycle and
+     purge marked payloads *)
+  let expires = Time.add clock (Params.cycle (params s)) in
+  let buffers =
+    Proc_set.fold
+      (fun q buffers -> Buffers.block_origin buffers q ~expires)
+      departed s.buffers
+  in
+  let buffers = Buffers.purge_marked buffers ~now:clock in
+  let s = { s with buffers } in
+  (* 6. order surviving pending proposals, filtering departed-origin
+     ones that the pending rules condemn *)
+  let undeliv_ordinals =
+    List.filter_map
+      (fun e -> if e.Oal.undeliverable then Some e.Oal.ordinal else None)
+      (Oal.entries s.oal)
+  in
+  let s =
+    let buffers =
+      List.fold_left
+        (fun buffers (p : 'u Proposal.t) ->
+          let origin = p.Proposal.id.Proposal.origin in
+          if
+            Proc_set.mem origin departed
+            && (not (Oal.mem_update s.oal p.Proposal.id))
+            && Undeliverable.pending_category
+                 ~undeliverable_ordinals:undeliv_ordinals
+                 ~highest_known_ordinal:highest_known
+                 ~semantics:p.Proposal.semantics ~hdo:p.Proposal.hdo
+               <> None
+          then Buffers.mark_undeliverable buffers p.Proposal.id ~expires
+          else buffers)
+        s.buffers (Buffers.stored s.buffers)
+    in
+    { s with buffers }
+  in
+  let s = order_pending s ~clock in
+  (* 7. membership descriptor and adoption *)
+  let group_id = s.group_id + 1 in
+  let oal, _ = Oal.append_membership s.oal ~group:new_group ~group_id in
+  let s = { s with oal; group = new_group; group_id } in
+  let view_effect =
+    Engine.Observe (View_installed { group = new_group; group_id })
+  in
+  (* 8. housekeeping and broadcast as the new decider *)
+  let s = housekeeping_oal s in
+  let ts = clock in
+  let msg =
+    C.Decision
+      { d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
+  in
+  let s = { s with decider = false; last_decision_ts = ts } in
+  let s, send_effects = send_control s ~ring:true ~ts msg in
+  let s, deliver_effects = deliver s ~clock in
+  (s, (view_effect :: send_effects) @ deliver_effects)
+
+(* ------------------------------------------------------------------ *)
+(* directive execution                                                 *)
+
+let make_no_decision s ~clock ~suspect ~since =
+  C.No_decision
+    {
+      nd_ts = clock;
+      nd_suspect = suspect;
+      nd_since = since;
+      nd_view = my_view s;
+      nd_dpd = dpd_infos s;
+      nd_alive = FD.alive_list s.fd ~now:clock;
+    }
+
+let make_reconfig s ~clock ~list =
+  C.Reconfig
+    {
+      r_ts = clock;
+      r_list = list;
+      r_last_decision_ts = s.last_decision_ts;
+      r_view = my_view s;
+      r_dpd = dpd_infos s;
+      r_alive = FD.alive_list s.fd ~now:clock;
+    }
+
+let enter_join s : ('u, 'app) state * ('u, 'app) eff list =
+  let s =
+    {
+      s with
+      decider = false;
+      fd = FD.suspend s.fd;
+      join_msgs = Pmap.empty;
+      pending_new_group = None;
+    }
+  in
+  ( s,
+    [
+      Engine.Cancel_timer timer_expect;
+      Engine.Cancel_timer timer_decide;
+      Engine.Observe Excluded;
+    ] )
+
+let exec_directive (s, effects) ~clock directive =
+  match directive with
+  | GC.Send_no_decision { suspect; since } ->
+    let expires = Time.add clock (Params.cycle (params s)) in
+    let s =
+      { s with buffers = Buffers.block_origin s.buffers suspect ~expires }
+    in
+    let msg = make_no_decision s ~clock ~suspect ~since in
+    let s, send_effects = send_control s ~ring:true ~ts:clock msg in
+    (s, effects @ send_effects)
+  | GC.Exclude_and_decide { suspect } ->
+    let new_group = Proc_set.remove suspect s.group in
+    let s, create_effects = create_group s ~clock ~new_group in
+    (s, effects @ create_effects)
+  | GC.Take_over_decider ->
+    let s, decider_effects = become_decider s ~clock in
+    (s, effects @ decider_effects)
+  | GC.Resend_last_control -> (
+    match s.last_control_sent with
+    | Some msg -> (s, effects @ [ Engine.Broadcast msg ])
+    | None -> (s, effects))
+  | GC.Start_reconfiguration ->
+    let s = { s with decider = false; fd = FD.suspend s.fd } in
+    let msg = make_reconfig s ~clock ~list:Proc_set.empty in
+    let s, send_effects = send_control s ~ring:false ~ts:clock msg in
+    ( s,
+      effects
+      @ [ Engine.Cancel_timer timer_expect; Engine.Cancel_timer timer_decide ]
+      @ send_effects )
+  | GC.Adopt_decision ->
+    (* performed inline by the decision handler, which has the payload *)
+    (s, effects)
+  | GC.Enter_join ->
+    let s, join_effects = enter_join s in
+    (s, effects @ join_effects)
+
+let run_fsm s ~clock event : ('u, 'app) state * GC.directive list * ('u, 'app) eff list =
+  let creator', directives = GC.step (env_of s ~clock) s.creator event in
+  let transition_effects = fsm_transition s creator' in
+  ({ s with creator = creator' }, directives, transition_effects)
+
+(* ------------------------------------------------------------------ *)
+(* message handlers                                                    *)
+
+let on_submit s ~clock ~semantics payload =
+  if not (member_of_current_group s) then
+    (s, [ Engine.Log "submit dropped: not a group member" ])
+  else begin
+    let proposal =
+      Proposal.make ~origin:s.self ~seq:s.next_seq ~semantics ~send_ts:clock
+        ~hdo:(Buffers.highest_delivered_ordinal s.buffers)
+        payload
+    in
+    let buffers, _ = Buffers.store s.buffers proposal in
+    let s = { s with buffers; next_seq = s.next_seq + 1 } in
+    let s = { s with oal = Oal.ack_update s.oal proposal.Proposal.id s.self } in
+    let s, deliver_effects = deliver s ~clock in
+    (s, Engine.Broadcast (C.Proposal_msg proposal) :: deliver_effects)
+  end
+
+let on_proposal s ~clock (p : 'u Proposal.t) =
+  if Buffers.is_marked s.buffers p.Proposal.id ~now:clock then (s, [])
+  else begin
+    let buffers, fresh = Buffers.store s.buffers p in
+    if not fresh then (s, [])
+    else begin
+      let s = { s with buffers } in
+      let s = { s with oal = Oal.ack_update s.oal p.Proposal.id s.self } in
+      deliver s ~clock
+    end
+  end
+
+let on_nack s ~src missing =
+  let resend =
+    List.filter_map
+      (fun id ->
+        match Buffers.get s.buffers id with
+        | Some p -> Some (Engine.Send (src, C.Retransmit p))
+        | None -> None)
+      missing
+  in
+  (s, resend)
+
+(* Only majority groups are valid membership descriptors (Section 3,
+   property 5); anything else is noise from outside the failure model
+   and is ignored defensively. *)
+let valid_membership s oal =
+  match Oal.latest_membership oal with
+  | Some (_, grp, gid) when Proc_set.is_majority grp ~n:s.n ->
+    Some (grp, gid)
+  | Some _ | None -> None
+
+(* Adoption of an accepted decision message: merge the oal, learn
+   ordinals, adopt any newer membership descriptor, recover losses,
+   deliver. Returns the updated state plus whether the decision named a
+   new group that excludes this process. *)
+let adopt_decision s ~clock ~(d : C.decision) =
+  let s = { s with oal = Oal.merge ~local:s.oal ~incoming:d.C.d_oal } in
+  let s = { s with oal = my_view s } in
+  (* learn ordinals for unordered-delivered updates *)
+  let s =
+    List.fold_left
+      (fun s e ->
+        match e.Oal.body with
+        | Oal.Update info ->
+          {
+            s with
+            buffers =
+              Buffers.note_ordinal s.buffers info.Oal.proposal_id
+                e.Oal.ordinal;
+          }
+        | Oal.Membership _ -> s)
+      s (Oal.entries s.oal)
+  in
+  let s, view_effects, excluded =
+    match valid_membership s s.oal with
+    | Some (grp, gid) when gid > s.group_id ->
+      if Proc_set.mem s.self grp then
+        if CS.kind_of s.creator = CS.KJoin && gid > 0 then
+          (* joining an existing group: adoption waits for the state
+             transfer, which carries the replica state *)
+          (s, [], false)
+        else
+          ( { s with group = grp; group_id = gid },
+            [ Engine.Observe (View_installed { group = grp; group_id = gid }) ],
+            false )
+      else (s, [], true)
+    | Some _ | None -> (s, [], false)
+  in
+  let s =
+    { s with last_decision_ts = Time.max s.last_decision_ts d.C.d_ts }
+  in
+  let s = housekeeping_oal s in
+  let nacks = recover_missing s in
+  let s, deliver_effects = deliver s ~clock in
+  (s, view_effects @ nacks @ deliver_effects, excluded)
+
+(* Should the FSM treat this decision as "contains me"? A decision with
+   no newer membership descriptor keeps the current group. While in the
+   join state, a membership descriptor of a later group (id > 0) is
+   only actionable once the state transfer arrives. *)
+let decision_in_new_group s (d : C.decision) =
+  match valid_membership s d.C.d_oal with
+  | Some (grp, gid) when gid > s.group_id ->
+    if Proc_set.mem s.self grp then
+      not (CS.kind_of s.creator = CS.KJoin && gid > 0)
+    else false
+  | Some _ | None -> s.group_id >= 0
+
+(* Track decisions from the members of a new group that excluded us (the
+   delayed switch to join in the n-failure state). *)
+let track_exclusion s ~src (d : C.decision) =
+  match valid_membership s d.C.d_oal with
+  | Some (grp, gid) when gid > s.group_id && not (Proc_set.mem s.self grp)
+    ->
+    let gid0, grp0, heard =
+      match s.pending_new_group with
+      | Some (g_id, g, h) when g_id >= gid -> (g_id, g, h)
+      | Some _ | None -> (gid, grp, Proc_set.empty)
+    in
+    let heard =
+      if Proc_set.mem src grp0 then Proc_set.add src heard else heard
+    in
+    let complete = Proc_set.equal heard grp0 in
+    ({ s with pending_new_group = Some (gid0, grp0, heard) }, complete)
+  | Some _ | None -> (s, false)
+
+let realign_surveillance s ~from ~ts =
+  (* after accepting a ring control message (decision / no-decision)
+     from a group member, expect its successor next — unless the ring is
+     suspended (join, n-failure). When the successor is this process
+     itself there is nobody to surveil: our own next send re-arms the
+     surveillance (and if we fail to send, the others exclude us). *)
+  match CS.kind_of s.creator with
+  | CS.KJoin | CS.KN_failure -> s
+  | CS.KFailure_free | CS.KWrong_suspicion | CS.KOne_failure_receive
+  | CS.KOne_failure_send -> (
+    match Proc_set.successor_in s.group from ~n:s.n with
+    | Some next when Proc_id.equal next s.self ->
+      { s with fd = FD.suspend s.fd }
+    | Some next -> { s with fd = FD.expect s.fd ~sender:next ~base:ts }
+    | None -> s)
+
+let current_suspect s =
+  match s.creator with
+  | CS.Wrong_suspicion { suspect }
+  | CS.One_failure_receive { suspect; _ }
+  | CS.One_failure_send { suspect; _ } ->
+    Some suspect
+  | CS.Join | CS.Failure_free | CS.N_failure _ -> None
+
+let on_decision s ~clock ~src (d : C.decision) =
+  (* a decision announcing a newer group that contains us is an election
+     outcome: it is authoritative regardless of where our ring pointer
+     was when the election ran *)
+  let election_outcome =
+    match valid_membership s d.C.d_oal with
+    | Some (grp, gid) -> gid > s.group_id && Proc_set.mem s.self grp
+    | None -> false
+  in
+  let from_expected =
+    FD.satisfied_by s.fd ~from:src ~ts:d.C.d_ts || election_outcome
+  in
+  let from_suspect =
+    match current_suspect s with
+    | Some q -> Proc_id.equal q src
+    | None -> false
+  in
+  let in_new_group = decision_in_new_group s d in
+  let s, directives, transition_effects =
+    run_fsm s ~clock
+      (GC.Decision_received { from = src; from_expected; from_suspect; in_new_group })
+  in
+  let adopt = List.mem GC.Adopt_decision directives in
+  let s, adopt_effects, excluded =
+    if adopt then adopt_decision s ~clock ~d else (s, [], false)
+  in
+  (* delayed join switch bookkeeping while in n-failure *)
+  let s, all_heard =
+    match CS.kind_of s.creator with
+    | CS.KN_failure when excluded -> track_exclusion s ~src d
+    | _ -> (s, false)
+  in
+  let s, directives2, transition_effects2 =
+    if all_heard then run_fsm s ~clock GC.All_new_members_heard
+    else (s, [], [])
+  in
+  (* execute the remaining directives *)
+  let s, directive_effects =
+    List.fold_left
+      (fun acc dir ->
+        match dir with GC.Adopt_decision -> acc | _ -> exec_directive acc ~clock dir)
+      (s, [])
+      (directives @ directives2)
+  in
+  (* surveillance and decider handover *)
+  let s = realign_surveillance s ~from:src ~ts:d.C.d_ts in
+  let s, decider_effects =
+    match CS.kind_of s.creator with
+    | CS.KFailure_free
+      when member_of_current_group s
+           && (match Proc_set.successor_in s.group src ~n:s.n with
+              | Some next -> Proc_id.equal next s.self
+              | None -> false) ->
+      become_decider s ~clock
+    | _ -> (s, [])
+  in
+  ( s,
+    transition_effects @ adopt_effects @ transition_effects2
+    @ directive_effects @ decider_effects @ sync_expect_timer s )
+
+let on_no_decision s ~clock ~src (nd : 'u C.no_decision) =
+  let s =
+    {
+      s with
+      peer_views =
+        Pmap.add src
+          { pv_ts = nd.C.nd_ts; pv_view = nd.C.nd_view; pv_dpd = nd.C.nd_dpd }
+          s.peer_views;
+    }
+  in
+  (* a no-decision about a process that is no longer (or not yet) in our
+     group is from an already-settled election: record the view above,
+     but do not re-open the suspicion *)
+  if s.group_id >= 0 && not (Proc_set.mem nd.C.nd_suspect s.group) then
+    (s, [])
+  else
+  let concur =
+    not (FD.heard_after s.fd nd.C.nd_suspect ~since:nd.C.nd_since)
+  in
+  let from_ring_predecessor =
+    match Proc_set.predecessor_in s.group s.self ~n:s.n with
+    | Some pred -> Proc_id.equal pred src
+    | None -> false
+  in
+  let s = realign_surveillance s ~from:src ~ts:nd.C.nd_ts in
+  let s, directives, transition_effects =
+    run_fsm s ~clock
+      (GC.Nd_received
+         {
+           from = src;
+           suspect = nd.C.nd_suspect;
+           since = nd.C.nd_since;
+           concur;
+           from_ring_predecessor;
+         })
+  in
+  let s, directive_effects =
+    List.fold_left (fun acc dir -> exec_directive acc ~clock dir) (s, [])
+      directives
+  in
+  (s, transition_effects @ directive_effects @ sync_expect_timer s)
+
+let on_join_msg s ~src (j : C.join) =
+  let s =
+    {
+      s with
+      join_msgs =
+        Pmap.add src { ji_ts = j.C.j_ts; ji_list = j.C.j_list } s.join_msgs;
+    }
+  in
+  (s, [])
+
+let on_reconfig s ~clock ~src (r : 'u C.reconfig) =
+  let s =
+    {
+      s with
+      peer_views =
+        Pmap.add src
+          { pv_ts = r.C.r_ts; pv_view = r.C.r_view; pv_dpd = r.C.r_dpd }
+          s.peer_views;
+      reconfig_msgs =
+        Pmap.add src
+          {
+            rc_ts = r.C.r_ts;
+            rc_list = r.C.r_list;
+            rc_last_decision_ts = r.C.r_last_decision_ts;
+          }
+          s.reconfig_msgs;
+    }
+  in
+  let from_expected = FD.satisfied_by s.fd ~from:src ~ts:r.C.r_ts in
+  let s, directives, transition_effects =
+    run_fsm s ~clock (GC.Reconfig_received { from_expected })
+  in
+  let s, directive_effects =
+    List.fold_left (fun acc dir -> exec_directive acc ~clock dir) (s, [])
+      directives
+  in
+  (s, transition_effects @ directive_effects @ sync_expect_timer s)
+
+let on_state_transfer s ~clock ~src (st : ('u, 'app) C.state_transfer) =
+  if CS.kind_of s.creator <> CS.KJoin then (s, [])
+  else if not (Proc_set.mem s.self st.C.st_group) then (s, [])
+  else if not (Proc_set.is_majority st.C.st_group ~n:s.n) then (s, [])
+  else if st.C.st_group_id < s.group_id then (s, [])
+  else begin
+    (* adopt the transferred replica state (merging any oal information
+       absorbed while waiting — decisions may have raced the transfer),
+       then fold back any proposals we buffered *)
+    let buffers =
+      List.fold_left
+        (fun buffers p -> fst (Buffers.store buffers p))
+        st.C.st_buffers
+        (Buffers.stored s.buffers)
+    in
+    let s =
+      {
+        s with
+        group = st.C.st_group;
+        group_id = st.C.st_group_id;
+        oal = Oal.merge ~local:st.C.st_oal ~incoming:s.oal;
+        buffers;
+        app = st.C.st_app;
+        pending_new_group = None;
+      }
+    in
+    let transition_effects = fsm_transition s CS.Failure_free in
+    let s = { s with creator = CS.Failure_free } in
+    let s = realign_surveillance s ~from:src ~ts:st.C.st_ts in
+    (* the decision that integrated us also advanced the decider role:
+       when we are the integrator's group successor, the role is ours *)
+    let s, decider_effects =
+      match Proc_set.successor_in s.group src ~n:s.n with
+      | Some next when Proc_id.equal next s.self -> become_decider s ~clock
+      | Some _ | None -> (s, [])
+    in
+    let s, deliver_effects = deliver s ~clock in
+    ( s,
+      transition_effects
+      @ [
+          Engine.Observe
+            (View_installed { group = s.group; group_id = s.group_id });
+        ]
+      @ decider_effects @ deliver_effects @ sync_expect_timer s )
+  end
+
+(* ------------------------------------------------------------------ *)
+(* slotted protocols: join and reconfiguration                         *)
+
+let fresh_within s ~clock ~ts ~slots =
+  Slots.in_last_k_slots (params s) ~now:clock ~sent_at:ts ~k:slots
+
+let join_list_of s ~clock =
+  Pmap.fold
+    (fun p { ji_ts; _ } acc ->
+      if fresh_within s ~clock ~ts:ji_ts ~slots:(s.n - 1) then
+        Proc_set.add p acc
+      else acc)
+    s.join_msgs
+    (Proc_set.singleton s.self)
+
+let reconfig_list_of s ~clock =
+  Pmap.fold
+    (fun p { rc_ts; _ } acc ->
+      if fresh_within s ~clock ~ts:rc_ts ~slots:(s.n - 1) then
+        Proc_set.add p acc
+      else acc)
+    s.reconfig_msgs
+    (Proc_set.singleton s.self)
+
+(* Initial group formation (Section 4.2): at system start, a process
+   becomes the first decider when a majority sent join messages, each in
+   its own latest slot, all carrying exactly this process's join-list. *)
+let try_initial_create s ~clock =
+  if s.group_id >= 0 then None
+  else begin
+    let jl = join_list_of s ~clock in
+    let ok =
+      Proc_set.is_majority jl ~n:s.n
+      && Proc_set.for_all
+           (fun p ->
+             Proc_id.equal p s.self
+             ||
+             match Pmap.find_opt p s.join_msgs with
+             | Some { ji_ts; ji_list } ->
+               Slots.was_own_latest_slot (params s) ~sender:p ~sent_at:ji_ts
+                 ~now:clock
+               && Proc_set.equal ji_list jl
+             | None -> false)
+           jl
+    in
+    if ok then Some jl else None
+  end
+
+let create_initial_group s ~clock ~group =
+  let group_id = 0 in
+  let oal, _ = Oal.append_membership s.oal ~group ~group_id in
+  let s = { s with oal; group; group_id } in
+  let transition_effects = fsm_transition s CS.Failure_free in
+  let s = { s with creator = CS.Failure_free } in
+  let ts = clock in
+  let msg =
+    C.Decision
+      { d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
+  in
+  let s = { s with last_decision_ts = ts } in
+  let s, send_effects = send_control s ~ring:true ~ts msg in
+  ( s,
+    transition_effects
+    @ [ Engine.Observe (View_installed { group; group_id }) ]
+    @ send_effects @ sync_expect_timer s )
+
+(* Reconfiguration election (Section 4.2): during its slot, a process in
+   n-failure that proposed the highest decision timestamp creates a new
+   group from a majority S that sent matching reconfiguration messages
+   in their latest slots and belonged to the last group. *)
+let try_reconfig_create s ~clock ~wait_until_slot =
+  let current_slot = Slots.index (params s) clock in
+  if current_slot < wait_until_slot then None
+  else begin
+    let rl = reconfig_list_of s ~clock in
+    let ok =
+      Proc_set.is_majority rl ~n:s.n
+      && s.group_id >= 0
+      && Proc_set.subset rl s.group
+      && Proc_set.for_all
+           (fun p ->
+             Proc_id.equal p s.self
+             ||
+             match Pmap.find_opt p s.reconfig_msgs with
+             | Some { rc_ts; rc_list; rc_last_decision_ts } ->
+               Slots.was_own_latest_slot (params s) ~sender:p ~sent_at:rc_ts
+                 ~now:clock
+               && Proc_set.equal rc_list rl
+               && Time.compare rc_last_decision_ts s.last_decision_ts <= 0
+             | None -> false)
+           rl
+    in
+    if ok then Some rl else None
+  end
+
+let on_slot s ~clock : ('u, 'app) state * ('u, 'app) eff list =
+  let next = Slots.next_own_slot (params s) ~self:s.self ~now:clock in
+  let rearm = Engine.Set_timer { key = timer_slot; at_clock = next } in
+  let s = { s with buffers = Buffers.expire_marks s.buffers ~now:clock } in
+  let s, effects =
+    match s.creator with
+    | CS.Join -> (
+      match try_initial_create s ~clock with
+      | Some group -> create_initial_group s ~clock ~group
+      | None ->
+        let msg =
+          C.Join_msg
+            {
+              j_ts = clock;
+              j_list = join_list_of s ~clock;
+              j_alive = FD.alive_list s.fd ~now:clock;
+            }
+        in
+        let s, send_effects = send_control s ~ring:false ~ts:clock msg in
+        (s, send_effects))
+    | CS.N_failure { wait_until_slot } -> (
+      match try_reconfig_create s ~clock ~wait_until_slot with
+      | Some new_group ->
+        let transition_effects = fsm_transition s CS.Failure_free in
+        let s = { s with creator = CS.Failure_free } in
+        let s, create_effects = create_group s ~clock ~new_group in
+        (s, transition_effects @ create_effects @ sync_expect_timer s)
+      | None ->
+        let current_slot = Slots.index (params s) clock in
+        let list =
+          if current_slot < wait_until_slot then Proc_set.empty
+          else reconfig_list_of s ~clock
+        in
+        let msg = make_reconfig s ~clock ~list in
+        let s, send_effects = send_control s ~ring:false ~ts:clock msg in
+        (s, send_effects))
+    | CS.Failure_free | CS.Wrong_suspicion _ | CS.One_failure_receive _
+    | CS.One_failure_send _ ->
+      (s, [])
+  in
+  (s, rearm :: effects)
+
+let on_expect_timeout s ~clock =
+  match FD.timeout_suspect s.fd ~now:clock with
+  | None -> (s, sync_expect_timer s)
+  | Some suspect when Proc_id.equal suspect s.self ->
+    (* never suspect ourselves: if we were due to send and did not, the
+       other members will exclude us *)
+    let s = { s with fd = FD.suspend s.fd } in
+    (s, sync_expect_timer s)
+  | Some suspect ->
+    let since =
+      match FD.deadline s.fd with
+      | Some dl -> Time.sub dl (Params.fd_timeout (params s))
+      | None -> clock
+    in
+    let suspected_effect = Engine.Observe (Suspected { suspect }) in
+    let s, directives, transition_effects =
+      run_fsm s ~clock (GC.Fd_timeout { suspect; since })
+    in
+    (* unless the FSM suspended the ring, keep watching: the suspect's
+       successor must now produce a control message *)
+    let s =
+      match CS.kind_of s.creator with
+      | CS.KN_failure | CS.KJoin -> s
+      | _ -> (
+        match Proc_set.successor_in s.group suspect ~n:s.n with
+        | Some next -> { s with fd = FD.expect s.fd ~sender:next ~base:clock }
+        | None -> s)
+    in
+    let s, directive_effects =
+      List.fold_left (fun acc dir -> exec_directive acc ~clock dir) (s, [])
+        directives
+    in
+    ( s,
+      (suspected_effect :: transition_effects)
+      @ directive_effects @ sync_expect_timer s )
+
+(* ------------------------------------------------------------------ *)
+(* automaton wiring                                                    *)
+
+let init cfg ~self ~n ~clock ~incarnation:_ =
+  if n <> cfg.params.Params.n then
+    invalid_arg "Member: engine team size differs from Params.n";
+  let s =
+    {
+      cfg;
+      self;
+      n;
+      creator = CS.Join;
+      group = Proc_set.empty;
+      group_id = -1;
+      fd = FD.create cfg.params ~self;
+      oal = Oal.empty;
+      buffers = Buffers.empty;
+      next_seq = 0;
+      last_decision_ts = Time.zero;
+      decider = false;
+      last_control_sent = None;
+      app = cfg.initial_app;
+      join_msgs = Pmap.empty;
+      reconfig_msgs = Pmap.empty;
+      peer_views = Pmap.empty;
+      alive_views = Pmap.empty;
+      pending_new_group = None;
+    }
+  in
+  (* act in the current slot if it is ours, and arm the next one *)
+  if Proc_id.equal (Slots.owner_at cfg.params clock) self then
+    on_slot s ~clock
+  else
+    ( s,
+      [
+        Engine.Set_timer
+          {
+            key = timer_slot;
+            at_clock = Slots.next_own_slot cfg.params ~self ~now:clock;
+          };
+      ] )
+
+let on_receive s ~clock ~src msg =
+  match msg with
+  | C.Submit { semantics; payload } -> on_submit s ~clock ~semantics payload
+  | C.Proposal_msg p | C.Retransmit p -> on_proposal s ~clock p
+  | C.Nack { missing } -> on_nack s ~src missing
+  | C.State_transfer st -> on_state_transfer s ~clock ~src st
+  | C.Decision _ | C.No_decision _ | C.Join_msg _ | C.Reconfig _ -> (
+    match C.control_ts msg with
+    | None -> (s, [])
+    | Some ts -> (
+      let fd, verdict = FD.admit s.fd ~from:src ~ts ~now:clock in
+      match verdict with
+      | FD.Late -> (s, [ Engine.Observe (Late_rejected { from = src }) ])
+      | FD.Stale -> (s, [])
+      | FD.Fresh -> (
+        let s = { s with fd } in
+        let s =
+          match C.alive_of msg with
+          | Some alive ->
+            {
+              s with
+              alive_views =
+                Pmap.add src { ai_ts = ts; ai_alive = alive } s.alive_views;
+            }
+          | None -> s
+        in
+        match msg with
+        | C.Decision d -> on_decision s ~clock ~src d
+        | C.No_decision nd -> on_no_decision s ~clock ~src nd
+        | C.Join_msg j -> on_join_msg s ~src j
+        | C.Reconfig r -> on_reconfig s ~clock ~src r
+        | C.Submit _ | C.Proposal_msg _ | C.Retransmit _ | C.Nack _
+        | C.State_transfer _ ->
+          (s, []))))
+
+let on_timer s ~clock ~key =
+  if key = timer_slot then on_slot s ~clock
+  else if key = timer_expect then on_expect_timeout s ~clock
+  else if key = timer_decide then begin
+    if s.decider && CS.kind_of s.creator = CS.KFailure_free then
+      send_decision s ~clock
+    else (s, [])
+  end
+  else (s, [])
+
+let automaton cfg =
+  {
+    Engine.name = "timewheel-member";
+    init = (fun ~self ~n ~clock ~incarnation -> init cfg ~self ~n ~clock ~incarnation);
+    on_receive;
+    on_timer;
+  }

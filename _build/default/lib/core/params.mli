@@ -1,0 +1,72 @@
+(** Protocol parameters.
+
+    The timed asynchronous model and the protocol are parameterized by
+    a handful of bounds (paper, Sections 2 and 4.2):
+
+    - [n]: team size (N in the paper);
+    - [delta]: one-way time-out delay of the datagram service;
+    - [sigma]: maximum timely scheduling delay;
+    - [epsilon]: maximum deviation between synchronized clocks;
+    - [d]: the maximum interval after which a decider sends its
+      decision message (D in the paper);
+    - [slot_len]: length of a time slot, which "has to be at least
+      D + delta" (Section 4.2);
+    - [timed_delay]: delivery delay for [Timed]-ordered updates.
+
+    All times are on the synchronized clock time base. *)
+
+open Tasim
+
+type t = private {
+  n : int;
+  delta : Time.t;
+  sigma : Time.t;
+  epsilon : Time.t;
+  d : Time.t;
+  slot_len : Time.t;
+  timed_delay : Time.t;
+  eager_decisions : bool;
+      (** when true a decider with unordered proposals pending sends its
+          decision early instead of waiting the full D *)
+  single_failure_election : bool;
+      (** the paper's fast path: the no-decision ring for single
+          failures. Disabling it (ablation A3) routes every suspicion
+          through the slotted reconfiguration election *)
+}
+
+val make :
+  ?delta:Time.t ->
+  ?sigma:Time.t ->
+  ?epsilon:Time.t ->
+  ?d:Time.t ->
+  ?slot_len:Time.t ->
+  ?timed_delay:Time.t ->
+  ?eager_decisions:bool ->
+  ?single_failure_election:bool ->
+  n:int ->
+  unit ->
+  t
+(** Defaults: delta = 10ms, sigma = 1ms, epsilon = 2ms, d = 30ms,
+    slot_len = d + delta, timed_delay = 200ms, eager_decisions = false,
+    single_failure_election = true. Raises [Invalid_argument] when
+    [n < 2], [slot_len < d + delta], or any bound is non-positive. *)
+
+val cycle : t -> Time.t
+(** [n * slot_len]: the length of one cycle of the slotted time base. *)
+
+val fd_timeout : t -> Time.t
+(** [2 * d]: the failure detector's surveillance deadline increment. *)
+
+val alive_window : t -> Time.t
+(** [n * slot_len]: a process is on the alive-list when heard from
+    within the last N slots (Section 4.2). *)
+
+val late_bound : t -> Time.t
+(** [delta + epsilon + sigma]: a control message whose apparent one-way
+    delay on the synchronized time base exceeds this is late and must
+    be rejected (fail-awareness). *)
+
+val majority : t -> int
+(** Smallest cardinality that is a majority of [n]. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/eventloop/threaded.ml: Condition Hashtbl Mutex Queue Thread

@@ -1,0 +1,1 @@
+lib/eventloop/threaded.mli:

@@ -1,0 +1,1 @@
+lib/eventloop/timer_wheel.ml: Array Hashtbl List

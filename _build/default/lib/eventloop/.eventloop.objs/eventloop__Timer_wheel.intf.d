@@ -1,0 +1,1 @@
+lib/eventloop/timer_wheel.mli:

@@ -1,0 +1,43 @@
+type 'e t = {
+  queue : (int * 'e) Queue.t;
+  handlers : (int, 'e -> unit) Hashtbl.t;
+  mutable dispatched : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity_hint = 64) () =
+  {
+    queue = Queue.create ();
+    handlers = Hashtbl.create capacity_hint;
+    dispatched = 0;
+    dropped = 0;
+  }
+
+let register t ~kind handler = Hashtbl.replace t.handlers kind handler
+let unregister t ~kind = Hashtbl.remove t.handlers kind
+let post t ~kind payload = Queue.add (kind, payload) t.queue
+
+let dispatch t kind payload =
+  match Hashtbl.find_opt t.handlers kind with
+  | Some handler ->
+    t.dispatched <- t.dispatched + 1;
+    handler payload
+  | None -> t.dropped <- t.dropped + 1
+
+let run_one t =
+  match Queue.take_opt t.queue with
+  | None -> false
+  | Some (kind, payload) ->
+    dispatch t kind payload;
+    true
+
+let run_pending t =
+  let count = ref 0 in
+  while run_one t do
+    incr count
+  done;
+  !count
+
+let queue_length t = Queue.length t.queue
+let dispatched t = t.dispatched
+let dropped t = t.dropped

@@ -1,0 +1,42 @@
+(** Single-threaded event demultiplexer (the paper's chosen technique).
+
+    Section 5: "we first implemented an event handler that allows a
+    client to wait for multiple concurrent events: the client can define
+    for each event a procedure that processes that event. As soon as an
+    event occurs, the event handler calls the appropriate procedure ...
+    At any time, at most one event is processed and therefore no
+    explicit synchronization between procedures ... is required."
+
+    A dispatcher owns a FIFO of posted events and a per-event-type
+    handler table. ['e] is the event payload type; event types are
+    small integer kinds chosen by the client. *)
+
+type 'e t
+
+val create : ?capacity_hint:int -> unit -> 'e t
+
+val register : 'e t -> kind:int -> ('e -> unit) -> unit
+(** Define the procedure for one event kind. Registering a kind twice
+    replaces the handler. *)
+
+val unregister : 'e t -> kind:int -> unit
+
+val post : 'e t -> kind:int -> 'e -> unit
+(** Enqueue an occurrence of an event. O(1). *)
+
+val run_pending : 'e t -> int
+(** Dispatch queued events in FIFO order — including events posted by
+    handlers while draining — until the queue is empty. Returns the
+    number of events dispatched. Events whose kind has no handler are
+    counted in [dropped]. *)
+
+val run_one : 'e t -> bool
+(** Dispatch at most one event; [false] when the queue was empty. *)
+
+val queue_length : 'e t -> int
+val dispatched : 'e t -> int
+(** Total events dispatched to a handler over the dispatcher's life. *)
+
+val dropped : 'e t -> int
+(** Total events posted for kinds that had no handler at dispatch
+    time. *)

@@ -1,0 +1,38 @@
+(** Thread-based event processing (the technique the paper rejected).
+
+    Section 5 reports that an initial thread-based implementation — one
+    thread per event type, explicitly scheduled to avoid races — had
+    significant overhead. This module reproduces that architecture so
+    experiment E6 can compare it against {!Dispatcher}:
+
+    - one worker thread per registered event kind, each with its own
+      queue;
+    - a global exclusion token ("explicit scheduling"): at most one
+      handler runs at a time, and after each event the token is handed
+      to the next non-empty queue, so every event pays a
+      wakeup/context-switch round trip.
+
+    The interface mirrors {!Dispatcher} where it can. All public
+    functions except the handlers themselves must be called from the
+    owner thread. *)
+
+type 'e t
+
+val create : unit -> 'e t
+
+val register : 'e t -> kind:int -> ('e -> unit) -> unit
+(** Spawn the worker thread for one event kind. Must not be called
+    after [shutdown]. Registering the same kind twice is an error. *)
+
+val post : 'e t -> kind:int -> 'e -> unit
+(** Enqueue an occurrence; raises [Invalid_argument] on an unknown
+    kind. *)
+
+val drain : 'e t -> unit
+(** Block until every queued event has been processed. *)
+
+val dispatched : 'e t -> int
+
+val shutdown : 'e t -> unit
+(** Drain, stop and join all worker threads. The value must not be
+    used afterwards. *)

@@ -1,0 +1,89 @@
+type timer_id = int
+
+type timer = {
+  id : timer_id;
+  expiry_tick : int;
+  callback : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  tick : int;
+  wheel_size : int;
+  buckets : timer list ref array; (* unordered; filtered at fire time *)
+  by_id : (timer_id, timer) Hashtbl.t;
+  mutable current_tick : int;
+  mutable next_id : int;
+  mutable pending : int;
+}
+
+let create ?(wheel_size = 256) ~tick () =
+  if tick <= 0 then invalid_arg "Timer_wheel.create: tick must be positive";
+  {
+    tick;
+    wheel_size;
+    buckets = Array.init wheel_size (fun _ -> ref []);
+    by_id = Hashtbl.create 64;
+    current_tick = 0;
+    next_id = 0;
+    pending = 0;
+  }
+
+let now t = t.current_tick * t.tick
+
+let schedule t ~at callback =
+  let expiry_tick =
+    let raw = (at + t.tick - 1) / t.tick in
+    if raw <= t.current_tick then t.current_tick + 1 else raw
+  in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let timer = { id; expiry_tick; callback; cancelled = false } in
+  let bucket = t.buckets.(expiry_tick mod t.wheel_size) in
+  bucket := timer :: !bucket;
+  Hashtbl.add t.by_id id timer;
+  t.pending <- t.pending + 1;
+  id
+
+let cancel t id =
+  match Hashtbl.find_opt t.by_id id with
+  | None -> false
+  | Some timer ->
+    if timer.cancelled then false
+    else begin
+      timer.cancelled <- true;
+      Hashtbl.remove t.by_id id;
+      t.pending <- t.pending - 1;
+      true
+    end
+
+let fire_bucket t tick =
+  let bucket = t.buckets.(tick mod t.wheel_size) in
+  let due, later =
+    List.partition (fun timer -> timer.expiry_tick = tick) !bucket
+  in
+  bucket := later;
+  (* fire in arming order: the bucket list is LIFO *)
+  let due = List.rev due in
+  let fired = ref 0 in
+  let fire timer =
+    if not timer.cancelled then begin
+      Hashtbl.remove t.by_id timer.id;
+      t.pending <- t.pending - 1;
+      incr fired;
+      timer.callback ()
+    end
+  in
+  List.iter fire due;
+  !fired
+
+let advance t ~to_ =
+  let target_tick = to_ / t.tick in
+  let fired = ref 0 in
+  while t.current_tick < target_tick do
+    t.current_tick <- t.current_tick + 1;
+    fired := !fired + fire_bucket t t.current_tick
+  done;
+  !fired
+
+let pending t = t.pending

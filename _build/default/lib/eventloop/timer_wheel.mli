@@ -1,0 +1,41 @@
+(** Hashed timing wheel.
+
+    The event-based implementation described in Section 5 of the paper
+    must manage a large number of concurrently armed timeouts (one per
+    surveilled group member, plus protocol timers) cheaply. A hashed
+    timing wheel gives O(1) arming and cancellation: time advances in
+    fixed-size ticks over a circular array of buckets, and a timer armed
+    [d] ticks ahead lands in bucket [(current + d) mod size] with a
+    remaining-rounds counter.
+
+    The wheel is driven by logical ticks so it is usable both inside the
+    deterministic simulator and in wall-clock event loops. *)
+
+type t
+
+type timer_id
+(** Handle for cancellation. Ids are never reused by a wheel. *)
+
+val create : ?wheel_size:int -> tick:int -> unit -> t
+(** [tick] is the tick length in arbitrary time units (e.g.
+    microseconds); [wheel_size] is the number of buckets (default
+    256). *)
+
+val now : t -> int
+(** Current wheel time, in the same units as [tick]. *)
+
+val schedule : t -> at:int -> (unit -> unit) -> timer_id
+(** Arm a timer to fire when the wheel reaches time [at] (clamped to
+    the next tick when already past). *)
+
+val cancel : t -> timer_id -> bool
+(** [true] when the timer was still pending. Cancelling an expired or
+    already-cancelled timer returns [false]. *)
+
+val advance : t -> to_:int -> int
+(** Move wheel time forward to [to_], firing every timer whose expiry
+    was reached, in expiry order within each tick. Returns the number
+    of timers fired. Time never moves backwards. *)
+
+val pending : t -> int
+(** Number of armed, not-yet-fired, not-cancelled timers. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Broadcast Fmt List Option Params Proc_id Proc_set Proposal Run Semantics Service Stats Table Tasim Time Timewheel

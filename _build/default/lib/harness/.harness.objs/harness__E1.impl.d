@@ -1,0 +1,1 @@
+lib/harness/e1.ml: Baseline Engine List Params Proc_id Run Service Stats Table Tasim Time Timewheel

@@ -1,0 +1,1 @@
+lib/harness/e1.mli: Table

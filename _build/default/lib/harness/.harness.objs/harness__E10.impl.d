@@ -1,0 +1,1 @@
+lib/harness/e10.ml: Broadcast Fmt List Member Proc_id Proc_set Run Semantics Service Table Tasim Time Timewheel

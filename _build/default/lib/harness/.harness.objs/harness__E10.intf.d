@@ -1,0 +1,1 @@
+lib/harness/e10.mli: Table

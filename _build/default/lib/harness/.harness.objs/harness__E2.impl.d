@@ -1,0 +1,1 @@
+lib/harness/e2.ml: Array Baseline Engine List Member Option Proc_id Proc_set Run Service Stats Table Tasim Time Timewheel

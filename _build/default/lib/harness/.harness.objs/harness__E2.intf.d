@@ -1,0 +1,1 @@
+lib/harness/e2.mli: Table

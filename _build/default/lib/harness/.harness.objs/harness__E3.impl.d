@@ -1,0 +1,1 @@
+lib/harness/e3.ml: Broadcast Control_msg Engine List Member Net Proc_id Proc_set Proposal Run Semantics Service Stats Table Tasim Time Timewheel

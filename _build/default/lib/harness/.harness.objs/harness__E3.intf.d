@@ -1,0 +1,1 @@
+lib/harness/e3.mli: Table

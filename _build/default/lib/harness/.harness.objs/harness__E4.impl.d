@@ -1,0 +1,1 @@
+lib/harness/e4.ml: Array Engine Fmt List Member Option Params Proc_id Proc_set Run Service Stats Table Tasim Time Timewheel

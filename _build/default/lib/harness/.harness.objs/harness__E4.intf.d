@@ -1,0 +1,1 @@
+lib/harness/e4.mli: Table

@@ -1,0 +1,1 @@
+lib/harness/e5.ml: Creator_state Engine Float Fmt Group_creator List Member Proc_id Proc_set Rng Run Service String Table Tasim Time Timewheel

@@ -1,0 +1,1 @@
+lib/harness/e5.mli: Table

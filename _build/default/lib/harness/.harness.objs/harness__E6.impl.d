@@ -1,0 +1,1 @@
+lib/harness/e6.ml: Eventloop List Table Unix

@@ -1,0 +1,1 @@
+lib/harness/e7.ml: Array Clocksync Engine Fmt Hardware_clock List Net Proc_id Rng Table Tasim Time

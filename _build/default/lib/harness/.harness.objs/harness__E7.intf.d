@@ -1,0 +1,1 @@
+lib/harness/e7.mli: Table

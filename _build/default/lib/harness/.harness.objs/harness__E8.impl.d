@@ -1,0 +1,1 @@
+lib/harness/e8.ml: Array Broadcast Engine Fmt Hashtbl List Proc_id Proposal Protocol Semantics Stats Table Tasim Time

@@ -1,0 +1,1 @@
+lib/harness/e8.mli: Table

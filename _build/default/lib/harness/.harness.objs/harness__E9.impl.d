@@ -1,0 +1,1 @@
+lib/harness/e9.ml: Array Clocksync Engine Fmt Full_stack Hardware_clock List Member Net Option Params Proc_id Proc_set Rng Run Stats Table Tasim Time Timewheel

@@ -1,0 +1,1 @@
+lib/harness/e9.mli: Table

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Ablation E1 E10 E2 E3 E4 E5 E6 E7 E8 E9 Fmt List Table

@@ -1,0 +1,1 @@
+lib/harness/run.ml: Engine List Member Net Option Params Proc_id Proc_set Service Stats String Tasim Time Timewheel

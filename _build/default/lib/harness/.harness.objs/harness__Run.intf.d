@@ -1,0 +1,1 @@
+lib/harness/run.mli: Proc_set Service Tasim Time Timewheel

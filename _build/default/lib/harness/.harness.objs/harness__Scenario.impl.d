@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Control_msg Engine List Member Net Option Params Proc_id Proc_set Rng Run Service Tasim Time Timewheel

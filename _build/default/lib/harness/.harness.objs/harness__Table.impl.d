@@ -1,0 +1,1 @@
+lib/harness/table.ml: Buffer Float Fmt List String

@@ -1,0 +1,13 @@
+(** E1 — Failure-free message overhead.
+
+    Paper claim (Sections 1, 4.1): "this protocol does not cause any
+    extra messages to be exchanged during failure-free periods" — the
+    broadcast protocol's decision messages double as the membership
+    heartbeat. The table counts datagrams per second during a
+    failure-free window for the timewheel service (split into
+    membership-specific kinds and broadcast kinds) and for the
+    conventional all-to-all heartbeat baseline at the same surveillance
+    period D. Expected shape: membership-specific traffic is exactly 0;
+    the heartbeat baseline sends ~N times more datagrams. *)
+
+val run : ?quick:bool -> unit -> Table.t list

@@ -1,0 +1,22 @@
+(** E10 — Performance failures.
+
+    Performance failures are what distinguish the timed asynchronous
+    model (paper, Section 2) from both synchronous and time-free
+    models: messages may arrive later than delta and processes may
+    react slower than sigma — without having crashed. The protocol's
+    defenses are fail-aware rejection of late control messages and the
+    wrong-suspicion masking of resulting false alarms; the model's
+    honesty is that under sustained lateness a live member {e may} be
+    excluded (and must re-join).
+
+    We sweep the per-message lateness probability and the per-dispatch
+    slow-scheduling probability during an otherwise failure-free run
+    with a steady workload and count: late-rejected control messages,
+    suspicions raised, suspicions that were masked (no membership
+    change), spurious exclusions of live members, whether the group
+    re-converged to full by the end, and log consistency. Expected
+    shape: suspicions grow with lateness; most are masked; exclusions
+    appear only at high rates and always heal; consistency never
+    breaks. *)
+
+val run : ?quick:bool -> unit -> Table.t list

@@ -1,0 +1,22 @@
+(** E2 — Single-failure recovery latency.
+
+    Paper claim (Sections 1, 4.1): "it uses a very simple and fast
+    algorithm to recover from single failures". One member is crashed;
+    we measure, across seeds, the time from the crash to (a) the first
+    suspicion (failure-detection latency, bounded by 2D plus slack) and
+    (b) every survivor having installed the new agreed view (the
+    no-decision ring, ~one message hop per surviving member). Swept over
+    team size and over which role crashes (the current decider vs an
+    ordinary member), plus the heartbeat/coordinator baseline for
+    comparison. *)
+
+type sample = {
+  n : int;
+  role : string;
+  detect_us : float;
+  recover_us : float;
+  nd_msgs : int;
+}
+
+val samples : ?quick:bool -> unit -> sample list
+val run : ?quick:bool -> unit -> Table.t list

@@ -1,0 +1,14 @@
+(** E3 — False-suspicion masking.
+
+    Paper claim (Sections 1, 4.1): "the group communication service is
+    not interrupted, if a failure suspicion turns out to be a false
+    alarm". A steady update workload runs while a decision message is
+    dropped on its way to the decider's successor only — the successor
+    suspects the decider; everyone else holds the decision, so the
+    wrong-suspicion state masks the alarm. Compared against an
+    undisturbed run and against the lost-to-everyone case (where the
+    timed model permits excluding the live member). Measured: membership
+    changes after formation, delivery latency, and the longest gap in
+    the delivery stream. *)
+
+val run : ?quick:bool -> unit -> Table.t list

@@ -1,0 +1,11 @@
+(** E4 — Multiple-failure reconfiguration.
+
+    Paper claim (Section 4.2): when more than one failure hits a cycle,
+    the time-slotted reconfiguration election takes over, a process
+    abstains for N-1 slots after entering n-failure, "and a new decider
+    is typically elected in two rounds". We crash f members
+    simultaneously (including the adversarial decider-plus-successor
+    case) and measure the time until all survivors agree on the new
+    group, reported in milliseconds and in cycles (N * slot_len). *)
+
+val run : ?quick:bool -> unit -> Table.t list

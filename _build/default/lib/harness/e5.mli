@@ -1,0 +1,19 @@
+(** E5 — Timed specification and Figure 2 conformance.
+
+    Two artifacts:
+
+    + A behavioural regeneration of the paper's Figure 2: the
+      group-creator transition function is driven through every (state,
+      event-class) pair and the resulting state matrix is printed —
+      matching the published diagram edge for edge.
+    + A randomized check of the Section 3 properties: across seeds with
+      random crash/recovery/loss schedules, (2) any two up-to-date
+      groups at the same time are identical, (5) every installed group
+      holds a majority, and (1)/(3)/(4) all sigma-stable survivors
+      converge to an up-to-date common group within a bounded Delta of
+      fault quiescence — the maximum observed Delta is reported. *)
+
+val run : ?quick:bool -> unit -> Table.t list
+
+val transition_matrix : unit -> Table.t
+(** The Fig. 2 matrix alone (also used by the conformance test). *)

@@ -1,0 +1,69 @@
+let handler_work = ref 0
+
+let handler payload =
+  (* a small, fixed amount of work per event *)
+  handler_work := !handler_work + payload
+
+let time_ns f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let t1 = Unix.gettimeofday () in
+  (t1 -. t0) *. 1e9
+
+let event_based ~kinds ~events =
+  let d = Eventloop.Dispatcher.create () in
+  for k = 0 to kinds - 1 do
+    Eventloop.Dispatcher.register d ~kind:k handler
+  done;
+  let ns =
+    time_ns (fun () ->
+        for i = 0 to events - 1 do
+          Eventloop.Dispatcher.post d ~kind:(i mod kinds) i;
+          (* dispatch as we go, like a live event loop *)
+          if i mod 64 = 63 then ignore (Eventloop.Dispatcher.run_pending d)
+        done;
+        ignore (Eventloop.Dispatcher.run_pending d))
+  in
+  assert (Eventloop.Dispatcher.dispatched d = events);
+  ns /. float_of_int events
+
+let thread_based ~kinds ~events =
+  let d = Eventloop.Threaded.create () in
+  for k = 0 to kinds - 1 do
+    Eventloop.Threaded.register d ~kind:k handler
+  done;
+  let ns =
+    time_ns (fun () ->
+        for i = 0 to events - 1 do
+          Eventloop.Threaded.post d ~kind:(i mod kinds) i
+        done;
+        Eventloop.Threaded.drain d)
+  in
+  assert (Eventloop.Threaded.dispatched d = events);
+  Eventloop.Threaded.shutdown d;
+  ns /. float_of_int events
+
+let run ?(quick = false) () =
+  let events = if quick then 20_000 else 200_000 in
+  let table =
+    Table.create ~title:"E6: event-based vs thread-based dispatch"
+      ~columns:
+        [ "event kinds"; "events"; "event-based ns/ev"; "threads ns/ev"; "thread/event ratio" ]
+  in
+  List.iter
+    (fun kinds ->
+      let ev = event_based ~kinds ~events in
+      let th = thread_based ~kinds ~events in
+      Table.add_row table
+        [
+          string_of_int kinds;
+          string_of_int events;
+          Table.cell_f ev;
+          Table.cell_f th;
+          Table.cell_f (th /. ev);
+        ])
+    (if quick then [ 16 ] else [ 4; 16; 64 ]);
+  Table.note table
+    "thread version: one worker thread per event kind, serialized by a \
+     handover token as in the paper's rejected design";
+  [ table ]

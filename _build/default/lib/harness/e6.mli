@@ -1,0 +1,14 @@
+(** E6 — Event-based vs thread-based dispatch.
+
+    Paper, Section 5: "An initial thread-based implementation indicated
+    that there is significant performance overhead associated with
+    using threads ... We chose an event-based implementation". The
+    companion paper [22] quantifies it. We run the same workload — M
+    events spread round-robin over K event kinds, each handler doing a
+    small fixed amount of work — through the single-threaded
+    {!Eventloop.Dispatcher} and the worker-thread-per-event-kind
+    {!Eventloop.Threaded} and report wall-clock ns/event. Expected
+    shape: the event-based dispatcher wins by a large factor (the
+    thread version pays a wakeup/handover per event). *)
+
+val run : ?quick:bool -> unit -> Table.t list

@@ -1,0 +1,15 @@
+(** E7 — Fail-aware clock synchronization validation.
+
+    The membership protocol consumes the interface of the fail-aware
+    clock synchronization service [15]: whenever a process claims to be
+    synchronized, its clock deviates from any other synchronized clock
+    by at most epsilon — and the process {e knows} when it cannot claim
+    that. The real {!Clocksync.Protocol} runs over increasingly lossy
+    networks; at sampling instants we measure the worst pairwise
+    deviation among processes that claim synchronization and the
+    fraction of time processes hold the claim. Expected shape: the
+    deviation bound holds at every loss rate (fail-awareness trades
+    availability, not correctness), while availability degrades with
+    loss. *)
+
+val run : ?quick:bool -> unit -> Table.t list

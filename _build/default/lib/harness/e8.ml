@@ -1,0 +1,107 @@
+open Tasim
+open Broadcast
+
+let one_semantics ~seed ~semantics ~updates =
+  let n = 5 in
+  let cfg = Protocol.default_config in
+  let engine_config = { Engine.default_config with Engine.seed } in
+  let engine = Engine.create engine_config ~n in
+  Engine.classify engine Protocol.kind_of_msg;
+  let submit_times : (Proposal.id, Time.t) Hashtbl.t = Hashtbl.create 64 in
+  let deliveries : (Proposal.id, (Proc_id.t * Time.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let stable_times : (Proposal.id, Time.t) Hashtbl.t = Hashtbl.create 64 in
+  Engine.on_observe engine (fun at proc obs ->
+      match obs with
+      | Protocol.Delivered { proposal; _ } ->
+        let id = proposal.Proposal.id in
+        let prev = try Hashtbl.find deliveries id with Not_found -> [] in
+        Hashtbl.replace deliveries id ((proc, at) :: prev)
+      | Protocol.Stable { proposal_id; _ } ->
+        if not (Hashtbl.mem stable_times proposal_id) then
+          Hashtbl.add stable_times proposal_id at
+      | Protocol.Became_decider -> ());
+  let automaton = Protocol.automaton cfg in
+  List.iter
+    (fun id ->
+      Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n);
+  (* submissions every 25 ms from rotating proposers *)
+  let seqs = Array.make n 0 in
+  for i = 0 to updates - 1 do
+    let origin = i mod n in
+    let at = Time.add (Time.of_ms 100) (Time.of_ms (25 * i)) in
+    let id = { Proposal.origin = Proc_id.of_int origin; seq = seqs.(origin) } in
+    seqs.(origin) <- seqs.(origin) + 1;
+    Hashtbl.add submit_times id at;
+    Engine.inject_at engine at
+      (Proc_id.of_int origin)
+      (Protocol.Submit { semantics; payload = i })
+  done;
+  Engine.run engine
+    ~until:(Time.add (Time.of_ms (100 + (25 * updates))) (Time.of_sec 3));
+  (* measurements *)
+  let all_lat = ref [] in
+  let stab_lat = ref [] in
+  let complete = ref 0 in
+  Hashtbl.iter
+    (fun id submit ->
+      match Hashtbl.find_opt deliveries id with
+      | Some ds when List.length ds = n ->
+        incr complete;
+        let last =
+          List.fold_left (fun acc (_, at) -> Time.max acc at) Time.zero ds
+        in
+        all_lat := float_of_int (Time.sub last submit) :: !all_lat;
+        (match Hashtbl.find_opt stable_times id with
+        | Some st ->
+          stab_lat := float_of_int (Time.sub st submit) :: !stab_lat
+        | None -> ())
+      | Some _ | None -> ())
+    submit_times;
+  ( !complete,
+    updates,
+    Stats.summarize (Array.of_list !all_lat),
+    Stats.summarize (Array.of_list !stab_lat) )
+
+let run ?(quick = false) () =
+  let updates = if quick then 20 else 80 in
+  let table =
+    Table.create
+      ~title:"E8: broadcast semantics cost (N=5, failure-free, D=30ms)"
+      ~columns:
+        [
+          "semantics";
+          "delivered everywhere";
+          "deliver p50";
+          "deliver p95";
+          "stable p50";
+        ]
+  in
+  List.iter
+    (fun semantics ->
+      let complete, total, lat, stab =
+        one_semantics ~seed:61 ~semantics ~updates
+      in
+      let cell = function
+        | Some s -> Table.cell_ms s.Stats.p50
+        | None -> "-"
+      in
+      let cell95 = function
+        | Some s -> Table.cell_ms s.Stats.p95
+        | None -> "-"
+      in
+      Table.add_row table
+        [
+          Fmt.str "%a" Semantics.pp semantics;
+          Fmt.str "%d/%d" complete total;
+          cell lat;
+          cell95 lat;
+          cell stab;
+        ])
+    Semantics.all;
+  Table.note table
+    "delivery at ALL five members; stability = acknowledged by every \
+     member via the rotating decision's oal (~one cycle = 150ms)";
+  [ table ]

@@ -1,0 +1,14 @@
+(** E8 — Broadcast semantics cost matrix.
+
+    The timewheel service supports three ordering and three atomicity
+    semantics simultaneously (paper, Section 1); stronger semantics
+    trade delivery latency for guarantees. Over the standalone broadcast
+    substrate (static group, failure-free — the regime the semantics
+    are priced in), each of the nine combinations carries a stream of
+    updates; we report the time from proposal to delivery at all
+    members and the time to stability. Expected shape: weak < strong <
+    strict in latency; unordered <= total; timed is dominated by its
+    fixed delivery delay; stability always takes about one decider
+    cycle. *)
+
+val run : ?quick:bool -> unit -> Table.t list

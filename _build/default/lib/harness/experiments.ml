@@ -1,0 +1,29 @@
+type t = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> Table.t list;
+}
+
+let all =
+  [
+    { id = "e1"; title = "failure-free message overhead"; run = E1.run };
+    { id = "e2"; title = "single-failure recovery latency"; run = E2.run };
+    { id = "e3"; title = "false-suspicion masking"; run = E3.run };
+    { id = "e4"; title = "multi-failure reconfiguration"; run = E4.run };
+    { id = "e5"; title = "timed spec + Fig.2 conformance"; run = E5.run };
+    { id = "e6"; title = "event-based vs thread-based dispatch"; run = E6.run };
+    { id = "e7"; title = "fail-aware clock synchronization"; run = E7.run };
+    { id = "e8"; title = "broadcast semantics cost"; run = E8.run };
+    { id = "e9"; title = "full Fig.1 stack over real clock sync"; run = E9.run };
+    { id = "e10"; title = "performance failures"; run = E10.run };
+    { id = "ablate"; title = "design-choice ablations (A1-A3)"; run = Ablation.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ?quick () =
+  List.iter
+    (fun e ->
+      Fmt.pr "@.=== %s: %s ===@.@." e.id e.title;
+      List.iter Table.print (e.run ?quick ()))
+    all

@@ -1,0 +1,14 @@
+(** Experiment registry: maps experiment ids to runners.
+
+    Shared by [bench/main.exe] and the [timewheel-sim] CLI. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : ?quick:bool -> unit -> Table.t list;
+}
+
+val all : t list
+val find : string -> t option
+val run_all : ?quick:bool -> unit -> unit
+(** Run every experiment and print its tables to stdout. *)

@@ -1,0 +1,38 @@
+(** Named fault scenarios.
+
+    One catalogue of canned fault injections, shared by the
+    [timewheel-sim] CLI, the integration tests and ad-hoc exploration.
+    A scenario is a function that arms its faults on a settled service
+    relative to a base time; the service then just runs. *)
+
+open Tasim
+
+type t = {
+  name : string;
+  doc : string;
+  expected_outcome : string;
+      (** one line describing what a correct run looks like *)
+  inject : Run.svc -> Time.t -> unit;
+      (** arm the scenario's faults; the base time is "now", i.e. just
+          after group formation *)
+}
+
+val all : t list
+val find : string -> t option
+
+val names : unit -> string list
+
+(** The catalogue:
+
+    - ["steady"]: failure-free run.
+    - ["crash"]: crash one member 1s in (single-failure election).
+    - ["crash-recover"]: crash one member, recover it 2s later (join +
+      state transfer).
+    - ["crash-decider"]: crash whoever holds the decider role 1s in.
+    - ["double-crash"]: crash two members simultaneously
+      (reconfiguration election).
+    - ["partition"]: majority/minority split for 3s, then heal.
+    - ["false-suspicion"]: drop one decision to the decider's successor
+      only (masked alarm, no membership change).
+    - ["lossy"]: 5% message omission throughout.
+    - ["churn"]: a rolling wave of crash/recover across the team. *)

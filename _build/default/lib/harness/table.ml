@@ -1,0 +1,61 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* newest first *)
+  mutable notes : string list; (* newest first *)
+}
+
+let create ~title ~columns = { title; columns; rows = []; notes = [] }
+let add_row t row = t.rows <- row :: t.rows
+let add_rows t rows = List.iter (add_row t) rows
+let note t line = t.notes <- line :: t.notes
+
+let cell_f v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1000.0 then Fmt.str "%.0f" v
+  else if Float.abs v >= 10.0 then Fmt.str "%.1f" v
+  else Fmt.str "%.2f" v
+
+let cell_ms us = cell_f (us /. 1000.0) ^ "ms"
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad cell w = cell ^ String.make (max 0 (w - String.length cell)) ' ' in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i w ->
+          let cell = match List.nth_opt row i with Some c -> c | None -> "" in
+          pad cell w)
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let sep =
+    "|"
+    ^ String.concat "|"
+        (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("## " ^ t.title ^ "\n\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  List.iter
+    (fun n -> Buffer.add_string buf ("  note: " ^ n ^ "\n"))
+    (List.rev t.notes);
+  Buffer.contents buf
+
+let print t = print_string (render t ^ "\n")

@@ -1,0 +1,23 @@
+(** Plain-text result tables.
+
+    Every experiment renders one or more tables in the shape the paper's
+    evaluation would have reported them; EXPERIMENTS.md quotes these
+    verbatim. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+val add_row : t -> string list -> unit
+val add_rows : t -> string list list -> unit
+
+val cell_f : float -> string
+(** Format a float with sensible precision. *)
+
+val cell_ms : float -> string
+(** Format a microseconds value as milliseconds. *)
+
+val note : t -> string -> unit
+(** Attach a footnote line printed under the table. *)
+
+val render : t -> string
+val print : t -> unit

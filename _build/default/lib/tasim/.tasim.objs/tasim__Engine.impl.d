@@ -1,0 +1,1 @@
+lib/tasim/engine.ml: Array Fmt Hardware_clock Hashtbl Heap List Logs Net Proc_id Rng Stats Time Trace

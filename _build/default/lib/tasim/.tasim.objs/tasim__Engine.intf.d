@@ -1,0 +1,1 @@
+lib/tasim/engine.mli: Hardware_clock Net Proc_id Proc_set Rng Stats Time Trace

@@ -1,0 +1,1 @@
+lib/tasim/hardware_clock.mli: Fmt Rng Time

@@ -1,0 +1,1 @@
+lib/tasim/heap.ml: Array List Time

@@ -1,0 +1,1 @@
+lib/tasim/heap.mli: Time

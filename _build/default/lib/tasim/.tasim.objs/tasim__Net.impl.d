@@ -1,0 +1,1 @@
+lib/tasim/net.ml: List Proc_id Proc_set Rng Time

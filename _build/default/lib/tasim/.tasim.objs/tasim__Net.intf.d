@@ -1,0 +1,1 @@
+lib/tasim/net.mli: Proc_id Proc_set Rng Time

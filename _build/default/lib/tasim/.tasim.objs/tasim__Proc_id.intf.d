@@ -1,0 +1,1 @@
+lib/tasim/proc_id.mli: Fmt

@@ -1,0 +1,1 @@
+lib/tasim/proc_set.ml: Fmt Proc_id Set

@@ -1,0 +1,1 @@
+lib/tasim/proc_set.mli: Fmt Proc_id

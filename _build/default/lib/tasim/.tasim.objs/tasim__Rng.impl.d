@@ -1,0 +1,1 @@
+lib/tasim/rng.ml: Array Int64 Time

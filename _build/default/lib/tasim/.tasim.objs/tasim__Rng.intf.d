@@ -1,0 +1,1 @@
+lib/tasim/rng.mli: Time

@@ -1,0 +1,1 @@
+lib/tasim/stats.ml: Array Float Fmt Hashtbl List Stdlib String Time

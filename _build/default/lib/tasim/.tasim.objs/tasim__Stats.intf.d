@@ -1,0 +1,1 @@
+lib/tasim/stats.mli: Fmt Time

@@ -1,0 +1,1 @@
+lib/tasim/time.ml: Fmt Int Stdlib

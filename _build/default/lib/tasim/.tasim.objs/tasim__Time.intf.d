@@ -1,0 +1,1 @@
+lib/tasim/time.mli: Fmt

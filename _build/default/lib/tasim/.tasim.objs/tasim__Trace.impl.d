@@ -1,0 +1,1 @@
+lib/tasim/trace.ml: Fmt List Proc_id Queue String Time

@@ -1,0 +1,1 @@
+lib/tasim/trace.mli: Fmt Proc_id Time

@@ -1,0 +1,311 @@
+let src = Logs.Src.create "tasim.engine" ~doc:"timed asynchronous simulator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type clock_source = {
+  reading : real:Time.t -> Time.t;
+  real_of : clock:Time.t -> Time.t;
+}
+
+let clock_source_of_hardware hc =
+  {
+    reading = (fun ~real -> Hardware_clock.reading hc ~real);
+    real_of = (fun ~clock -> Hardware_clock.real_of_reading hc ~clock);
+  }
+
+let ideal_clock =
+  { reading = (fun ~real -> real); real_of = (fun ~clock -> clock) }
+
+type ('m, 'obs) effect =
+  | Send of Proc_id.t * 'm
+  | Broadcast of 'm
+  | Set_timer of { key : int; at_clock : Time.t }
+  | Cancel_timer of int
+  | Observe of 'obs
+  | Log of string
+
+type ('s, 'm, 'obs) automaton = {
+  name : string;
+  init :
+    self:Proc_id.t ->
+    n:int ->
+    clock:Time.t ->
+    incarnation:int ->
+    's * ('m, 'obs) effect list;
+  on_receive :
+    's -> clock:Time.t -> src:Proc_id.t -> 'm -> 's * ('m, 'obs) effect list;
+  on_timer : 's -> clock:Time.t -> key:int -> 's * ('m, 'obs) effect list;
+}
+
+type config = {
+  net : Net.config;
+  sigma : Time.t;
+  sched_min : Time.t;
+  slow_prob : float;
+  slow_delay_max : Time.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    net = Net.default_config;
+    sigma = Time.of_ms 1;
+    sched_min = Time.of_us 10;
+    slow_prob = 0.0;
+    slow_delay_max = Time.of_ms 20;
+    seed = 42;
+  }
+
+type ('s, 'm, 'obs) process = {
+  id : Proc_id.t;
+  automaton : ('s, 'm, 'obs) automaton;
+  clock : clock_source;
+  mutable state : 's option; (* None while crashed or not yet started *)
+  mutable incarnation : int;
+  mutable up : bool;
+  mutable started : bool;
+  timer_gens : (int, int) Hashtbl.t; (* timer key -> current generation *)
+}
+
+type ('s, 'm, 'obs) event =
+  | Ev_deliver of { dst : Proc_id.t; src : Proc_id.t; msg : 'm }
+  | Ev_timer of { proc : Proc_id.t; key : int; gen : int; inc : int }
+  | Ev_start of Proc_id.t
+  | Ev_action of (unit -> unit)
+
+type ('s, 'm, 'obs) t = {
+  cfg : config;
+  n : int;
+  queue : ('s, 'm, 'obs) event Heap.t;
+  net : 'm Net.t;
+  procs : ('s, 'm, 'obs) process option array;
+  stats : Stats.t;
+  sched_rng : Rng.t;
+  workload_rng : Rng.t;
+  mutable now : Time.t;
+  mutable classifier : ('m -> string) option;
+  mutable probes : (Time.t -> Proc_id.t -> 'obs -> unit) list;
+  mutable trace : Trace.t option;
+  mutable stopping : bool;
+}
+
+let create cfg ~n =
+  let root = Rng.create cfg.seed in
+  let net_rng = Rng.split root in
+  let sched_rng = Rng.split root in
+  let workload_rng = Rng.split root in
+  {
+    cfg;
+    n;
+    queue = Heap.create ();
+    net = Net.create cfg.net net_rng;
+    procs = Array.make n None;
+    stats = Stats.create ();
+    sched_rng;
+    workload_rng;
+    now = Time.zero;
+    classifier = None;
+    probes = [];
+    trace = None;
+    stopping = false;
+  }
+
+let n t = t.n
+let now t = t.now
+let net t = t.net
+let stats t = t.stats
+let rng t = t.workload_rng
+let classify t f = t.classifier <- Some f
+let on_observe t probe = t.probes <- t.probes @ [ probe ]
+let set_trace t trace = t.trace <- Some trace
+
+let trace_record t event =
+  match t.trace with
+  | Some trace -> Trace.record trace t.now event
+  | None -> ()
+
+let proc t id =
+  match t.procs.(Proc_id.to_int id) with
+  | Some p -> p
+  | None -> invalid_arg (Fmt.str "Engine: process %a not registered" Proc_id.pp id)
+
+let add_process t id automaton ~clock ?(start = Time.zero) () =
+  if t.procs.(Proc_id.to_int id) <> None then
+    invalid_arg (Fmt.str "Engine: process %a registered twice" Proc_id.pp id);
+  t.procs.(Proc_id.to_int id) <-
+    Some
+      {
+        id;
+        automaton;
+        clock;
+        state = None;
+        incarnation = 0;
+        up = false;
+        started = false;
+        timer_gens = Hashtbl.create 8;
+      };
+  Heap.add t.queue ~time:start (Ev_start id)
+
+let state_of t id = (proc t id).state
+let is_up t id = (proc t id).up
+let clock_of t id = (proc t id).clock.reading ~real:t.now
+
+let kind_of t msg =
+  match t.classifier with Some f -> f msg | None -> "msg"
+
+(* Scheduling (process reaction) delay: timely within sigma, or a
+   performance failure with probability slow_prob. *)
+let sched_delay t =
+  if Rng.bool t.sched_rng t.cfg.slow_prob then
+    Rng.uniform_time t.sched_rng
+      (Time.add t.cfg.sigma (Time.of_us 1))
+      t.cfg.slow_delay_max
+  else Rng.uniform_time t.sched_rng t.cfg.sched_min t.cfg.sigma
+
+let transmit t ~src ~dst msg =
+  let kind = kind_of t msg in
+  Stats.incr t.stats ("sent:" ^ kind);
+  trace_record t (Trace.Sent { src; dst; kind });
+  match Net.fate t.net ~src ~dst msg with
+  | Net.Dropped reason ->
+    Stats.incr t.stats ("dropped:" ^ kind);
+    Stats.incr t.stats ("drop_reason:" ^ reason);
+    trace_record t (Trace.Dropped { src; dst; kind; reason })
+  | Net.Deliver_after delay ->
+    Heap.add t.queue
+      ~time:(Time.add t.now (Time.add delay (sched_delay t)))
+      (Ev_deliver { dst; src; msg })
+
+let set_timer t p ~key ~at_clock =
+  let gen = 1 + (try Hashtbl.find p.timer_gens key with Not_found -> 0) in
+  Hashtbl.replace p.timer_gens key gen;
+  let fire_real = p.clock.real_of ~clock:at_clock in
+  let fire_real = Time.max fire_real t.now in
+  Heap.add t.queue
+    ~time:(Time.add fire_real (sched_delay t))
+    (Ev_timer { proc = p.id; key; gen; inc = p.incarnation })
+
+let cancel_timer p ~key =
+  let gen = 1 + (try Hashtbl.find p.timer_gens key with Not_found -> 0) in
+  Hashtbl.replace p.timer_gens key gen
+
+let rec apply_effects t p effects =
+  match effects with
+  | [] -> ()
+  | eff :: rest ->
+    (match eff with
+    | Send (dst, msg) -> transmit t ~src:p.id ~dst msg
+    | Broadcast msg ->
+      for dst = 0 to t.n - 1 do
+        if dst <> Proc_id.to_int p.id then
+          transmit t ~src:p.id ~dst:(Proc_id.of_int dst) msg
+      done
+    | Set_timer { key; at_clock } -> set_timer t p ~key ~at_clock
+    | Cancel_timer key -> cancel_timer p ~key
+    | Observe obs ->
+      Stats.incr t.stats "observations";
+      List.iter (fun probe -> probe t.now p.id obs) t.probes
+    | Log msg ->
+      Log.debug (fun m ->
+          m "[%a %a] %s" Time.pp t.now Proc_id.pp p.id msg));
+    apply_effects t p rest
+
+let start_process t p =
+  p.up <- true;
+  p.started <- true;
+  Hashtbl.reset p.timer_gens;
+  let clock = p.clock.reading ~real:t.now in
+  let state, effects =
+    p.automaton.init ~self:p.id ~n:t.n ~clock ~incarnation:p.incarnation
+  in
+  p.state <- Some state;
+  apply_effects t p effects
+
+let dispatch t event =
+  match event with
+  | Ev_start id -> start_process t (proc t id)
+  | Ev_action f -> f ()
+  | Ev_deliver { dst; src; msg } ->
+    let p = proc t dst in
+    let kind = kind_of t msg in
+    if not p.up then Stats.incr t.stats ("lost_receiver_down:" ^ kind)
+    else begin
+      Stats.incr t.stats ("delivered:" ^ kind);
+      trace_record t (Trace.Delivered { src; dst; kind });
+      match p.state with
+      | None -> ()
+      | Some state ->
+        let clock = p.clock.reading ~real:t.now in
+        let state', effects = p.automaton.on_receive state ~clock ~src msg in
+        p.state <- Some state';
+        apply_effects t p effects
+    end
+  | Ev_timer { proc = id; key; gen; inc } ->
+    let p = proc t id in
+    let current_gen =
+      try Hashtbl.find p.timer_gens key with Not_found -> 0
+    in
+    if p.up && p.incarnation = inc && current_gen = gen then begin
+      match p.state with
+      | None -> ()
+      | Some state ->
+        let clock = p.clock.reading ~real:t.now in
+        let state', effects = p.automaton.on_timer state ~clock ~key in
+        p.state <- Some state';
+        apply_effects t p effects
+    end
+
+let at t time f = Heap.add t.queue ~time (Ev_action f)
+
+let crash t id =
+  let p = proc t id in
+  if p.up then begin
+    Log.debug (fun m -> m "[%a] crash %a" Time.pp t.now Proc_id.pp id);
+    Stats.incr t.stats "crashes";
+    trace_record t (Trace.Crashed id);
+    p.up <- false;
+    p.state <- None;
+    p.incarnation <- p.incarnation + 1;
+    Hashtbl.reset p.timer_gens
+  end
+
+let recover t id =
+  let p = proc t id in
+  if not p.up then begin
+    Log.debug (fun m -> m "[%a] recover %a" Time.pp t.now Proc_id.pp id);
+    Stats.incr t.stats "recoveries";
+    trace_record t (Trace.Recovered id);
+    start_process t p
+  end
+
+let inject t id msg =
+  Heap.add t.queue ~time:t.now (Ev_deliver { dst = id; src = id; msg })
+
+let inject_at t time id msg =
+  Heap.add t.queue ~time (Ev_deliver { dst = id; src = id; msg })
+
+let crash_at t time id = at t time (fun () -> crash t id)
+let recover_at t time id = at t time (fun () -> recover t id)
+let partition_at t time blocks =
+  at t time (fun () -> Net.set_partition t.net blocks)
+let heal_at t time = at t time (fun () -> Net.heal t.net)
+let stop t = t.stopping <- true
+
+let run t ~until =
+  t.stopping <- false;
+  let rec loop () =
+    if t.stopping then ()
+    else
+      match Heap.peek_time t.queue with
+      | None -> ()
+      | Some time when time > until -> t.now <- until
+      | Some _ -> (
+        match Heap.pop t.queue with
+        | None -> ()
+        | Some (time, event) ->
+          t.now <- Time.max t.now time;
+          dispatch t event;
+          loop ())
+  in
+  loop ();
+  if t.now < until && Heap.is_empty t.queue then t.now <- until

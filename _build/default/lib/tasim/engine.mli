@@ -1,0 +1,155 @@
+(** The discrete-event simulation engine.
+
+    Protocols are written as {e pure automata}: state machines whose
+    transition functions consume an input (a received message or an
+    expired timer) together with the local clock reading and produce a
+    new state plus a list of effects (sends, timer arming,
+    observations). The engine owns real time, hardware clocks, the
+    datagram service, process crash/recovery and scheduling delays;
+    protocol code never sees real time — only its local clock.
+
+    One engine instance simulates one team. All processes of a team
+    exchange messages of one type ['m]; observations of type ['obs]
+    are the protocol's externally visible outputs (installed views,
+    delivered updates, ...) and are what experiments measure. *)
+
+(** {1 Clocks as seen by protocol code} *)
+
+type clock_source = {
+  reading : real:Time.t -> Time.t;
+      (** local clock reading at a real time instant *)
+  real_of : clock:Time.t -> Time.t;
+      (** inverse map, used by the engine to arm timers that the
+          protocol expresses in local clock time *)
+}
+
+val clock_source_of_hardware : Hardware_clock.t -> clock_source
+
+val ideal_clock : clock_source
+(** Clock equal to real time. Used by tests and by oracle setups. *)
+
+(** {1 Automata} *)
+
+type ('m, 'obs) effect =
+  | Send of Proc_id.t * 'm  (** unicast datagram *)
+  | Broadcast of 'm  (** datagram to every other team member *)
+  | Set_timer of { key : int; at_clock : Time.t }
+      (** (re-)arm the timer [key] to fire when the local clock reads
+          [at_clock]; re-arming replaces any pending occurrence *)
+  | Cancel_timer of int
+  | Observe of 'obs  (** externally visible protocol output *)
+  | Log of string  (** free-form debug note, kept in the trace *)
+
+type ('s, 'm, 'obs) automaton = {
+  name : string;
+  init :
+    self:Proc_id.t ->
+    n:int ->
+    clock:Time.t ->
+    incarnation:int ->
+    's * ('m, 'obs) effect list;
+      (** called at process start and after each recovery; [incarnation]
+          is 0 at first start and increments at each recovery *)
+  on_receive :
+    's -> clock:Time.t -> src:Proc_id.t -> 'm -> 's * ('m, 'obs) effect list;
+  on_timer : 's -> clock:Time.t -> key:int -> 's * ('m, 'obs) effect list;
+}
+
+(** {1 Engine configuration} *)
+
+type config = {
+  net : Net.config;
+  sigma : Time.t;  (** maximum timely scheduling delay *)
+  sched_min : Time.t;  (** minimum scheduling delay *)
+  slow_prob : float;
+      (** probability a dispatch suffers a performance failure (reaction
+          slower than sigma) *)
+  slow_delay_max : Time.t;  (** maximum delay of a slow dispatch *)
+  seed : int;
+}
+
+val default_config : config
+(** delta = 10ms, sigma = 1ms, deterministic seed, no stochastic
+    failures. *)
+
+(** {1 Engine} *)
+
+type ('s, 'm, 'obs) t
+
+val create : config -> n:int -> ('s, 'm, 'obs) t
+val n : ('s, 'm, 'obs) t -> int
+val now : ('s, 'm, 'obs) t -> Time.t
+val net : ('s, 'm, 'obs) t -> 'm Net.t
+val stats : ('s, 'm, 'obs) t -> Stats.t
+val rng : ('s, 'm, 'obs) t -> Rng.t
+(** A stream split off the engine seed, for workload generators. *)
+
+val add_process :
+  ('s, 'm, 'obs) t ->
+  Proc_id.t ->
+  ('s, 'm, 'obs) automaton ->
+  clock:clock_source ->
+  ?start:Time.t ->
+  unit ->
+  unit
+(** Register a process; it starts (its [init] runs) at real time
+    [start] (default 0). Every id in [0..n-1] must be registered before
+    [run]. *)
+
+val classify : ('s, 'm, 'obs) t -> ('m -> string) -> unit
+(** Install a message classifier; the engine then counts
+    ["sent:<kind>"], ["delivered:<kind>"] and ["dropped:<kind>"] in
+    [stats]. *)
+
+val on_observe :
+  ('s, 'm, 'obs) t -> (Time.t -> Proc_id.t -> 'obs -> unit) -> unit
+(** Install an observation probe (in addition to any previous one).
+    The probe receives the real time of the observation. *)
+
+val set_trace : ('s, 'm, 'obs) t -> Trace.t -> unit
+(** Record message sends/drops/deliveries and crash/recovery events
+    into the given trace (kinds come from the installed classifier). *)
+
+val state_of : ('s, 'm, 'obs) t -> Proc_id.t -> 's option
+(** Current automaton state of a process, [None] while crashed. For
+    assertions in tests and end-of-run inspection. *)
+
+val is_up : ('s, 'm, 'obs) t -> Proc_id.t -> bool
+val clock_of : ('s, 'm, 'obs) t -> Proc_id.t -> Time.t
+(** Current local clock reading of a process. *)
+
+(** {1 Fault injection and scripting} *)
+
+val at : ('s, 'm, 'obs) t -> Time.t -> (unit -> unit) -> unit
+(** Schedule an arbitrary scripted action at a real time. *)
+
+val crash_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
+(** Crash-stop the process: its state is lost, pending timers are
+    cancelled, and messages addressed to it are dropped until
+    recovery. *)
+
+val recover_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
+(** Restart a crashed process with a fresh state (its [init] runs with
+    an incremented incarnation). *)
+
+val partition_at : ('s, 'm, 'obs) t -> Time.t -> Proc_set.t list -> unit
+val heal_at : ('s, 'm, 'obs) t -> Time.t -> unit
+
+val inject : ('s, 'm, 'obs) t -> Proc_id.t -> 'm -> unit
+(** Deliver a message from a process to itself immediately, bypassing
+    the network — the local client call path (e.g. an application
+    submitting an update for broadcast). Silently dropped when the
+    process is down. *)
+
+val inject_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> 'm -> unit
+
+(** {1 Running} *)
+
+val run : ('s, 'm, 'obs) t -> until:Time.t -> unit
+(** Process events in time order until the event queue is empty or
+    real time reaches [until]. Can be called repeatedly with increasing
+    horizons. *)
+
+val stop : ('s, 'm, 'obs) t -> unit
+(** Request that [run] return after the current event. Callable from
+    probes and scripted actions. *)

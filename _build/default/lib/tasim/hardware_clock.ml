@@ -1,0 +1,17 @@
+type t = { offset : Time.t; drift : float }
+
+let create ~offset ~drift = { offset; drift }
+
+let random rng ~max_offset ~max_drift =
+  let offset = Rng.uniform_time rng Time.zero max_offset in
+  let drift = (Rng.float rng *. 2.0 -. 1.0) *. max_drift in
+  { offset; drift }
+
+let reading t ~real = Time.add t.offset (Time.scale real (1.0 +. t.drift))
+
+let real_of_reading t ~clock =
+  Time.scale (Time.sub clock t.offset) (1.0 /. (1.0 +. t.drift))
+
+let drift t = t.drift
+let offset t = t.offset
+let pp ppf t = Fmt.pf ppf "clock(offset=%a drift=%.2e)" Time.pp t.offset t.drift

@@ -1,0 +1,33 @@
+(** Per-process hardware clocks.
+
+    The timed asynchronous model (paper, Section 2) gives each process a
+    local hardware clock whose drift rate is bounded by a constant rho
+    (order 1e-4 .. 1e-6 for quartz clocks) and whose offset from real
+    time is arbitrary — hardware clocks are not synchronized. A clock
+    has crash failure semantics: it never reads wrongly, it can only
+    stop with its process.
+
+    A clock is an affine map from real time to clock time:
+    [reading = offset + (1 + drift) * real]. *)
+
+type t
+
+val create : offset:Time.t -> drift:float -> t
+(** [drift] is the signed relative rate error, e.g. [3e-6]. *)
+
+val random : Rng.t -> max_offset:Time.t -> max_drift:float -> t
+(** A clock with offset uniform in [\[0, max_offset\]] and drift uniform
+    in [\[-max_drift, +max_drift\]]. *)
+
+val reading : t -> real:Time.t -> Time.t
+(** Clock reading at the given real time. Monotone in [real]. *)
+
+val real_of_reading : t -> clock:Time.t -> Time.t
+(** Inverse of [reading]: the real time at which the clock shows
+    [clock]. Used by the engine to arm timers expressed in local clock
+    time. [real_of_reading t (reading t ~real)] is within 1 us of
+    [real]. *)
+
+val drift : t -> float
+val offset : t -> Time.t
+val pp : t Fmt.t

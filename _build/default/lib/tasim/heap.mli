@@ -1,0 +1,25 @@
+(** Imperative binary min-heap keyed by [(Time.t, sequence number)].
+
+    The event queue of the simulation engine sits on this heap. Ties on
+    time are broken by insertion order (the sequence number), which
+    makes simultaneous events fire FIFO and keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Time.t -> 'a -> unit
+(** Insert an element with the given priority time. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the minimum element, FIFO among equal times. *)
+
+val peek_time : 'a t -> Time.t option
+(** Priority of the minimum element without removing it. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+val drain : 'a t -> (Time.t * 'a) list
+(** Pop everything, in order. *)

@@ -1,0 +1,97 @@
+type config = {
+  delta : Time.t;
+  delay_min : Time.t;
+  delay_max : Time.t;
+  omission_prob : float;
+  late_prob : float;
+  late_delay_max : Time.t;
+}
+
+let default_config =
+  {
+    delta = Time.of_ms 10;
+    delay_min = Time.of_ms 1;
+    delay_max = Time.of_ms 8;
+    omission_prob = 0.0;
+    late_prob = 0.0;
+    late_delay_max = Time.of_ms 50;
+  }
+
+let validate_config c =
+  if c.delay_min < Time.zero then Error "delay_min must be >= 0"
+  else if c.delay_max < c.delay_min then Error "delay_max < delay_min"
+  else if c.delay_max > c.delta then Error "delay_max must be <= delta"
+  else if c.omission_prob < 0.0 || c.omission_prob > 1.0 then
+    Error "omission_prob out of [0,1]"
+  else if c.late_prob < 0.0 || c.late_prob > 1.0 then
+    Error "late_prob out of [0,1]"
+  else if c.late_prob > 0.0 && c.late_delay_max <= c.delta then
+    Error "late_delay_max must be > delta"
+  else Ok ()
+
+type 'm filter = {
+  name : string;
+  pred : src:Proc_id.t -> dst:Proc_id.t -> 'm -> bool;
+  mutable remaining : int; (* -1 = unlimited *)
+}
+
+type 'm t = {
+  cfg : config;
+  rng : Rng.t;
+  mutable partition : Proc_set.t list option;
+  mutable filters : 'm filter list;
+}
+
+let create cfg rng =
+  (match validate_config cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Net.create: " ^ msg));
+  { cfg; rng; partition = None; filters = [] }
+
+let config t = t.cfg
+
+type fate = Deliver_after of Time.t | Dropped of string
+
+let set_partition t blocks = t.partition <- Some blocks
+let heal t = t.partition <- None
+
+let partition_of t p =
+  match t.partition with
+  | None -> None
+  | Some blocks -> List.find_opt (Proc_set.mem p) blocks
+
+let same_block t a b =
+  match t.partition with
+  | None -> true
+  | Some blocks -> (
+    match List.find_opt (Proc_set.mem a) blocks with
+    | Some block -> Proc_set.mem b block
+    | None -> false)
+
+let add_filter t ?(max_drops = -1) ~name pred =
+  t.filters <- t.filters @ [ { name; pred; remaining = max_drops } ]
+
+let clear_filters t = t.filters <- []
+
+let matching_filter t ~src ~dst msg =
+  let matches f =
+    f.remaining <> 0 && f.pred ~src ~dst msg
+    && begin
+         if f.remaining > 0 then f.remaining <- f.remaining - 1;
+         true
+       end
+  in
+  List.find_opt matches t.filters
+
+let fate t ~src ~dst msg =
+  match matching_filter t ~src ~dst msg with
+  | Some f -> Dropped ("filter:" ^ f.name)
+  | None ->
+    if not (same_block t src dst) then Dropped "partition"
+    else if Rng.bool t.rng t.cfg.omission_prob then Dropped "omission"
+    else if Rng.bool t.rng t.cfg.late_prob then
+      (* performance failure: delay strictly greater than delta *)
+      let lo = Time.add t.cfg.delta (Time.of_us 1) in
+      Deliver_after (Rng.uniform_time t.rng lo t.cfg.late_delay_max)
+    else
+      Deliver_after (Rng.uniform_time t.rng t.cfg.delay_min t.cfg.delay_max)

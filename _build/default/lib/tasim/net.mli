@@ -1,0 +1,70 @@
+(** The asynchronous datagram service.
+
+    Implements the communication model of the paper (Section 2): an
+    unreliable datagram service with omission/performance failure
+    semantics and a one-way time-out delay delta. A message is either
+    dropped (omission failure), delivered within delta (timely), or
+    delivered later than delta (performance failure — the message is
+    "late" and fail-aware receivers must reject it).
+
+    Beyond the stochastic model, the service supports targeted fault
+    injection used by the experiments: network partitions (messages
+    crossing partition boundaries are dropped) and message filters
+    (predicates that drop selected messages for a bounded time or a
+    bounded number of matches — e.g. "drop the next decision message
+    from p2 to p4"). *)
+
+type config = {
+  delta : Time.t;  (** one-way time-out delay of the datagram service *)
+  delay_min : Time.t;  (** minimum transmission delay *)
+  delay_max : Time.t;  (** maximum timely delay; must be <= [delta] *)
+  omission_prob : float;  (** probability a message is lost *)
+  late_prob : float;
+      (** probability a non-lost message suffers a performance failure *)
+  late_delay_max : Time.t;
+      (** maximum delay of a late message; must be > [delta] *)
+}
+
+val default_config : config
+(** delta = 10ms, delays 1..8ms, no stochastic loss or lateness. *)
+
+val validate_config : config -> (unit, string) result
+
+type 'm t
+(** A datagram service carrying messages of type ['m]. *)
+
+val create : config -> Rng.t -> 'm t
+val config : 'm t -> config
+
+type fate =
+  | Deliver_after of Time.t  (** transmission delay to apply *)
+  | Dropped of string  (** reason, for traces and statistics *)
+
+val fate : 'm t -> src:Proc_id.t -> dst:Proc_id.t -> 'm -> fate
+(** Decide the fate of one datagram, consuming randomness. Filters are
+    consulted first, then partitions, then stochastic omission, then
+    delay sampling. *)
+
+(** {1 Fault injection} *)
+
+val set_partition : 'm t -> Proc_set.t list -> unit
+(** Install a partition: messages between processes not sharing a block
+    are dropped. Processes absent from every block are isolated. *)
+
+val heal : 'm t -> unit
+(** Remove any partition. *)
+
+val partition_of : 'm t -> Proc_id.t -> Proc_set.t option
+(** The block containing the process, when a partition is installed. *)
+
+val add_filter :
+  'm t ->
+  ?max_drops:int ->
+  name:string ->
+  (src:Proc_id.t -> dst:Proc_id.t -> 'm -> bool) ->
+  unit
+(** Drop every message matching the predicate. With [max_drops] the
+    filter disarms after that many matches. Filters are checked in
+    installation order. *)
+
+val clear_filters : 'm t -> unit

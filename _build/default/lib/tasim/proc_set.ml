@@ -1,0 +1,49 @@
+module S = Set.Make (struct
+  type t = Proc_id.t
+
+  let compare = Proc_id.compare
+end)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let cardinal = S.cardinal
+let is_empty = S.is_empty
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let compare = S.compare
+let for_all = S.for_all
+let exists = S.exists
+let filter = S.filter
+let iter = S.iter
+let fold = S.fold
+let full ~n = of_list (Proc_id.all ~n)
+let is_majority t ~n = cardinal t > n / 2
+
+let successor_in t p ~n =
+  let rec probe candidate remaining =
+    if remaining = 0 then None
+    else if mem candidate t then Some candidate
+    else probe (Proc_id.successor candidate ~n) (remaining - 1)
+  in
+  probe (Proc_id.successor p ~n) (n - 1)
+
+let predecessor_in t p ~n =
+  let rec probe candidate remaining =
+    if remaining = 0 then None
+    else if mem candidate t then Some candidate
+    else probe (Proc_id.predecessor candidate ~n) (remaining - 1)
+  in
+  probe (Proc_id.predecessor p ~n) (n - 1)
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:sp Proc_id.pp) (to_list t)

@@ -1,0 +1,50 @@
+(** Immutable sets of process identifiers.
+
+    Alive-lists, join-lists, reconfiguration-lists and group-lists in
+    the protocols are all values of this type. Equality of such lists
+    is a core protocol operation (e.g. "a majority sent join messages
+    with the same join-list"), so the representation is canonical. *)
+
+type t
+
+val empty : t
+val singleton : Proc_id.t -> t
+val of_list : Proc_id.t list -> t
+val to_list : t -> Proc_id.t list
+(** In increasing id order. *)
+
+val add : Proc_id.t -> t -> t
+val remove : Proc_id.t -> t -> t
+val mem : Proc_id.t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val for_all : (Proc_id.t -> bool) -> t -> bool
+val exists : (Proc_id.t -> bool) -> t -> bool
+val filter : (Proc_id.t -> bool) -> t -> t
+val iter : (Proc_id.t -> unit) -> t -> unit
+val fold : (Proc_id.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val full : n:int -> t
+(** All [n] team members. *)
+
+val is_majority : t -> n:int -> bool
+(** [cardinal > n / 2]. *)
+
+val successor_in : t -> Proc_id.t -> n:int -> Proc_id.t option
+(** First member of the set strictly after the given process in the
+    cyclic order; [None] when the set has no member other than it. *)
+
+val predecessor_in : t -> Proc_id.t -> n:int -> Proc_id.t option
+(** First member of the set strictly before the given process in the
+    cyclic order; [None] when the set has no member other than it. *)
+
+val pp : t Fmt.t
+(** Prints as ["{p0 p2 p3}"]. *)

@@ -1,0 +1,45 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    The simulator never touches [Stdlib.Random]: every source of
+    randomness is an explicit [Rng.t] seeded by the experiment, so runs
+    are reproducible and independent concerns (network delays, clock
+    drift, scheduling jitter, workload) draw from split streams that do
+    not perturb each other when one concern consumes more numbers.
+
+    The generator is SplitMix64 (Steele, Lea & Flood 2014), which is
+    fast, has a 64-bit state, and supports cheap splitting. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator stream. *)
+
+val split : t -> t
+(** [split t] derives an independent stream from [t], advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future draws). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val uniform_time : t -> Time.t -> Time.t -> Time.t
+(** [uniform_time t lo hi] is uniform in [\[lo, hi\]]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly chosen element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,108 @@
+type series = { mutable values : float list; mutable len : int }
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+
+let incr_by t name k =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add t.counters name (ref k)
+
+let incr t name = incr_by t name 1
+
+let count t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let record t name v =
+  match Hashtbl.find_opt t.series name with
+  | Some s ->
+    s.values <- v :: s.values;
+    s.len <- s.len + 1
+  | None -> Hashtbl.add t.series name { values = [ v ]; len = 1 }
+
+let record_time t name span = record t name (float_of_int (Time.to_us span))
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with
+  | None -> [||]
+  | Some s ->
+    let arr = Array.make s.len 0.0 in
+    let rec fill i = function
+      | [] -> ()
+      | v :: rest ->
+        arr.(i) <- v;
+        fill (i - 1) rest
+    in
+    fill (s.len - 1) s.values;
+    arr
+
+let series_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.series []
+  |> List.sort String.compare
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  stddev : float;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float rank in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let summarize values =
+  let n = Array.length values in
+  if n = 0 then None
+  else begin
+    let sorted = Array.copy values in
+    Array.sort Float.compare sorted;
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    let mean = sum /. float_of_int n in
+    let sq_dev =
+      Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 sorted
+    in
+    let stddev = if n > 1 then sqrt (sq_dev /. float_of_int (n - 1)) else 0.0 in
+    Some
+      {
+        n;
+        mean;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        p50 = percentile sorted 0.50;
+        p95 = percentile sorted 0.95;
+        p99 = percentile sorted 0.99;
+        stddev;
+      }
+  end
+
+let summary_of t name = summarize (samples t name)
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.1f p50=%.1f p95=%.1f max=%.1f" s.n s.mean s.p50
+    s.p95 s.max
+
+let merge dst src =
+  Hashtbl.iter (fun name r -> incr_by dst name !r) src.counters;
+  Hashtbl.iter
+    (fun name s -> List.iter (record dst name) (List.rev s.values))
+    src.series

@@ -1,0 +1,52 @@
+(** Measurement utilities: named counters and sample series.
+
+    Experiments count messages by kind and collect latency samples;
+    this module provides both, plus summary statistics (mean, median,
+    percentiles) used by the table printers in the harness. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val incr_by : t -> string -> int -> unit
+val count : t -> string -> int
+(** 0 when the counter was never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Sample series} *)
+
+val record : t -> string -> float -> unit
+val record_time : t -> string -> Time.t -> unit
+(** Records the span in microseconds. *)
+
+val samples : t -> string -> float array
+(** Samples in insertion order; empty when none recorded. *)
+
+val series_names : t -> string list
+
+(** {1 Summaries} *)
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  stddev : float;
+}
+
+val summarize : float array -> summary option
+(** [None] on an empty array. *)
+
+val summary_of : t -> string -> summary option
+val pp_summary : summary Fmt.t
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src]'s counters and samples into [dst]. *)

@@ -1,0 +1,31 @@
+type t = int
+
+let zero = 0
+let infinity = max_int
+let of_us us = us
+let of_ms ms = ms * 1_000
+let of_sec s = s * 1_000_000
+let of_sec_f s = int_of_float (s *. 1e6 +. 0.5)
+let to_us t = t
+let to_ms_f t = float_of_int t /. 1e3
+let to_sec_f t = float_of_int t /. 1e6
+let add = ( + )
+let sub = ( - )
+let mul t k = t * k
+let div t k = t / k
+let min = Stdlib.min
+let max = Stdlib.max
+let compare = Int.compare
+let equal = Int.equal
+
+let scale t f =
+  let x = float_of_int t *. f in
+  if x >= 0.0 then int_of_float (x +. 0.5) else int_of_float (x -. 0.5)
+
+let pp ppf t =
+  if t = infinity then Fmt.string ppf "inf"
+  else if abs t >= 1_000_000 then Fmt.pf ppf "%.3fs" (to_sec_f t)
+  else if abs t >= 1_000 then Fmt.pf ppf "%.3fms" (to_ms_f t)
+  else Fmt.pf ppf "%dus" t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,43 @@
+(** Simulated time.
+
+    All times in the simulator are integers counting microseconds. Using
+    integers (rather than floats) keeps every run bit-for-bit
+    deterministic and makes ordering of simultaneous events well
+    defined. The same representation serves real time, hardware-clock
+    time and synchronized-clock time; the three are never mixed except
+    through explicit clock translation functions. *)
+
+type t = int
+(** A time instant or a time span, in microseconds. *)
+
+val zero : t
+val infinity : t
+(** A time greater than any time ever scheduled ([max_int]). *)
+
+val of_us : int -> t
+val of_ms : int -> t
+val of_sec : int -> t
+val of_sec_f : float -> t
+
+val to_us : t -> int
+val to_ms_f : t -> float
+val to_sec_f : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> int -> t
+val div : t -> int -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val scale : t -> float -> t
+(** [scale t f] is [t] multiplied by float factor [f], rounded to the
+    nearest microsecond. Used for clock-drift translation. *)
+
+val pp : t Fmt.t
+(** Prints a human-readable form, e.g. ["1.250ms"] or ["2.000s"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Engine Hashtbl List Net Proc_id Proc_set Stats Tasim Time

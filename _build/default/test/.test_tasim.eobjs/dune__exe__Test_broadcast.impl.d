@@ -1,0 +1,1 @@
+test/test_broadcast.ml: Alcotest Broadcast Buffers Delivery Engine Fmt Fun Hashtbl List Net Oal Proc_id Proc_set Proposal Protocol QCheck QCheck_alcotest Rng Rotation Semantics Stats Tasim Time

@@ -1,0 +1,1 @@
+test/test_clocksync.ml: Alcotest Array Clocksync Engine Hardware_clock List Net Proc_id QCheck QCheck_alcotest Rng Tasim Time

@@ -1,0 +1,1 @@
+test/test_eventloop.ml: Alcotest Array Eventloop Gen List Mutex QCheck QCheck_alcotest

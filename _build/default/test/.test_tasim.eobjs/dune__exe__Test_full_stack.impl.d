@@ -1,0 +1,1 @@
+test/test_full_stack.ml: Alcotest Array Broadcast Clocksync Engine Fmt Full_stack Hardware_clock List Member Net Option Params Proc_id Proc_set Proposal Rng Semantics Tasim Time Timewheel

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Fmt Harness List Proc_set Service String Tasim Time Timewheel

@@ -1,0 +1,1 @@
+test/test_member_fuzz.ml: Alcotest Broadcast Buffers Control_msg Engine Fmt List Member Oal Params Proc_id Proc_set Proposal QCheck QCheck_alcotest Semantics Tasim Time Timewheel

@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest Broadcast Creator_state Harness List Member Proc_id Proc_set Proposal Semantics Service Stats Tasim Time Timewheel Trace

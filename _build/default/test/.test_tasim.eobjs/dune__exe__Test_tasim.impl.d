@@ -1,0 +1,1 @@
+test/test_tasim.ml: Alcotest Array Engine Fun Gen Hardware_clock Heap List Net Option Proc_id Proc_set QCheck QCheck_alcotest Rng Stats Tasim Time Trace

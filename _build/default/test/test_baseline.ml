@@ -1,0 +1,219 @@
+(* Tests for the heartbeat/coordinator baseline membership protocol. *)
+
+open Tasim
+
+let check = Alcotest.check
+let pid = Proc_id.of_int
+
+let build ?(seed = 1) ?(cfg_of = Baseline.Heartbeat.default_config) ~n () =
+  let cfg = cfg_of ~n in
+  let engine = Engine.create { Engine.default_config with Engine.seed } ~n in
+  Engine.classify engine Baseline.Heartbeat.kind_of_msg;
+  let views = ref [] in
+  let suspicions = ref [] in
+  Engine.on_observe engine (fun at proc obs ->
+      match obs with
+      | Baseline.Heartbeat.View_installed { view_id; group } ->
+        views := (at, proc, view_id, group) :: !views
+      | Baseline.Heartbeat.Suspected { suspect } ->
+        suspicions := (at, proc, suspect) :: !suspicions);
+  let automaton = Baseline.Heartbeat.automaton cfg in
+  List.iter
+    (fun id -> Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n);
+  (engine, views, suspicions)
+
+let test_initial_view_forms () =
+  let engine, views, _ = build ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  (* every process installs a full view *)
+  let full =
+    List.filter
+      (fun (_, _, _, g) -> Proc_set.cardinal g = 5)
+      !views
+  in
+  check Alcotest.bool "all installed full view" true (List.length full >= 5)
+
+let test_crash_detected_and_excluded () =
+  let engine, views, suspicions = build ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  Engine.crash_at engine (Time.of_sec 1) (pid 2);
+  Engine.run engine ~until:(Time.of_sec 3);
+  check Alcotest.bool "suspected" true
+    (List.exists (fun (_, _, s) -> Proc_id.equal s (pid 2)) !suspicions);
+  (* latest views everywhere exclude the victim *)
+  let latest_by_proc = Hashtbl.create 8 in
+  List.iter
+    (fun (at, proc, view_id, g) ->
+      match Hashtbl.find_opt latest_by_proc proc with
+      | Some (_, id, _) when id >= view_id -> ()
+      | _ -> Hashtbl.replace latest_by_proc proc (at, view_id, g))
+    !views;
+  Hashtbl.iter
+    (fun proc (_, _, g) ->
+      if not (Proc_id.equal proc (pid 2)) then
+        check Alcotest.bool "excluded" false (Proc_set.mem (pid 2) g))
+    latest_by_proc
+
+let test_coordinator_failover () =
+  (* crash the coordinator (p0): p1 must take over and run the change *)
+  let engine, views, _ = build ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  Engine.crash_at engine (Time.of_sec 1) (pid 0);
+  Engine.run engine ~until:(Time.of_sec 4);
+  let newest =
+    List.fold_left
+      (fun acc (_, _, view_id, g) ->
+        match acc with
+        | Some (id, _) when id >= view_id -> acc
+        | _ -> Some (view_id, g))
+      None !views
+  in
+  match newest with
+  | Some (_, g) ->
+    check Alcotest.bool "view without p0" false (Proc_set.mem (pid 0) g)
+  | None -> Alcotest.fail "no view at all"
+
+let test_heartbeat_message_rate () =
+  (* failure-free: about n broadcasts = n*(n-1) datagrams per period *)
+  let engine, _, _ = build ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  let before = Stats.count (Engine.stats engine) "sent:heartbeat" in
+  Engine.run engine ~until:(Time.of_sec 2);
+  let per_second =
+    Stats.count (Engine.stats engine) "sent:heartbeat" - before
+  in
+  (* period 30ms -> 33.3 rounds -> ~666 datagrams/s *)
+  check Alcotest.bool "rate in expected band" true
+    (per_second > 500 && per_second < 800)
+
+(* ------------------------------------------------------------------ *)
+(* token ring (Totem-style) *)
+
+let build_ring ?(seed = 1) ~n () =
+  let cfg = Baseline.Token_ring.default_config ~n in
+  let engine = Engine.create { Engine.default_config with Engine.seed } ~n in
+  Engine.classify engine Baseline.Token_ring.kind_of_msg;
+  let rings = ref [] in
+  Engine.on_observe engine (fun at proc obs ->
+      match obs with
+      | Baseline.Token_ring.Ring_installed { ring_id; members } ->
+        rings := (at, proc, ring_id, members) :: !rings
+      | Baseline.Token_ring.Token_lost -> ());
+  let automaton = Baseline.Token_ring.automaton cfg in
+  List.iter
+    (fun id -> Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n);
+  (engine, rings)
+
+let current_rings engine ~n =
+  List.filter_map
+    (fun p ->
+      match Engine.state_of engine p with
+      | Some s -> Baseline.Token_ring.ring_of s
+      | None -> None)
+    (Proc_id.all ~n)
+
+let test_ring_forms () =
+  let engine, _ = build_ring ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 2);
+  let rings = current_rings engine ~n:5 in
+  check Alcotest.int "all operational" 5 (List.length rings);
+  List.iter
+    (fun (_, members) ->
+      check Alcotest.int "full ring" 5 (Proc_set.cardinal members))
+    rings
+
+let test_ring_token_circulates () =
+  let engine, _ = build_ring ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 2);
+  let tokens = Stats.count (Engine.stats engine) "sent:token" in
+  (* one unicast per hold (10ms): ~100/s once formed *)
+  check Alcotest.bool "token keeps moving" true (tokens > 50)
+
+let test_ring_crash_reforms () =
+  let engine, _ = build_ring ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  Engine.crash_at engine (Time.of_sec 1) (pid 2);
+  Engine.run engine ~until:(Time.of_sec 4);
+  let rings = current_rings engine ~n:5 in
+  check Alcotest.int "four operational" 4 (List.length rings);
+  List.iter
+    (fun (_, members) ->
+      check Alcotest.bool "victim excluded" false (Proc_set.mem (pid 2) members);
+      check Alcotest.int "ring of four" 4 (Proc_set.cardinal members))
+    rings
+
+let test_ring_merge_after_recovery () =
+  let engine, _ = build_ring ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  Engine.crash_at engine (Time.of_sec 1) (pid 2);
+  Engine.recover_at engine (Time.of_sec 3) (pid 2);
+  Engine.run engine ~until:(Time.of_sec 8);
+  let rings = current_rings engine ~n:5 in
+  check Alcotest.int "all operational" 5 (List.length rings);
+  List.iter
+    (fun (_, members) ->
+      check Alcotest.int "full ring again" 5 (Proc_set.cardinal members))
+    rings
+
+let test_ring_survives_loss () =
+  (* the gather protocol re-forms the ring whenever the token is lost to
+     omission; with 2% loss the ring keeps recovering *)
+  let cfg = Baseline.Token_ring.default_config ~n:5 in
+  let net = { Net.default_config with Net.omission_prob = 0.02 } in
+  let engine = Engine.create { Engine.default_config with Engine.net; seed = 9 } ~n:5 in
+  Engine.classify engine Baseline.Token_ring.kind_of_msg;
+  let automaton = Baseline.Token_ring.automaton cfg in
+  List.iter
+    (fun id -> Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n:5);
+  Engine.run engine ~until:(Time.of_sec 10);
+  let operational =
+    List.filter
+      (fun p ->
+        match Engine.state_of engine p with
+        | Some s -> Baseline.Token_ring.is_operational s
+        | None -> false)
+      (Proc_id.all ~n:5)
+  in
+  check Alcotest.bool "most of the ring operational" true
+    (List.length operational >= 3)
+
+let test_ring_ids_agree () =
+  let engine, rings = build_ring ~n:5 () in
+  Engine.run engine ~until:(Time.of_sec 1);
+  Engine.crash_at engine (Time.of_sec 1) (pid 4);
+  Engine.run engine ~until:(Time.of_sec 4);
+  (* every install of a given ring id names the same member set *)
+  let by_id = Hashtbl.create 8 in
+  List.iter
+    (fun (_, _, ring_id, members) ->
+      match Hashtbl.find_opt by_id ring_id with
+      | None -> Hashtbl.add by_id ring_id members
+      | Some m ->
+        check Alcotest.bool "consistent ring per id" true
+          (Proc_set.equal m members))
+    !rings
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "heartbeat",
+        [
+          Alcotest.test_case "initial view" `Quick test_initial_view_forms;
+          Alcotest.test_case "crash excluded" `Quick test_crash_detected_and_excluded;
+          Alcotest.test_case "coordinator failover" `Quick test_coordinator_failover;
+          Alcotest.test_case "message rate" `Quick test_heartbeat_message_rate;
+        ] );
+      ( "token ring",
+        [
+          Alcotest.test_case "forms" `Quick test_ring_forms;
+          Alcotest.test_case "token circulates" `Quick test_ring_token_circulates;
+          Alcotest.test_case "crash reforms" `Quick test_ring_crash_reforms;
+          Alcotest.test_case "merge after recovery" `Quick
+            test_ring_merge_after_recovery;
+          Alcotest.test_case "ring ids agree" `Quick test_ring_ids_agree;
+          Alcotest.test_case "survives loss" `Quick test_ring_survives_loss;
+        ] );
+    ]

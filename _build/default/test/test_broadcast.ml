@@ -1,0 +1,733 @@
+(* Tests for the timewheel atomic broadcast substrate: the ordering and
+   acknowledgement list, proposal buffers, the delivery conditions for
+   all nine semantics, decider rotation and the standalone protocol. *)
+
+open Tasim
+open Broadcast
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+let pid = Proc_id.of_int
+let set_of ids = Proc_set.of_list (List.map pid ids)
+
+let info ?(sem = Semantics.unordered_weak) ?(ts = Time.of_ms 1) ?(hdo = -1)
+    ~origin ~seq () =
+  {
+    Oal.proposal_id = { Proposal.origin = pid origin; seq };
+    semantics = sem;
+    send_ts = ts;
+    hdo;
+  }
+
+let proposal ?(sem = Semantics.unordered_weak) ?(ts = Time.of_ms 1) ?(hdo = -1)
+    ~origin ~seq payload =
+  Proposal.make ~origin:(pid origin) ~seq ~semantics:sem ~send_ts:ts ~hdo
+    payload
+
+(* ------------------------------------------------------------------ *)
+(* Semantics *)
+
+let test_semantics_all () =
+  check Alcotest.int "nine combinations" 9 (List.length Semantics.all);
+  check Alcotest.bool "distinct" true
+    (List.length (List.sort_uniq compare Semantics.all) = 9)
+
+(* ------------------------------------------------------------------ *)
+(* Proposal ids *)
+
+let test_proposal_id_order () =
+  let a = { Proposal.origin = pid 1; seq = 5 } in
+  let b = { Proposal.origin = pid 1; seq = 6 } in
+  let c = { Proposal.origin = pid 2; seq = 0 } in
+  check Alcotest.bool "same origin by seq" true (Proposal.id_compare a b < 0);
+  check Alcotest.bool "by origin first" true (Proposal.id_compare b c < 0);
+  check Alcotest.bool "equal" true (Proposal.id_equal a a)
+
+(* ------------------------------------------------------------------ *)
+(* Oal *)
+
+let test_oal_append_assigns_ordinals () =
+  let oal = Oal.empty in
+  let oal, o1 = Oal.append_update oal (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty in
+  let oal, o2 = Oal.append_update oal (info ~origin:2 ~seq:0 ()) ~acks:Proc_set.empty in
+  let oal, o3 = Oal.append_membership oal ~group:(set_of [ 0; 1 ]) ~group_id:1 in
+  check Alcotest.int "first" 0 o1;
+  check Alcotest.int "second" 1 o2;
+  check Alcotest.int "membership too" 2 o3;
+  check Alcotest.int "cardinal" 3 (Oal.cardinal oal);
+  check Alcotest.int "highest" 2 (Oal.highest_ordinal oal)
+
+let test_oal_find_and_ack () =
+  let id = { Proposal.origin = pid 1; seq = 0 } in
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~origin:1 ~seq:0 ()) ~acks:(set_of [ 1 ])
+  in
+  let oal = Oal.ack_update oal id (pid 3) in
+  (match Oal.find_update oal id with
+  | Some e -> check Alcotest.bool "acked" true (Proc_set.mem (pid 3) e.Oal.acks)
+  | None -> Alcotest.fail "missing");
+  (* acking an absent descriptor is a no-op *)
+  let oal' = Oal.ack_update oal { Proposal.origin = pid 9; seq = 9 } (pid 0) in
+  check Alcotest.int "no-op" (Oal.cardinal oal) (Oal.cardinal oal')
+
+let test_oal_ack_all_received () =
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let oal, _ =
+    Oal.append_update oal (info ~origin:2 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let received id = id.Proposal.origin = pid 1 in
+  let oal = Oal.ack_all_received oal ~received ~by:(pid 4) in
+  let acked origin =
+    match Oal.find_update oal { Proposal.origin = pid origin; seq = 0 } with
+    | Some e -> Proc_set.mem (pid 4) e.Oal.acks
+    | None -> false
+  in
+  check Alcotest.bool "received one acked" true (acked 1);
+  check Alcotest.bool "other not" false (acked 2)
+
+let test_oal_stability_and_purge () =
+  let group = set_of [ 0; 1; 2 ] in
+  let oal, o0 =
+    Oal.append_update Oal.empty (info ~origin:0 ~seq:0 ()) ~acks:group
+  in
+  let oal, o1 =
+    Oal.append_update oal (info ~origin:1 ~seq:0 ()) ~acks:(set_of [ 0 ])
+  in
+  let oal = Oal.refresh_stability oal ~group in
+  let stable o =
+    match Oal.entry_at oal o with
+    | Some e -> e.Oal.known_stable
+    | None -> false
+  in
+  check Alcotest.bool "full acks stable" true (stable o0);
+  check Alcotest.bool "partial acks not" false (stable o1);
+  (* purge advances over stable AND delivered entries only *)
+  let purged = Oal.purge_stable oal ~delivered:(fun o -> o = o0) in
+  check Alcotest.int "low advanced" (o0 + 1) (Oal.low purged);
+  check Alcotest.bool "purged entry gone" true (Oal.entry_at purged o0 = None);
+  (* not delivered: purge stops *)
+  let kept = Oal.purge_stable oal ~delivered:(fun _ -> false) in
+  check Alcotest.int "nothing purged" 0 (Oal.low kept)
+
+let test_oal_merge_authoritative () =
+  (* receiver has a shorter list; incoming extends it and unions acks *)
+  let local, _ =
+    Oal.append_update Oal.empty (info ~origin:0 ~seq:0 ()) ~acks:(set_of [ 0 ])
+  in
+  let incoming, _ =
+    Oal.append_update Oal.empty (info ~origin:0 ~seq:0 ()) ~acks:(set_of [ 1 ])
+  in
+  let incoming, _ =
+    Oal.append_update incoming (info ~origin:1 ~seq:0 ()) ~acks:(set_of [ 1 ])
+  in
+  let merged = Oal.merge ~local ~incoming in
+  check Alcotest.int "extended" 2 (Oal.cardinal merged);
+  (match Oal.entry_at merged 0 with
+  | Some e ->
+    check Alcotest.bool "acks unioned" true
+      (Proc_set.equal e.Oal.acks (set_of [ 0; 1 ]))
+  | None -> Alcotest.fail "entry lost");
+  check Alcotest.int "next ordinal" 2 (Oal.next_ordinal merged)
+
+let test_oal_merge_purged_incoming_marks_stable () =
+  (* incoming low=2 tells the receiver ordinals 0,1 are stable *)
+  let local, _ =
+    Oal.append_update Oal.empty (info ~origin:0 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let local, _ =
+    Oal.append_update local (info ~origin:0 ~seq:1 ()) ~acks:Proc_set.empty
+  in
+  let incoming, _ =
+    Oal.append_update Oal.empty (info ~origin:0 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let incoming, _ =
+    Oal.append_update incoming (info ~origin:0 ~seq:1 ()) ~acks:Proc_set.empty
+  in
+  let incoming =
+    Oal.refresh_stability
+      (Oal.ack_all_received incoming ~received:(fun _ -> true) ~by:(pid 0))
+      ~group:(set_of [ 0 ])
+  in
+  let incoming = Oal.purge_stable incoming ~delivered:(fun _ -> true) in
+  check Alcotest.int "incoming purged" 2 (Oal.low incoming);
+  let merged = Oal.merge ~local ~incoming in
+  match Oal.entry_at merged 0 with
+  | Some e -> check Alcotest.bool "learned stability" true e.Oal.known_stable
+  | None -> Alcotest.fail "local entry should remain until delivered"
+
+let test_oal_undeliverable_marks () =
+  let id = { Proposal.origin = pid 1; seq = 0 } in
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let oal = Oal.mark_undeliverable oal id in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "listed"
+    [ (1, 0) ]
+    (List.map
+       (fun (i : Proposal.id) -> (Proc_id.to_int i.Proposal.origin, i.Proposal.seq))
+       (Oal.undeliverable_ids oal));
+  (* undeliverable or-ed through merge *)
+  let plain, _ =
+    Oal.append_update Oal.empty (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let merged = Oal.merge ~local:plain ~incoming:oal in
+  match Oal.find_update merged id with
+  | Some e -> check Alcotest.bool "mark survives merge" true e.Oal.undeliverable
+  | None -> Alcotest.fail "entry lost"
+
+let test_oal_latest_membership () =
+  let oal, _ = Oal.append_membership Oal.empty ~group:(set_of [ 0; 1; 2 ]) ~group_id:0 in
+  let oal, _ = Oal.append_update oal (info ~origin:0 ~seq:0 ()) ~acks:Proc_set.empty in
+  let oal, o = Oal.append_membership oal ~group:(set_of [ 0; 1 ]) ~group_id:1 in
+  match Oal.latest_membership oal with
+  | Some (ordinal, group, gid) ->
+    check Alcotest.int "ordinal" o ordinal;
+    check Alcotest.int "gid" 1 gid;
+    check Alcotest.bool "group" true (Proc_set.equal group (set_of [ 0; 1 ]))
+  | None -> Alcotest.fail "no membership found"
+
+let test_oal_is_prefix () =
+  let a, _ = Oal.append_update Oal.empty (info ~origin:0 ~seq:0 ()) ~acks:Proc_set.empty in
+  let b, _ = Oal.append_update a (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty in
+  check Alcotest.bool "a prefix of b" true (Oal.is_prefix a ~of_:b);
+  check Alcotest.bool "b not prefix of a" false (Oal.is_prefix b ~of_:a);
+  (* divergent body at same ordinal is not a prefix *)
+  let c, _ = Oal.append_update Oal.empty (info ~origin:9 ~seq:9 ()) ~acks:Proc_set.empty in
+  check Alcotest.bool "divergent" false (Oal.is_prefix c ~of_:b)
+
+let prop_oal_merge_preserves_prefix =
+  (* merging a view that extends mine yields something my old list is a
+     prefix of *)
+  QCheck.Test.make ~name:"merge(local, extension) keeps local as prefix"
+    QCheck.(pair (int_range 0 6) (int_range 0 6))
+    (fun (base, extra) ->
+      let build from count start =
+        List.fold_left
+          (fun oal i ->
+            fst
+              (Oal.append_update oal
+                 (info ~origin:(i mod 3) ~seq:i ())
+                 ~acks:Proc_set.empty))
+          from
+          (List.init count (fun i -> start + i))
+      in
+      let local = build Oal.empty base 0 in
+      let incoming = build local extra base in
+      let merged = Oal.merge ~local ~incoming in
+      Oal.is_prefix local ~of_:merged && Oal.is_prefix incoming ~of_:merged)
+
+let gen_small_oal =
+  QCheck.Gen.(
+    map
+      (fun specs ->
+        List.fold_left
+          (fun oal (origin, seq, acks) ->
+            fst
+              (Oal.append_update oal
+                 (info ~origin ~seq ())
+                 ~acks:(set_of acks)))
+          Oal.empty specs)
+      (list_size (int_bound 8)
+         (triple (int_bound 4) (int_bound 20) (list_size (int_bound 4) (int_bound 4)))))
+
+let arb_oal = QCheck.make ~print:(fun o -> Fmt.str "%a" Oal.pp o) gen_small_oal
+
+let prop_oal_merge_idempotent =
+  QCheck.Test.make ~name:"merge(o, o) preserves bodies and ordinals" arb_oal
+    (fun oal ->
+      let merged = Oal.merge ~local:oal ~incoming:oal in
+      Oal.is_prefix oal ~of_:merged
+      && Oal.cardinal merged = Oal.cardinal oal
+      && Oal.next_ordinal merged = Oal.next_ordinal oal)
+
+let prop_oal_merge_next_ordinal_monotone =
+  QCheck.Test.make ~name:"merge never loses ordinal ground"
+    QCheck.(pair arb_oal arb_oal)
+    (fun (a, b) ->
+      let m = Oal.merge ~local:a ~incoming:b in
+      Oal.next_ordinal m >= Oal.next_ordinal a
+      && Oal.next_ordinal m >= Oal.next_ordinal b
+      && Oal.low m = Oal.low a)
+
+let prop_oal_purge_only_advances =
+  QCheck.Test.make ~name:"purge_stable only advances the frontier" arb_oal
+    (fun oal ->
+      let oal = Oal.refresh_stability oal ~group:(set_of [ 0; 1 ]) in
+      let purged = Oal.purge_stable oal ~delivered:(fun o -> o mod 2 = 0) in
+      Oal.low purged >= Oal.low oal
+      && Oal.cardinal purged <= Oal.cardinal oal)
+
+(* ------------------------------------------------------------------ *)
+(* Buffers *)
+
+let test_buffers_store_dedup () =
+  let b = Buffers.empty in
+  let p = proposal ~origin:1 ~seq:0 "x" in
+  let b, fresh1 = Buffers.store b p in
+  let _, fresh2 = Buffers.store b p in
+  check Alcotest.bool "first" true fresh1;
+  check Alcotest.bool "dup" false fresh2;
+  check Alcotest.bool "received" true (Buffers.received b p.Proposal.id)
+
+let test_buffers_delivery_bookkeeping () =
+  let p = proposal ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let b = Buffers.note_delivered b p.Proposal.id ~ordinal:(Some 3) in
+  check Alcotest.bool "delivered" true (Buffers.delivered b p.Proposal.id);
+  check Alcotest.bool "ordinal" true (Buffers.delivered_ordinal b 3);
+  check Alcotest.int "highest" 3 (Buffers.highest_delivered_ordinal b);
+  (* payload retained for retransmission until compacted *)
+  check Alcotest.bool "payload kept" true (Buffers.get b p.Proposal.id <> None);
+  let b = Buffers.compact b ~purged:(fun o -> o <= 3) in
+  check Alcotest.bool "payload dropped" true (Buffers.get b p.Proposal.id = None)
+
+let test_buffers_dpd () =
+  let p = proposal ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let b = Buffers.note_delivered b p.Proposal.id ~ordinal:None in
+  check Alcotest.int "in dpd" 1 (List.length (Buffers.dpd b));
+  let b = Buffers.note_ordinal b p.Proposal.id 7 in
+  check Alcotest.int "ordinal learned" 0 (List.length (Buffers.dpd b));
+  check Alcotest.bool "now counted" true (Buffers.delivered_ordinal b 7)
+
+let test_buffers_marks_and_expiry () =
+  let p = proposal ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let b = Buffers.mark_undeliverable b p.Proposal.id ~expires:(Time.of_ms 100) in
+  check Alcotest.bool "marked" true
+    (Buffers.is_marked b p.Proposal.id ~now:(Time.of_ms 50));
+  check Alcotest.bool "expired" false
+    (Buffers.is_marked b p.Proposal.id ~now:(Time.of_ms 150));
+  let b = Buffers.expire_marks b ~now:(Time.of_ms 150) in
+  check Alcotest.bool "cleared" false
+    (Buffers.is_marked b p.Proposal.id ~now:(Time.of_ms 50))
+
+let test_buffers_block_origin () =
+  let b =
+    Buffers.block_origin Buffers.empty (pid 2) ~expires:(Time.of_ms 100)
+  in
+  let from2 = { Proposal.origin = pid 2; seq = 9 } in
+  let from3 = { Proposal.origin = pid 3; seq = 9 } in
+  check Alcotest.bool "origin blocked" true
+    (Buffers.is_marked b from2 ~now:(Time.of_ms 10));
+  check Alcotest.bool "other origin fine" false
+    (Buffers.is_marked b from3 ~now:(Time.of_ms 10))
+
+let test_buffers_purge_marked () =
+  let p = proposal ~origin:2 ~seq:0 "x" in
+  let q = proposal ~origin:3 ~seq:0 "y" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let b, _ = Buffers.store b q in
+  let b = Buffers.block_origin b (pid 2) ~expires:(Time.of_ms 100) in
+  let b = Buffers.purge_marked b ~now:(Time.of_ms 10) in
+  check Alcotest.bool "marked purged" true (Buffers.get b p.Proposal.id = None);
+  check Alcotest.bool "other kept" true (Buffers.get b q.Proposal.id <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery conditions *)
+
+let deliver_ids ~oal ~buffers ~now =
+  let ds, buffers' =
+    Delivery.step ~oal ~buffers ~now_sync:now ~timed_delay:(Time.of_ms 100)
+  in
+  ( List.map (fun d -> (d.Delivery.proposal.Proposal.id, d.Delivery.ordinal)) ds,
+    buffers' )
+
+let test_delivery_unordered_weak_immediate () =
+  let p = proposal ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let ids, _ = deliver_ids ~oal:Oal.empty ~buffers:b ~now:Time.zero in
+  check Alcotest.int "delivered without ordinal" 1 (List.length ids);
+  match ids with
+  | [ (_, ordinal) ] -> check (Alcotest.option Alcotest.int) "no ordinal" None ordinal
+  | _ -> Alcotest.fail "unexpected"
+
+let test_delivery_total_needs_ordinal () =
+  let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+  let p = proposal ~sem ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let ids, _ = deliver_ids ~oal:Oal.empty ~buffers:b ~now:Time.zero in
+  check Alcotest.int "blocked without ordinal" 0 (List.length ids);
+  let oal, _ =
+    Oal.append_update Oal.empty
+      (info ~sem ~origin:1 ~seq:0 ())
+      ~acks:Proc_set.empty
+  in
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check Alcotest.int "delivered once ordered" 1 (List.length ids)
+
+let test_delivery_total_gap_blocks () =
+  let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+  (* two ordered proposals; the payload of ordinal 0 is missing *)
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~sem ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let oal, _ =
+    Oal.append_update oal (info ~sem ~origin:2 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let later = proposal ~sem ~origin:2 ~seq:0 "later" in
+  let b, _ = Buffers.store Buffers.empty later in
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check Alcotest.int "gap blocks" 0 (List.length ids);
+  (* once the gap entry is marked undeliverable, delivery resumes *)
+  let oal = Oal.mark_undeliverable oal { Proposal.origin = pid 1; seq = 0 } in
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check Alcotest.int "skip undeliverable" 1 (List.length ids)
+
+let test_delivery_total_in_ordinal_order () =
+  let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+  let p0 = proposal ~sem ~origin:1 ~seq:0 "a" in
+  let p1 = proposal ~sem ~origin:2 ~seq:0 "b" in
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~sem ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let oal, _ =
+    Oal.append_update oal (info ~sem ~origin:2 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let b, _ = Buffers.store Buffers.empty p1 in
+  let b, _ = Buffers.store b p0 in
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check
+    (Alcotest.list (Alcotest.option Alcotest.int))
+    "ascending ordinals" [ Some 0; Some 1 ] (List.map snd ids)
+
+let test_delivery_strong_needs_deps_received () =
+  let strong = Semantics.{ ordering = Total; atomicity = Strong } in
+  (* dependency at ordinal 0 not received; pr has hdo = 0 *)
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty
+  in
+  let oal, _ =
+    Oal.append_update oal
+      (info ~sem:strong ~hdo:0 ~origin:2 ~seq:0 ())
+      ~acks:Proc_set.empty
+  in
+  let pr = proposal ~sem:strong ~hdo:0 ~origin:2 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty pr in
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check Alcotest.int "blocked: dep not received" 0 (List.length ids);
+  (* receiving the dependency unblocks (and the dep delivers first) *)
+  let dep = proposal ~origin:1 ~seq:0 "dep" in
+  let b, _ = Buffers.store b dep in
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check Alcotest.int "both deliver" 2 (List.length ids)
+
+let test_delivery_strict_needs_stability () =
+  let strict = Semantics.{ ordering = Total; atomicity = Strict } in
+  let group = set_of [ 0; 1; 2 ] in
+  let dep = proposal ~origin:1 ~seq:0 "dep" in
+  let pr = proposal ~sem:strict ~hdo:0 ~origin:2 ~seq:0 "x" in
+  let oal, _ =
+    Oal.append_update Oal.empty (info ~origin:1 ~seq:0 ()) ~acks:(set_of [ 0 ])
+  in
+  let oal, _ =
+    Oal.append_update oal
+      (info ~sem:strict ~hdo:0 ~origin:2 ~seq:0 ())
+      ~acks:Proc_set.empty
+  in
+  let b, _ = Buffers.store Buffers.empty dep in
+  let b, _ = Buffers.store b pr in
+  (* dep received but not stable: dep (weak) delivers, pr must wait *)
+  let ids, b' = deliver_ids ~oal ~buffers:b ~now:Time.zero in
+  check Alcotest.int "only the weak dep" 1 (List.length ids);
+  (* stability of the dependency unblocks strict delivery *)
+  let oal = Oal.ack_update oal dep.Proposal.id (pid 1) in
+  let oal = Oal.ack_update oal dep.Proposal.id (pid 2) in
+  let oal = Oal.refresh_stability oal ~group in
+  let ids, _ = deliver_ids ~oal ~buffers:b' ~now:Time.zero in
+  check Alcotest.int "strict delivers after stability" 1 (List.length ids)
+
+let test_delivery_timed_waits () =
+  let timed = Semantics.{ ordering = Timed; atomicity = Weak } in
+  let pr = proposal ~sem:timed ~ts:(Time.of_ms 50) ~origin:1 ~seq:0 "x" in
+  let oal, _ =
+    Oal.append_update Oal.empty
+      (info ~sem:timed ~ts:(Time.of_ms 50) ~origin:1 ~seq:0 ())
+      ~acks:Proc_set.empty
+  in
+  let b, _ = Buffers.store Buffers.empty pr in
+  (* timed_delay is 100ms: not deliverable before 150ms *)
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:(Time.of_ms 100) in
+  check Alcotest.int "too early" 0 (List.length ids);
+  let ids, _ = deliver_ids ~oal ~buffers:b ~now:(Time.of_ms 150) in
+  check Alcotest.int "at the instant" 1 (List.length ids)
+
+let test_delivery_no_redelivery () =
+  let p = proposal ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  let ids, b = deliver_ids ~oal:Oal.empty ~buffers:b ~now:Time.zero in
+  check Alcotest.int "first" 1 (List.length ids);
+  let ids, _ = deliver_ids ~oal:Oal.empty ~buffers:b ~now:Time.zero in
+  check Alcotest.int "never twice" 0 (List.length ids)
+
+let test_delivery_blocked_reason () =
+  let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+  let p = proposal ~sem ~origin:1 ~seq:0 "x" in
+  let b, _ = Buffers.store Buffers.empty p in
+  match
+    Delivery.blocked_reason ~oal:Oal.empty ~buffers:b ~now_sync:Time.zero
+      ~timed_delay:(Time.of_ms 100) p
+  with
+  | Some reason -> check Alcotest.string "reason" "no ordinal yet" reason
+  | None -> Alcotest.fail "expected a blocked reason"
+
+(* ------------------------------------------------------------------ *)
+(* Rotation *)
+
+let test_rotation () =
+  let group = set_of [ 0; 2; 4 ] in
+  check Alcotest.int "next after 0" 2
+    (Proc_id.to_int (Rotation.next_decider ~group ~after:(pid 0) ~n:5));
+  check Alcotest.int "wraps" 0
+    (Proc_id.to_int (Rotation.next_decider ~group ~after:(pid 4) ~n:5));
+  check Alcotest.int "after non-member" 4
+    (Proc_id.to_int (Rotation.next_decider ~group ~after:(pid 3) ~n:5));
+  check Alcotest.int "cycle length" (Time.of_ms 90)
+    (Rotation.cycle_length ~group ~d:(Time.of_ms 30));
+  check Alcotest.bool "is_next" true
+    (Rotation.is_next_decider ~group ~after:(pid 0) ~n:5 (pid 2))
+
+(* ------------------------------------------------------------------ *)
+(* Standalone protocol integration *)
+
+let run_protocol ~n ~seed ~submissions ~until =
+  let cfg = Protocol.default_config in
+  let engine = Engine.create { Engine.default_config with Engine.seed } ~n in
+  Engine.classify engine Protocol.kind_of_msg;
+  let delivered : (Proc_id.t * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let order : (Proc_id.t, int list) Hashtbl.t = Hashtbl.create 8 in
+  Engine.on_observe engine (fun _at proc obs ->
+      match obs with
+      | Protocol.Delivered { proposal; _ } ->
+        Hashtbl.replace delivered (proc, proposal.Proposal.payload) 1;
+        let prev = try Hashtbl.find order proc with Not_found -> [] in
+        Hashtbl.replace order proc (proposal.Proposal.payload :: prev)
+      | Protocol.Became_decider | Protocol.Stable _ -> ());
+  let automaton = Protocol.automaton cfg in
+  List.iter
+    (fun id -> Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n);
+  List.iter
+    (fun (at, origin, sem, payload) ->
+      Engine.inject_at engine at (pid origin)
+        (Protocol.Submit { semantics = sem; payload }))
+    submissions;
+  Engine.run engine ~until;
+  (engine, delivered, order)
+
+let test_protocol_total_order_agreement () =
+  let n = 5 in
+  let sem = Semantics.total_strong in
+  let submissions =
+    List.init 20 (fun i ->
+        (Time.of_ms (100 + (15 * i)), i mod n, sem, i))
+  in
+  let _, delivered, order =
+    run_protocol ~n ~seed:77 ~submissions ~until:(Time.of_sec 3)
+  in
+  (* everyone delivered everything *)
+  List.iter
+    (fun id ->
+      List.iter
+        (fun i ->
+          if not (Hashtbl.mem delivered (id, i)) then
+            Alcotest.failf "p%d missed %d" (Proc_id.to_int id) i)
+        (List.init 20 Fun.id))
+    (Proc_id.all ~n);
+  (* identical delivery order at all members *)
+  let orders =
+    List.map
+      (fun id -> List.rev (try Hashtbl.find order id with Not_found -> []))
+      (Proc_id.all ~n)
+  in
+  match orders with
+  | first :: rest ->
+    List.iter
+      (fun o -> check (Alcotest.list Alcotest.int) "same order" first o)
+      rest
+  | [] -> Alcotest.fail "no orders"
+
+let test_protocol_loss_recovery_via_nack () =
+  (* drop many proposal datagrams (decisions stay intact: the standalone
+     substrate assumes a live decider chain); the oal-driven negative
+     acknowledgements must recover the payloads *)
+  let n = 5 in
+  let cfg = Protocol.default_config in
+  let engine =
+    Engine.create { Engine.default_config with Engine.seed = 78 } ~n
+  in
+  let drop_rng = Rng.create 4242 in
+  Net.add_filter (Engine.net engine) ~name:"lossy-proposals"
+    (fun ~src:_ ~dst:_ msg ->
+      match msg with
+      | Protocol.Proposal_msg _ -> Rng.bool drop_rng 0.4
+      | _ -> false);
+  Engine.classify engine Protocol.kind_of_msg;
+  let delivered : (Proc_id.t * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Engine.on_observe engine (fun _at proc obs ->
+      match obs with
+      | Protocol.Delivered { proposal; _ } ->
+        Hashtbl.replace delivered (proc, proposal.Proposal.payload) 1
+      | _ -> ());
+  let automaton = Protocol.automaton cfg in
+  List.iter
+    (fun id -> Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n);
+  (* totals only: unordered could deliver without every member having it *)
+  let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+  for i = 0 to 9 do
+    Engine.inject_at engine (Time.of_ms (100 + (50 * i))) (pid (i mod n))
+      (Protocol.Submit { semantics = sem; payload = i })
+  done;
+  Engine.run engine ~until:(Time.of_sec 8);
+  let missing = ref 0 in
+  List.iter
+    (fun id ->
+      for i = 0 to 9 do
+        if not (Hashtbl.mem delivered (id, i)) then incr missing
+      done)
+    (Proc_id.all ~n);
+  check Alcotest.int "all recovered" 0 !missing;
+  check Alcotest.bool "nacks were used" true
+    (Stats.count (Engine.stats engine) "sent:nack" > 0)
+
+let test_protocol_fifo_per_sender () =
+  let n = 3 in
+  let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+  (* p0 proposes 0,1,2,3 rapidly *)
+  let submissions =
+    List.init 4 (fun i -> (Time.of_ms (100 + i), 0, sem, i))
+  in
+  let _, _, order =
+    run_protocol ~n ~seed:79 ~submissions ~until:(Time.of_sec 2)
+  in
+  List.iter
+    (fun id ->
+      let o = List.rev (try Hashtbl.find order id with Not_found -> []) in
+      check (Alcotest.list Alcotest.int) "FIFO" [ 0; 1; 2; 3 ] o)
+    (Proc_id.all ~n)
+
+let test_protocol_stability_reported () =
+  let n = 3 in
+  let cfg = Protocol.default_config in
+  let engine = Engine.create { Engine.default_config with Engine.seed = 80 } ~n in
+  let stable = ref 0 in
+  Engine.on_observe engine (fun _at _proc obs ->
+      match obs with Protocol.Stable _ -> incr stable | _ -> ());
+  let automaton = Protocol.automaton cfg in
+  List.iter
+    (fun id -> Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+    (Proc_id.all ~n);
+  Engine.inject_at engine (Time.of_ms 100) (pid 0)
+    (Protocol.Submit { semantics = Semantics.unordered_weak; payload = 1 });
+  Engine.run engine ~until:(Time.of_sec 2);
+  check Alcotest.bool "stability observed at every member" true (!stable >= n)
+
+(* property: under random proposal loss, every seed still reaches
+   total-order agreement at all members (the nack machinery always
+   recovers), and FIFO per sender holds *)
+let prop_agreement_under_loss =
+  QCheck.Test.make ~count:15 ~name:"total order agreement under proposal loss"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 40))
+    (fun (seed, loss_pct) ->
+      let n = 5 in
+      let cfg = Protocol.default_config in
+      let engine =
+        Engine.create { Engine.default_config with Engine.seed } ~n
+      in
+      let drop_rng = Rng.create (seed + 1) in
+      Net.add_filter (Engine.net engine) ~name:"loss"
+        (fun ~src:_ ~dst:_ msg ->
+          match msg with
+          | Protocol.Proposal_msg _ ->
+            Rng.bool drop_rng (float_of_int loss_pct /. 100.0)
+          | _ -> false);
+      let order : (Proc_id.t, int list) Hashtbl.t = Hashtbl.create 8 in
+      Engine.on_observe engine (fun _at proc obs ->
+          match obs with
+          | Protocol.Delivered { proposal; _ } ->
+            let prev = try Hashtbl.find order proc with Not_found -> [] in
+            Hashtbl.replace order proc (proposal.Proposal.payload :: prev)
+          | _ -> ());
+      let automaton = Protocol.automaton cfg in
+      List.iter
+        (fun id ->
+          Engine.add_process engine id automaton ~clock:Engine.ideal_clock ())
+        (Proc_id.all ~n);
+      let sem = Semantics.{ ordering = Total; atomicity = Weak } in
+      for i = 0 to 11 do
+        Engine.inject_at engine
+          (Time.of_ms (100 + (40 * i)))
+          (pid (i mod n))
+          (Protocol.Submit { semantics = sem; payload = i })
+      done;
+      Engine.run engine ~until:(Time.of_sec 8);
+      let orders =
+        List.map
+          (fun id -> List.rev (try Hashtbl.find order id with Not_found -> []))
+          (Proc_id.all ~n)
+      in
+      match orders with
+      | first :: rest ->
+        List.length first = 12 && List.for_all (( = ) first) rest
+      | [] -> false)
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "all" `Quick test_semantics_all;
+          Alcotest.test_case "proposal ids" `Quick test_proposal_id_order;
+        ] );
+      ( "oal",
+        [
+          Alcotest.test_case "append ordinals" `Quick test_oal_append_assigns_ordinals;
+          Alcotest.test_case "find/ack" `Quick test_oal_find_and_ack;
+          Alcotest.test_case "ack_all_received" `Quick test_oal_ack_all_received;
+          Alcotest.test_case "stability/purge" `Quick test_oal_stability_and_purge;
+          Alcotest.test_case "merge" `Quick test_oal_merge_authoritative;
+          Alcotest.test_case "merge purged" `Quick test_oal_merge_purged_incoming_marks_stable;
+          Alcotest.test_case "undeliverable" `Quick test_oal_undeliverable_marks;
+          Alcotest.test_case "latest membership" `Quick test_oal_latest_membership;
+          Alcotest.test_case "is_prefix" `Quick test_oal_is_prefix;
+          qcheck prop_oal_merge_preserves_prefix;
+          qcheck prop_oal_merge_idempotent;
+          qcheck prop_oal_merge_next_ordinal_monotone;
+          qcheck prop_oal_purge_only_advances;
+        ] );
+      ( "buffers",
+        [
+          Alcotest.test_case "store/dedup" `Quick test_buffers_store_dedup;
+          Alcotest.test_case "delivery" `Quick test_buffers_delivery_bookkeeping;
+          Alcotest.test_case "dpd" `Quick test_buffers_dpd;
+          Alcotest.test_case "marks expire" `Quick test_buffers_marks_and_expiry;
+          Alcotest.test_case "block origin" `Quick test_buffers_block_origin;
+          Alcotest.test_case "purge marked" `Quick test_buffers_purge_marked;
+        ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "unordered weak" `Quick test_delivery_unordered_weak_immediate;
+          Alcotest.test_case "total needs ordinal" `Quick test_delivery_total_needs_ordinal;
+          Alcotest.test_case "gap blocks" `Quick test_delivery_total_gap_blocks;
+          Alcotest.test_case "ordinal order" `Quick test_delivery_total_in_ordinal_order;
+          Alcotest.test_case "strong deps" `Quick test_delivery_strong_needs_deps_received;
+          Alcotest.test_case "strict stability" `Quick test_delivery_strict_needs_stability;
+          Alcotest.test_case "timed waits" `Quick test_delivery_timed_waits;
+          Alcotest.test_case "no redelivery" `Quick test_delivery_no_redelivery;
+          Alcotest.test_case "blocked reason" `Quick test_delivery_blocked_reason;
+        ] );
+      ("rotation", [ Alcotest.test_case "ring" `Quick test_rotation ]);
+      ( "protocol",
+        [
+          Alcotest.test_case "total order agreement" `Quick test_protocol_total_order_agreement;
+          Alcotest.test_case "nack recovery" `Quick test_protocol_loss_recovery_via_nack;
+          Alcotest.test_case "fifo per sender" `Quick test_protocol_fifo_per_sender;
+          Alcotest.test_case "stability" `Quick test_protocol_stability_reported;
+          qcheck prop_agreement_under_loss;
+        ] );
+    ]

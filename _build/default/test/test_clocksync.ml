@@ -1,0 +1,341 @@
+(* Tests for the fail-aware clock synchronization substrate. *)
+
+open Tasim
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Reading *)
+
+let test_reading_round_trip () =
+  (* request at 100ms, reply carrying remote=500ms, arrives at 110ms:
+     rtt 10ms, estimate remote at arrival = 505ms, offset = 395ms *)
+  match
+    Clocksync.Reading.of_round_trip ~send_local:(Time.of_ms 100)
+      ~recv_local:(Time.of_ms 110) ~remote_clock:(Time.of_ms 500)
+      ~min_delay:(Time.of_ms 1) ~drift_bound:0.0
+  with
+  | None -> Alcotest.fail "valid round trip rejected"
+  | Some r ->
+    check Alcotest.int "offset" (Time.of_ms 395) r.Clocksync.Reading.offset;
+    check Alcotest.int "error" (Time.of_ms 4) r.Clocksync.Reading.error;
+    check Alcotest.int "read_at" (Time.of_ms 110) r.Clocksync.Reading.read_at
+
+let test_reading_invalid () =
+  check Alcotest.bool "negative rtt rejected" true
+    (Clocksync.Reading.of_round_trip ~send_local:(Time.of_ms 100)
+       ~recv_local:(Time.of_ms 90) ~remote_clock:Time.zero
+       ~min_delay:Time.zero ~drift_bound:0.0
+    = None)
+
+let test_reading_error_growth () =
+  match
+    Clocksync.Reading.of_round_trip ~send_local:Time.zero
+      ~recv_local:(Time.of_ms 4) ~remote_clock:(Time.of_ms 100)
+      ~min_delay:(Time.of_ms 1) ~drift_bound:0.0
+  with
+  | None -> Alcotest.fail "rejected"
+  | Some r ->
+    let e0 = Clocksync.Reading.error_at r ~now_local:(Time.of_ms 4) ~drift_bound:1e-5 in
+    let e1 =
+      Clocksync.Reading.error_at r ~now_local:(Time.of_sec 10) ~drift_bound:1e-5
+    in
+    check Alcotest.bool "error grows with age" true (e1 > e0);
+    (* 10s of 1e-5 drift on both sides = 200us *)
+    check Alcotest.int "growth amount" (Time.add e0 (Time.of_us 200)) e1
+
+(* The estimated offset must always be within the error bound of the
+   true offset, for any actual delay split within the round trip. *)
+let prop_reading_bounds_true_offset =
+  QCheck.Test.make ~name:"reading error bound contains the true offset"
+    QCheck.(
+      triple (int_range 1000 8000) (int_range 1000 8000)
+        (int_range (-1_000_000) 1_000_000))
+    (fun (d_req, d_reply, true_offset) ->
+      (* local sends at t0; request takes d_req; remote replies
+         immediately with remote = local_true + true_offset; reply takes
+         d_reply *)
+      let send_local = Time.of_ms 100 in
+      let remote_clock = send_local + d_req + true_offset in
+      let recv_local = send_local + d_req + d_reply in
+      match
+        Clocksync.Reading.of_round_trip ~send_local ~recv_local ~remote_clock
+          ~min_delay:(Time.of_us 1000) ~drift_bound:0.0
+      with
+      | None -> false
+      | Some r ->
+        abs (r.Clocksync.Reading.offset - true_offset)
+        <= r.Clocksync.Reading.error)
+
+(* ------------------------------------------------------------------ *)
+(* Sync_clock *)
+
+let params n : Clocksync.Sync_clock.params =
+  {
+    Clocksync.Sync_clock.epsilon = Time.of_ms 20;
+    drift_bound = 1e-5;
+    validity = Time.of_sec 2;
+    n;
+  }
+
+let reading ~offset ~error ~read_at =
+  { Clocksync.Reading.offset; error; read_at }
+
+let test_sync_clock_reference_is_p0 () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 3) in
+  let st = Clocksync.Sync_clock.status c ~now_local:Time.zero in
+  check Alcotest.int "reference" 0
+    (Proc_id.to_int st.Clocksync.Sync_clock.reference);
+  check Alcotest.bool "not synchronized without a reading" false
+    st.Clocksync.Sync_clock.synchronized
+
+let test_sync_clock_self_is_reference () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 0) in
+  let st = Clocksync.Sync_clock.status c ~now_local:(Time.of_sec 1) in
+  check Alcotest.bool "reference always synchronized" true
+    st.Clocksync.Sync_clock.synchronized;
+  check (Alcotest.option Alcotest.int) "reads own clock"
+    (Some (Time.of_sec 1))
+    (Clocksync.Sync_clock.reading c ~now_local:(Time.of_sec 1))
+
+let test_sync_clock_becomes_synchronized () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 2) in
+  let c =
+    Clocksync.Sync_clock.note_reading c ~of_:(Proc_id.of_int 0)
+      (reading ~offset:(Time.of_ms 50) ~error:(Time.of_ms 3)
+         ~read_at:(Time.of_ms 100))
+  in
+  let st = Clocksync.Sync_clock.status c ~now_local:(Time.of_ms 150) in
+  check Alcotest.bool "synchronized" true st.Clocksync.Sync_clock.synchronized;
+  check (Alcotest.option Alcotest.int) "corrected reading"
+    (Some (Time.of_ms 200))
+    (Clocksync.Sync_clock.reading c ~now_local:(Time.of_ms 150))
+
+let test_sync_clock_fail_awareness_on_staleness () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 2) in
+  let c =
+    Clocksync.Sync_clock.note_reading c ~of_:(Proc_id.of_int 0)
+      (reading ~offset:Time.zero ~error:(Time.of_ms 3) ~read_at:Time.zero)
+  in
+  (* within validity: synchronized *)
+  check Alcotest.bool "fresh" true
+    (Clocksync.Sync_clock.status c ~now_local:(Time.of_sec 1))
+      .Clocksync.Sync_clock.synchronized;
+  (* after validity expires the clock knows it is unsynchronized *)
+  let c = Clocksync.Sync_clock.drop_stale c ~now_local:(Time.of_sec 3) in
+  check Alcotest.bool "stale" false
+    (Clocksync.Sync_clock.status c ~now_local:(Time.of_sec 3))
+      .Clocksync.Sync_clock.synchronized
+
+let test_sync_clock_rejects_big_error () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 2) in
+  let c =
+    Clocksync.Sync_clock.note_reading c ~of_:(Proc_id.of_int 0)
+      (reading ~offset:Time.zero ~error:(Time.of_ms 15) ~read_at:Time.zero)
+  in
+  (* bound 15ms > epsilon/2 = 10ms *)
+  check Alcotest.bool "too uncertain" false
+    (Clocksync.Sync_clock.status c ~now_local:(Time.of_ms 1))
+      .Clocksync.Sync_clock.synchronized
+
+let test_sync_clock_keeps_better_reading () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 2) in
+  let c =
+    Clocksync.Sync_clock.note_reading c ~of_:(Proc_id.of_int 0)
+      (reading ~offset:(Time.of_ms 10) ~error:(Time.of_ms 1) ~read_at:Time.zero)
+  in
+  (* worse reading arrives later: must not replace the sharper one *)
+  let c =
+    Clocksync.Sync_clock.note_reading c ~of_:(Proc_id.of_int 0)
+      (reading ~offset:(Time.of_ms 99) ~error:(Time.of_ms 9)
+         ~read_at:(Time.of_ms 1))
+  in
+  check (Alcotest.option Alcotest.int) "kept sharp offset"
+    (Some (Time.add (Time.of_ms 100) (Time.of_ms 10)))
+    (Clocksync.Sync_clock.reading c ~now_local:(Time.of_ms 100))
+
+let test_sync_clock_local_of_sync () =
+  let c = Clocksync.Sync_clock.create (params 5) ~self:(Proc_id.of_int 2) in
+  let c =
+    Clocksync.Sync_clock.note_reading c ~of_:(Proc_id.of_int 0)
+      (reading ~offset:(Time.of_ms 50) ~error:(Time.of_ms 2) ~read_at:Time.zero)
+  in
+  check (Alcotest.option Alcotest.int) "inverse translation"
+    (Some (Time.of_ms 150))
+    (Clocksync.Sync_clock.local_of_sync c ~sync:(Time.of_ms 200)
+       ~now_local:(Time.of_ms 100))
+
+(* ------------------------------------------------------------------ *)
+(* Protocol integration *)
+
+let run_protocol ~n ~omission ~seed ~duration =
+  let cfg = Clocksync.Protocol.default_config ~n in
+  let net =
+    {
+      Net.default_config with
+      Net.delta = cfg.Clocksync.Protocol.delta;
+      omission_prob = omission;
+    }
+  in
+  let engine = Engine.create { Engine.default_config with Engine.net; seed } ~n in
+  let rng = Rng.create (seed + 1) in
+  let clocks =
+    Array.init n (fun _ ->
+        Hardware_clock.random rng ~max_offset:(Time.of_sec 1) ~max_drift:1e-5)
+  in
+  let automaton = Clocksync.Protocol.automaton cfg in
+  List.iter
+    (fun id ->
+      Engine.add_process engine id automaton
+        ~clock:(Engine.clock_source_of_hardware clocks.(Proc_id.to_int id))
+        ())
+    (Proc_id.all ~n);
+  Engine.run engine ~until:duration;
+  (engine, cfg)
+
+let test_protocol_all_synchronize () =
+  let engine, _ = run_protocol ~n:5 ~omission:0.0 ~seed:3 ~duration:(Time.of_sec 2) in
+  List.iter
+    (fun id ->
+      match Engine.state_of engine id with
+      | Some st ->
+        let now_local = Engine.clock_of engine id in
+        if Clocksync.Protocol.sync_reading st ~now_local = None then
+          Alcotest.failf "process %d not synchronized" (Proc_id.to_int id)
+      | None -> Alcotest.fail "process down")
+    (Proc_id.all ~n:5)
+
+let test_protocol_deviation_bounded () =
+  let engine, cfg =
+    run_protocol ~n:5 ~omission:0.1 ~seed:4 ~duration:(Time.of_sec 3)
+  in
+  let epsilon = cfg.Clocksync.Protocol.clock.Clocksync.Sync_clock.epsilon in
+  let readings =
+    List.filter_map
+      (fun id ->
+        match Engine.state_of engine id with
+        | Some st ->
+          Clocksync.Protocol.sync_reading st
+            ~now_local:(Engine.clock_of engine id)
+        | None -> None)
+      (Proc_id.all ~n:5)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if abs (Time.sub a b) > epsilon then
+            Alcotest.failf "deviation %d exceeds epsilon" (abs (Time.sub a b)))
+        readings)
+    readings
+
+let test_protocol_rejects_late_replies () =
+  (* with heavy performance failures, readings taken must still honour
+     the bound: late replies (> 2 delta) are rejected outright *)
+  let cfg = Clocksync.Protocol.default_config ~n:3 in
+  let net =
+    {
+      Net.default_config with
+      Net.delta = cfg.Clocksync.Protocol.delta;
+      late_prob = 0.5;
+      late_delay_max = Time.of_ms 100;
+    }
+  in
+  let engine =
+    Engine.create { Engine.default_config with Engine.net; seed = 5 } ~n:3
+  in
+  let rng = Rng.create 6 in
+  let clocks =
+    Array.init 3 (fun _ ->
+        Hardware_clock.random rng ~max_offset:(Time.of_sec 1) ~max_drift:1e-5)
+  in
+  let automaton = Clocksync.Protocol.automaton cfg in
+  List.iter
+    (fun id ->
+      Engine.add_process engine id automaton
+        ~clock:(Engine.clock_source_of_hardware clocks.(Proc_id.to_int id))
+        ())
+    (Proc_id.all ~n:3);
+  Engine.run engine ~until:(Time.of_sec 3);
+  let epsilon = cfg.Clocksync.Protocol.clock.Clocksync.Sync_clock.epsilon in
+  let readings =
+    List.filter_map
+      (fun id ->
+        match Engine.state_of engine id with
+        | Some st ->
+          Clocksync.Protocol.sync_reading st
+            ~now_local:(Engine.clock_of engine id)
+        | None -> None)
+      (Proc_id.all ~n:3)
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if abs (Time.sub a b) > epsilon then
+            Alcotest.fail "late replies corrupted the bound")
+        readings)
+    readings
+
+(* ------------------------------------------------------------------ *)
+(* Oracle *)
+
+let test_oracle_deviation () =
+  let rng = Rng.create 9 in
+  let epsilon = Time.of_ms 2 in
+  let clocks = Clocksync.Oracle.clocks rng ~n:8 ~epsilon ~max_drift:1e-6 in
+  (* at several instants, pairwise deviation must stay within epsilon
+     plus negligible drift accumulation *)
+  List.iter
+    (fun real ->
+      Array.iter
+        (fun (a : Engine.clock_source) ->
+          Array.iter
+            (fun (b : Engine.clock_source) ->
+              let da = a.Engine.reading ~real and db = b.Engine.reading ~real in
+              if abs (Time.sub da db) > Time.add epsilon (Time.of_us 50) then
+                Alcotest.fail "oracle deviation exceeded")
+            clocks)
+        clocks)
+    [ Time.zero; Time.of_sec 1; Time.of_sec 10 ]
+
+let test_oracle_perfect () =
+  let clocks = Clocksync.Oracle.perfect ~n:3 in
+  check Alcotest.int "identity" (Time.of_sec 5)
+    (clocks.(1).Engine.reading ~real:(Time.of_sec 5))
+
+let () =
+  Alcotest.run "clocksync"
+    [
+      ( "reading",
+        [
+          Alcotest.test_case "round trip" `Quick test_reading_round_trip;
+          Alcotest.test_case "invalid" `Quick test_reading_invalid;
+          Alcotest.test_case "error growth" `Quick test_reading_error_growth;
+          qcheck prop_reading_bounds_true_offset;
+        ] );
+      ( "sync clock",
+        [
+          Alcotest.test_case "reference p0" `Quick test_sync_clock_reference_is_p0;
+          Alcotest.test_case "self reference" `Quick test_sync_clock_self_is_reference;
+          Alcotest.test_case "synchronizes" `Quick test_sync_clock_becomes_synchronized;
+          Alcotest.test_case "fail-aware staleness" `Quick
+            test_sync_clock_fail_awareness_on_staleness;
+          Alcotest.test_case "rejects big error" `Quick test_sync_clock_rejects_big_error;
+          Alcotest.test_case "keeps best reading" `Quick test_sync_clock_keeps_better_reading;
+          Alcotest.test_case "local_of_sync" `Quick test_sync_clock_local_of_sync;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "all synchronize" `Quick test_protocol_all_synchronize;
+          Alcotest.test_case "deviation bounded" `Quick test_protocol_deviation_bounded;
+          Alcotest.test_case "rejects late replies" `Quick
+            test_protocol_rejects_late_replies;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "deviation" `Quick test_oracle_deviation;
+          Alcotest.test_case "perfect" `Quick test_oracle_perfect;
+        ] );
+    ]

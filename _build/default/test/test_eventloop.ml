@@ -1,0 +1,243 @@
+(* Tests for the event-based dispatcher, the timing wheel and the
+   thread-based comparison dispatcher (paper, Section 5). *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher *)
+
+let test_dispatcher_fifo () =
+  let d = Eventloop.Dispatcher.create () in
+  let seen = ref [] in
+  Eventloop.Dispatcher.register d ~kind:0 (fun v -> seen := v :: !seen);
+  List.iter (fun v -> Eventloop.Dispatcher.post d ~kind:0 v) [ 1; 2; 3 ];
+  check Alcotest.int "queued" 3 (Eventloop.Dispatcher.queue_length d);
+  check Alcotest.int "dispatched" 3 (Eventloop.Dispatcher.run_pending d);
+  check (Alcotest.list Alcotest.int) "FIFO order" [ 1; 2; 3 ] (List.rev !seen)
+
+let test_dispatcher_multi_kind () =
+  let d = Eventloop.Dispatcher.create () in
+  let a = ref 0 and b = ref 0 in
+  Eventloop.Dispatcher.register d ~kind:1 (fun v -> a := !a + v);
+  Eventloop.Dispatcher.register d ~kind:2 (fun v -> b := !b + v);
+  Eventloop.Dispatcher.post d ~kind:1 10;
+  Eventloop.Dispatcher.post d ~kind:2 20;
+  Eventloop.Dispatcher.post d ~kind:1 1;
+  ignore (Eventloop.Dispatcher.run_pending d);
+  check Alcotest.int "kind 1" 11 !a;
+  check Alcotest.int "kind 2" 20 !b
+
+let test_dispatcher_reentrant_post () =
+  (* a handler posting events must see them drained in the same
+     run_pending call *)
+  let d = Eventloop.Dispatcher.create () in
+  let seen = ref [] in
+  Eventloop.Dispatcher.register d ~kind:0 (fun v ->
+      seen := v :: !seen;
+      if v < 3 then Eventloop.Dispatcher.post d ~kind:0 (v + 1));
+  Eventloop.Dispatcher.post d ~kind:0 0;
+  check Alcotest.int "cascade" 4 (Eventloop.Dispatcher.run_pending d);
+  check (Alcotest.list Alcotest.int) "order" [ 0; 1; 2; 3 ] (List.rev !seen)
+
+let test_dispatcher_unregistered_dropped () =
+  let d = Eventloop.Dispatcher.create () in
+  Eventloop.Dispatcher.post d ~kind:9 1;
+  ignore (Eventloop.Dispatcher.run_pending d);
+  check Alcotest.int "dropped" 1 (Eventloop.Dispatcher.dropped d);
+  check Alcotest.int "dispatched" 0 (Eventloop.Dispatcher.dispatched d)
+
+let test_dispatcher_replace_handler () =
+  let d = Eventloop.Dispatcher.create () in
+  let v = ref 0 in
+  Eventloop.Dispatcher.register d ~kind:0 (fun _ -> v := 1);
+  Eventloop.Dispatcher.register d ~kind:0 (fun _ -> v := 2);
+  Eventloop.Dispatcher.post d ~kind:0 ();
+  ignore (Eventloop.Dispatcher.run_pending d);
+  check Alcotest.int "replaced" 2 !v
+
+let test_dispatcher_unregister () =
+  let d = Eventloop.Dispatcher.create () in
+  Eventloop.Dispatcher.register d ~kind:0 (fun _ -> ());
+  Eventloop.Dispatcher.unregister d ~kind:0;
+  Eventloop.Dispatcher.post d ~kind:0 ();
+  ignore (Eventloop.Dispatcher.run_pending d);
+  check Alcotest.int "dropped after unregister" 1
+    (Eventloop.Dispatcher.dropped d)
+
+let test_dispatcher_run_one () =
+  let d = Eventloop.Dispatcher.create () in
+  let n = ref 0 in
+  Eventloop.Dispatcher.register d ~kind:0 (fun _ -> incr n);
+  Eventloop.Dispatcher.post d ~kind:0 ();
+  Eventloop.Dispatcher.post d ~kind:0 ();
+  check Alcotest.bool "one" true (Eventloop.Dispatcher.run_one d);
+  check Alcotest.int "only one" 1 !n;
+  check Alcotest.bool "second" true (Eventloop.Dispatcher.run_one d);
+  check Alcotest.bool "empty" false (Eventloop.Dispatcher.run_one d)
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel *)
+
+let test_wheel_fires_in_order () =
+  let w = Eventloop.Timer_wheel.create ~tick:10 () in
+  let fired = ref [] in
+  let arm at v =
+    ignore
+      (Eventloop.Timer_wheel.schedule w ~at (fun () -> fired := v :: !fired))
+  in
+  arm 35 "b";
+  arm 15 "a";
+  arm 95 "c";
+  check Alcotest.int "pending" 3 (Eventloop.Timer_wheel.pending w);
+  ignore (Eventloop.Timer_wheel.advance w ~to_:100);
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ]
+    (List.rev !fired);
+  check Alcotest.int "none pending" 0 (Eventloop.Timer_wheel.pending w)
+
+let test_wheel_cancel () =
+  let w = Eventloop.Timer_wheel.create ~tick:10 () in
+  let fired = ref 0 in
+  let id = Eventloop.Timer_wheel.schedule w ~at:50 (fun () -> incr fired) in
+  check Alcotest.bool "cancelled" true (Eventloop.Timer_wheel.cancel w id);
+  check Alcotest.bool "double cancel" false (Eventloop.Timer_wheel.cancel w id);
+  ignore (Eventloop.Timer_wheel.advance w ~to_:100);
+  check Alcotest.int "never fired" 0 !fired
+
+let test_wheel_wraps_rounds () =
+  (* expiry far beyond one wheel revolution must still fire exactly once
+     at the right tick *)
+  let w = Eventloop.Timer_wheel.create ~wheel_size:8 ~tick:1 () in
+  let fired_at = ref [] in
+  for i = 1 to 40 do
+    ignore
+      (Eventloop.Timer_wheel.schedule w ~at:i (fun () ->
+           fired_at := i :: !fired_at))
+  done;
+  ignore (Eventloop.Timer_wheel.advance w ~to_:40);
+  check (Alcotest.list Alcotest.int) "all fire in order"
+    (List.init 40 (fun i -> i + 1))
+    (List.rev !fired_at)
+
+let test_wheel_past_deadline_fires_next_tick () =
+  let w = Eventloop.Timer_wheel.create ~tick:10 () in
+  ignore (Eventloop.Timer_wheel.advance w ~to_:100);
+  let fired = ref false in
+  ignore (Eventloop.Timer_wheel.schedule w ~at:50 (fun () -> fired := true));
+  ignore (Eventloop.Timer_wheel.advance w ~to_:110);
+  check Alcotest.bool "clamped to next tick" true !fired
+
+let test_wheel_reentrant_schedule () =
+  (* periodic re-arming from inside a callback *)
+  let w = Eventloop.Timer_wheel.create ~tick:10 () in
+  let count = ref 0 in
+  let rec arm at =
+    ignore
+      (Eventloop.Timer_wheel.schedule w ~at (fun () ->
+           incr count;
+           if !count < 5 then arm (at + 20)))
+  in
+  arm 20;
+  ignore (Eventloop.Timer_wheel.advance w ~to_:200);
+  check Alcotest.int "periodic firings" 5 !count
+
+let prop_wheel_all_fire_once =
+  QCheck.Test.make ~name:"every scheduled timer fires exactly once"
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 500))
+    (fun ats ->
+      let w = Eventloop.Timer_wheel.create ~wheel_size:16 ~tick:7 () in
+      let fired = ref 0 in
+      List.iter
+        (fun at ->
+          ignore (Eventloop.Timer_wheel.schedule w ~at (fun () -> incr fired)))
+        ats;
+      ignore (Eventloop.Timer_wheel.advance w ~to_:1000);
+      !fired = List.length ats && Eventloop.Timer_wheel.pending w = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Threaded dispatcher *)
+
+let test_threaded_processes_all () =
+  let d = Eventloop.Threaded.create () in
+  let counters = Array.make 4 0 in
+  let mutex = Mutex.create () in
+  for k = 0 to 3 do
+    Eventloop.Threaded.register d ~kind:k (fun v ->
+        Mutex.lock mutex;
+        counters.(k) <- counters.(k) + v;
+        Mutex.unlock mutex)
+  done;
+  for i = 0 to 399 do
+    Eventloop.Threaded.post d ~kind:(i mod 4) 1
+  done;
+  Eventloop.Threaded.drain d;
+  check Alcotest.int "all dispatched" 400 (Eventloop.Threaded.dispatched d);
+  Array.iter (fun c -> check Alcotest.int "per kind" 100 c) counters;
+  Eventloop.Threaded.shutdown d
+
+let test_threaded_unknown_kind () =
+  let d = Eventloop.Threaded.create () in
+  Eventloop.Threaded.register d ~kind:0 (fun () -> ());
+  Alcotest.check_raises "unknown kind"
+    (Invalid_argument "Threaded.post: unknown event kind") (fun () ->
+      Eventloop.Threaded.post d ~kind:7 ());
+  Eventloop.Threaded.shutdown d
+
+let test_threaded_double_register () =
+  let d = Eventloop.Threaded.create () in
+  Eventloop.Threaded.register d ~kind:0 (fun () -> ());
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Threaded.register: kind registered twice") (fun () ->
+      Eventloop.Threaded.register d ~kind:0 (fun () -> ()));
+  Eventloop.Threaded.shutdown d
+
+let test_threaded_serialized_handlers () =
+  (* at most one handler runs at a time: a racy counter must still be
+     exact because the handover token serializes handlers *)
+  let d = Eventloop.Threaded.create () in
+  let counter = ref 0 in
+  for k = 0 to 7 do
+    Eventloop.Threaded.register d ~kind:k (fun () ->
+        let v = !counter in
+        (* no mutex here on purpose: serialization must protect us *)
+        counter := v + 1)
+  done;
+  for i = 0 to 799 do
+    Eventloop.Threaded.post d ~kind:(i mod 8) ()
+  done;
+  Eventloop.Threaded.drain d;
+  check Alcotest.int "exact count without handler locking" 800 !counter;
+  Eventloop.Threaded.shutdown d
+
+let () =
+  Alcotest.run "eventloop"
+    [
+      ( "dispatcher",
+        [
+          Alcotest.test_case "fifo" `Quick test_dispatcher_fifo;
+          Alcotest.test_case "multi kind" `Quick test_dispatcher_multi_kind;
+          Alcotest.test_case "reentrant post" `Quick test_dispatcher_reentrant_post;
+          Alcotest.test_case "unregistered dropped" `Quick
+            test_dispatcher_unregistered_dropped;
+          Alcotest.test_case "replace handler" `Quick test_dispatcher_replace_handler;
+          Alcotest.test_case "unregister" `Quick test_dispatcher_unregister;
+          Alcotest.test_case "run_one" `Quick test_dispatcher_run_one;
+        ] );
+      ( "timer wheel",
+        [
+          Alcotest.test_case "fires in order" `Quick test_wheel_fires_in_order;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "wraps rounds" `Quick test_wheel_wraps_rounds;
+          Alcotest.test_case "past deadline" `Quick
+            test_wheel_past_deadline_fires_next_tick;
+          Alcotest.test_case "reentrant" `Quick test_wheel_reentrant_schedule;
+          qcheck prop_wheel_all_fire_once;
+        ] );
+      ( "threaded",
+        [
+          Alcotest.test_case "processes all" `Quick test_threaded_processes_all;
+          Alcotest.test_case "unknown kind" `Quick test_threaded_unknown_kind;
+          Alcotest.test_case "double register" `Quick test_threaded_double_register;
+          Alcotest.test_case "serialized" `Quick test_threaded_serialized_handlers;
+        ] );
+    ]

@@ -1,0 +1,237 @@
+(* Integration tests of the full Figure 1 stack: membership + broadcast
+   over the real fail-aware clock synchronization protocol over raw
+   hardware clocks. *)
+
+open Tasim
+open Timewheel
+open Broadcast
+
+let check = Alcotest.check
+let pid = Proc_id.of_int
+
+type harness = {
+  engine :
+    ( (int, int list) Full_stack.state,
+      (int, int list) Full_stack.msg,
+      int Full_stack.obs )
+    Engine.t;
+  views : (Time.t * Proc_id.t * int * Proc_set.t) list ref;
+  started : Proc_id.t list ref;
+  deliveries : (Proc_id.t * int) list ref;
+}
+
+let build ?(n = 5) ?(seed = 3) ?(omission = 0.0) ?(max_offset = Time.of_ms 200)
+    () =
+  let params = Params.make ~n () in
+  let cs_cfg = Clocksync.Protocol.default_config ~n in
+  let member_cfg =
+    Member.config ~apply:(fun log v -> v :: log) ~initial_app:[] params
+  in
+  let net =
+    {
+      Net.default_config with
+      Net.delta = params.Params.delta;
+      omission_prob = omission;
+    }
+  in
+  let engine = Engine.create { Engine.default_config with Engine.net; seed } ~n in
+  Engine.classify engine Full_stack.kind_of_msg;
+  let rng = Rng.create (seed + 5) in
+  let clocks =
+    Array.init n (fun _ ->
+        Hardware_clock.random rng ~max_offset ~max_drift:1e-5)
+  in
+  let views = ref [] in
+  let started = ref [] in
+  let deliveries = ref [] in
+  Engine.on_observe engine (fun at proc obs ->
+      match obs with
+      | Full_stack.Member_obs (Member.View_installed { group; group_id }) ->
+        views := (at, proc, group_id, group) :: !views
+      | Full_stack.Member_obs (Member.Delivered { proposal; _ }) ->
+        deliveries := (proc, proposal.Proposal.payload) :: !deliveries
+      | Full_stack.Member_started -> started := proc :: !started
+      | _ -> ());
+  let automaton = Full_stack.automaton member_cfg cs_cfg in
+  List.iter
+    (fun id ->
+      Engine.add_process engine id automaton
+        ~clock:(Engine.clock_source_of_hardware clocks.(Proc_id.to_int id))
+        ())
+    (Proc_id.all ~n);
+  { engine; views; started; deliveries }
+
+let latest_views h ~n =
+  List.filter_map
+    (fun p ->
+      match Engine.state_of h.engine p with
+      | Some st -> (
+        match Full_stack.member st with
+        | Some m when Member.has_group m -> Some (Member.group_id m, Member.group m)
+        | _ -> None)
+      | None -> None)
+    (Proc_id.all ~n)
+
+let test_members_start_after_sync () =
+  let h = build () in
+  Engine.run h.engine ~until:(Time.of_sec 1);
+  check Alcotest.int "all five members started" 5 (List.length !(h.started))
+
+let test_group_forms_over_real_clocks () =
+  let h = build () in
+  Engine.run h.engine ~until:(Time.of_sec 2);
+  let full =
+    List.filter (fun (_, _, _, g) -> Proc_set.cardinal g = 5) !(h.views)
+  in
+  check Alcotest.bool "everyone installed the full group" true
+    (List.length full >= 5);
+  let current = latest_views h ~n:5 in
+  check Alcotest.int "five current views" 5 (List.length current);
+  match current with
+  | (gid, g) :: rest ->
+    List.iter
+      (fun (gid', g') ->
+        check Alcotest.int "same gid" gid gid';
+        check Alcotest.bool "same group" true (Proc_set.equal g g'))
+      rest
+  | [] -> Alcotest.fail "no views"
+
+let test_crash_excluded_and_rejoins () =
+  let h = build () in
+  Engine.run h.engine ~until:(Time.of_sec 2);
+  Engine.crash_at h.engine (Time.of_sec 2) (pid 2);
+  Engine.run h.engine ~until:(Time.of_sec 5);
+  let survivors = List.filter (fun p -> not (Proc_id.equal p (pid 2))) (Proc_id.all ~n:5) in
+  List.iter
+    (fun p ->
+      match Engine.state_of h.engine p with
+      | Some st -> (
+        match Full_stack.member st with
+        | Some m ->
+          check Alcotest.bool "victim excluded" false
+            (Proc_set.mem (pid 2) (Member.group m))
+        | None -> Alcotest.fail "member missing")
+      | None -> Alcotest.fail "survivor down")
+    survivors;
+  Engine.recover_at h.engine (Time.of_sec 5) (pid 2);
+  Engine.run h.engine ~until:(Time.of_sec 12);
+  let current = latest_views h ~n:5 in
+  check Alcotest.int "all back" 5 (List.length current);
+  List.iter
+    (fun (_, g) -> check Alcotest.int "full group" 5 (Proc_set.cardinal g))
+    current
+
+let test_updates_deliver_over_real_clocks () =
+  let h = build () in
+  Engine.run h.engine ~until:(Time.of_sec 2);
+  for i = 0 to 9 do
+    Engine.inject_at h.engine
+      (Time.add (Time.of_sec 2) (Time.of_ms (30 * i)))
+      (pid (i mod 5))
+      (Full_stack.submit ~semantics:Semantics.total_strong i)
+  done;
+  Engine.run h.engine ~until:(Time.of_sec 5);
+  (* every member delivered all ten updates *)
+  List.iter
+    (fun p ->
+      let mine =
+        List.filter (fun (q, _) -> Proc_id.equal p q) !(h.deliveries)
+      in
+      check Alcotest.int
+        (Fmt.str "deliveries at %a" Proc_id.pp p)
+        10 (List.length mine))
+    (Proc_id.all ~n:5);
+  (* and in the same total order *)
+  let order p =
+    List.rev
+      (List.filter_map
+         (fun (q, v) -> if Proc_id.equal p q then Some v else None)
+         !(h.deliveries))
+  in
+  let reference = order (pid 0) in
+  List.iter
+    (fun p ->
+      check (Alcotest.list Alcotest.int) "same order" reference (order p))
+    (Proc_id.all ~n:5)
+
+let test_heavy_drift () =
+  (* 1e-4 drift (the paper's worst-case quartz bound) and half-second
+     offsets: the stack must still form and operate *)
+  let params = Params.make ~n:5 () in
+  let cs_cfg = Clocksync.Protocol.default_config ~n:5 in
+  let member_cfg =
+    Member.config ~apply:(fun log v -> v :: log) ~initial_app:[] params
+  in
+  let engine =
+    Engine.create
+      { Engine.default_config with
+        Engine.net = { Net.default_config with Net.delta = params.Params.delta };
+        seed = 21 }
+      ~n:5
+  in
+  Engine.classify engine Full_stack.kind_of_msg;
+  let rng = Rng.create 22 in
+  let clocks =
+    Array.init 5 (fun _ ->
+        Hardware_clock.random rng ~max_offset:(Time.of_ms 500) ~max_drift:1e-4)
+  in
+  let automaton = Full_stack.automaton member_cfg cs_cfg in
+  List.iter
+    (fun id ->
+      Engine.add_process engine id automaton
+        ~clock:(Engine.clock_source_of_hardware clocks.(Proc_id.to_int id))
+        ())
+    (Proc_id.all ~n:5);
+  for i = 0 to 9 do
+    Engine.inject_at engine
+      (Time.add (Time.of_sec 2) (Time.of_ms (40 * i)))
+      (pid (i mod 5))
+      (Full_stack.submit ~semantics:Semantics.total_strong i)
+  done;
+  Engine.run engine ~until:(Time.of_sec 6);
+  let views = latest_views { engine; views = ref []; started = ref []; deliveries = ref [] } ~n:5 in
+  check Alcotest.int "all operational under heavy drift" 5 (List.length views);
+  List.iter
+    (fun (_, g) -> check Alcotest.int "full group" 5 (Proc_set.cardinal g))
+    views;
+  (* every member applied all ten updates identically *)
+  let logs =
+    List.filter_map
+      (fun p ->
+        match Engine.state_of engine p with
+        | Some st -> Option.map Member.app (Full_stack.member st)
+        | None -> None)
+      (Proc_id.all ~n:5)
+  in
+  (match logs with
+  | first :: rest ->
+    check Alcotest.int "ten updates" 10 (List.length first);
+    List.iter
+      (fun l -> check Alcotest.bool "identical" true (l = first))
+      rest
+  | [] -> Alcotest.fail "no logs")
+
+let test_robust_to_loss () =
+  let h = build ~seed:11 ~omission:0.05 () in
+  Engine.run h.engine ~until:(Time.of_sec 4);
+  let current = latest_views h ~n:5 in
+  check Alcotest.int "five views despite loss" 5 (List.length current);
+  List.iter
+    (fun (_, g) -> check Alcotest.int "full group" 5 (Proc_set.cardinal g))
+    current
+
+let () =
+  Alcotest.run "full-stack"
+    [
+      ( "fig.1 composition",
+        [
+          Alcotest.test_case "members start after sync" `Quick
+            test_members_start_after_sync;
+          Alcotest.test_case "group forms" `Quick test_group_forms_over_real_clocks;
+          Alcotest.test_case "crash + rejoin" `Quick test_crash_excluded_and_rejoins;
+          Alcotest.test_case "updates deliver" `Quick
+            test_updates_deliver_over_real_clocks;
+          Alcotest.test_case "robust to loss" `Quick test_robust_to_loss;
+          Alcotest.test_case "heavy drift" `Quick test_heavy_drift;
+        ] );
+    ]

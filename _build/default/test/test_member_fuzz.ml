@@ -1,0 +1,269 @@
+(* Robustness fuzzing of the member automaton.
+
+   A real deployment receives arbitrary datagrams: stale control
+   messages, no-decisions about unknown processes, decisions carrying
+   foreign oals, state transfers it never asked for. The automaton must
+   never raise, and a handful of structural invariants must hold after
+   any input sequence:
+
+   - the member never installs a non-majority group containing itself;
+   - group ids never decrease;
+   - the oal purge frontier never decreases and next_ordinal never
+     decreases (except across a state-transfer adoption, which replaces
+     the replica history wholesale);
+   - the automaton stays within its six states (trivially by typing) and
+     timer effects always target the three known keys. *)
+
+open Tasim
+open Broadcast
+open Timewheel
+
+let qcheck = QCheck_alcotest.to_alcotest
+let pid = Proc_id.of_int
+let n = 5
+let params = Params.make ~n ()
+let cfg : (int, unit) Member.config = Member.config ~initial_app:() params
+
+(* ------------------------------------------------------------------ *)
+(* generators *)
+
+let gen_proc = QCheck.Gen.map pid (QCheck.Gen.int_bound (n - 1))
+
+let gen_set =
+  QCheck.Gen.map
+    (fun ids -> Proc_set.of_list (List.map pid ids))
+    QCheck.Gen.(list_size (int_bound n) (int_bound (n - 1)))
+
+let gen_time = QCheck.Gen.map Time.of_ms (QCheck.Gen.int_bound 5_000)
+
+let gen_semantics =
+  QCheck.Gen.oneofl Semantics.all
+
+let gen_proposal =
+  QCheck.Gen.(
+    map
+      (fun (origin, seq, sem, ts, hdo, payload) ->
+        Proposal.make ~origin ~seq ~semantics:sem ~send_ts:ts ~hdo payload)
+      (tup6 gen_proc (int_bound 5) gen_semantics gen_time
+         (map (fun h -> h - 1) (int_bound 6))
+         (int_bound 1000)))
+
+let gen_oal =
+  (* a small oal with a few update entries and maybe a membership *)
+  QCheck.Gen.(
+    map
+      (fun (infos, membership) ->
+        let oal =
+          List.fold_left
+            (fun oal (p : int Proposal.t) ->
+              fst
+                (Oal.append_update oal
+                   {
+                     Oal.proposal_id = p.Proposal.id;
+                     semantics = p.Proposal.semantics;
+                     send_ts = p.Proposal.send_ts;
+                     hdo = p.Proposal.hdo;
+                   }
+                   ~acks:(Proc_set.singleton p.Proposal.id.Proposal.origin)))
+            Oal.empty infos
+        in
+        match membership with
+        | Some (group, gid) when not (Proc_set.is_empty group) ->
+          fst (Oal.append_membership oal ~group ~group_id:gid)
+        | _ -> oal)
+      (pair
+         (list_size (int_bound 4) gen_proposal)
+         (option (pair gen_set (int_bound 3)))))
+
+let gen_msg : (int, unit) Control_msg.t QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 2,
+          map
+            (fun (sem, payload) ->
+              Control_msg.Submit { semantics = sem; payload })
+            (pair gen_semantics (int_bound 100)) );
+        (3, map (fun p -> Control_msg.Proposal_msg p) gen_proposal);
+        (1, map (fun p -> Control_msg.Retransmit p) gen_proposal);
+        ( 1,
+          map
+            (fun ps ->
+              Control_msg.Nack
+                { missing = List.map (fun p -> p.Proposal.id) ps })
+            (list_size (int_bound 3) gen_proposal) );
+        ( 4,
+          map
+            (fun (ts, oal, alive) ->
+              Control_msg.Decision { d_ts = ts; d_oal = oal; d_alive = alive })
+            (triple gen_time gen_oal gen_set) );
+        ( 3,
+          map
+            (fun ((ts, suspect, since), (oal, alive)) ->
+              Control_msg.No_decision
+                {
+                  nd_ts = ts;
+                  nd_suspect = suspect;
+                  nd_since = since;
+                  nd_view = oal;
+                  nd_dpd = [];
+                  nd_alive = alive;
+                })
+            (pair (triple gen_time gen_proc gen_time) (pair gen_oal gen_set))
+        );
+        ( 2,
+          map
+            (fun (ts, jl, alive) ->
+              Control_msg.Join_msg { j_ts = ts; j_list = jl; j_alive = alive })
+            (triple gen_time gen_set gen_set) );
+        ( 2,
+          map
+            (fun ((ts, rl, last), (oal, alive)) ->
+              Control_msg.Reconfig
+                {
+                  r_ts = ts;
+                  r_list = rl;
+                  r_last_decision_ts = last;
+                  r_view = oal;
+                  r_dpd = [];
+                  r_alive = alive;
+                })
+            (pair (triple gen_time gen_set gen_time) (pair gen_oal gen_set))
+        );
+        ( 1,
+          map
+            (fun ((ts, group, gid), oal) ->
+              Control_msg.State_transfer
+                {
+                  st_ts = ts;
+                  st_group = group;
+                  st_group_id = gid;
+                  st_oal = oal;
+                  st_app = ();
+                  st_buffers = Buffers.empty;
+                })
+            (pair (triple gen_time gen_set (int_bound 3)) gen_oal) );
+      ])
+
+type input =
+  | Recv of Proc_id.t * (int, unit) Control_msg.t * Time.t
+  | Fire of int * Time.t
+
+let gen_input =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map
+            (fun ((src, msg), dt) -> Recv (src, msg, dt))
+            (pair (pair gen_proc gen_msg) gen_time) );
+        (2, map (fun (k, dt) -> Fire (k, dt)) (pair (int_range 1 3) gen_time));
+      ])
+
+let arb_inputs =
+  QCheck.make
+    ~print:(fun l -> Fmt.str "%d inputs" (List.length l))
+    QCheck.Gen.(list_size (int_range 1 60) gen_input)
+
+(* ------------------------------------------------------------------ *)
+(* the fuzz driver *)
+
+type verdict = {
+  no_exception : bool;
+  group_ids_monotone : bool;
+  majority_respected : bool;
+  oal_monotone : bool;
+  timer_keys_known : bool;
+}
+
+let drive inputs =
+  let automaton = Member.automaton cfg in
+  let state, init_effs =
+    automaton.Engine.init ~self:(pid 0) ~n ~clock:Time.zero ~incarnation:0
+  in
+  let known_keys = [ 1; 2; 3 ] in
+  let verdict =
+    ref
+      {
+        no_exception = true;
+        group_ids_monotone = true;
+        majority_respected = true;
+        oal_monotone = true;
+        timer_keys_known = true;
+      }
+  in
+  let check_effects effs =
+    List.iter
+      (fun eff ->
+        match eff with
+        | Engine.Set_timer { key; _ } | Engine.Cancel_timer key ->
+          if not (List.mem key known_keys) then
+            verdict := { !verdict with timer_keys_known = false }
+        | _ -> ())
+      effs
+  in
+  check_effects init_effs;
+  let clock = ref Time.zero in
+  let last_gid = ref (Member.group_id state) in
+  let last_low = ref (Oal.low (Member.oal_of state)) in
+  let last_next = ref (Oal.next_ordinal (Member.oal_of state)) in
+  let state = ref state in
+  (try
+     List.iter
+       (fun input ->
+         let state', effs =
+           match input with
+           | Recv (src, msg, dt) ->
+             clock := Time.add !clock dt;
+             automaton.Engine.on_receive !state ~clock:!clock ~src msg
+           | Fire (key, dt) ->
+             clock := Time.add !clock dt;
+             automaton.Engine.on_timer !state ~clock:!clock ~key
+         in
+         check_effects effs;
+         state := state';
+         (* a state transfer replaces the replica's oal history
+            wholesale: the monotonicity baseline restarts there *)
+         (match input with
+         | Recv (_, Control_msg.State_transfer _, _) ->
+           last_low := Oal.low (Member.oal_of state');
+           last_next := Oal.next_ordinal (Member.oal_of state')
+         | _ -> ());
+         let gid = Member.group_id state' in
+         if gid < !last_gid then
+           verdict := { !verdict with group_ids_monotone = false };
+         last_gid := max !last_gid gid;
+         let g = Member.group state' in
+         if
+           Member.has_group state'
+           && Proc_set.mem (pid 0) g
+           && not (Proc_set.is_majority g ~n)
+         then verdict := { !verdict with majority_respected = false };
+         let low = Oal.low (Member.oal_of state') in
+         let next = Oal.next_ordinal (Member.oal_of state') in
+         if low < !last_low || next < !last_next then
+           verdict := { !verdict with oal_monotone = false };
+         last_low := max !last_low low;
+         last_next := max !last_next next)
+       inputs
+   with _ -> verdict := { !verdict with no_exception = false });
+  !verdict
+
+let prop field_name field =
+  QCheck.Test.make ~count:300 ~name:field_name arb_inputs (fun inputs ->
+      field (drive inputs))
+
+let () =
+  Alcotest.run "member-fuzz"
+    [
+      ( "robustness",
+        [
+          qcheck (prop "never raises on arbitrary input" (fun v -> v.no_exception));
+          qcheck (prop "group ids never decrease" (fun v -> v.group_ids_monotone));
+          qcheck
+            (prop "own installed groups hold a majority" (fun v ->
+                 v.majority_respected));
+          qcheck (prop "oal frontier and ordinals monotone" (fun v -> v.oal_monotone));
+          qcheck (prop "timer keys stay in the known set" (fun v -> v.timer_keys_known));
+        ] );
+    ]
