@@ -9,7 +9,13 @@
      bench/main.exe micro         microbenchmarks only
 
    Each experiment prints the table(s) recorded in EXPERIMENTS.md; see
-   DESIGN.md section 5 for the experiment index. *)
+   DESIGN.md section 5 for the experiment index. Unknown experiment ids
+   exit non-zero so a typo'd CI invocation fails loudly.
+
+   The micro target additionally runs the engine-throughput
+   macrobenchmark and writes machine-readable results to
+   BENCH_engine.json in the current directory (format in DESIGN.md
+   section 5), so successive PRs leave a perf trajectory. *)
 
 open Tasim
 open Timewheel
@@ -62,6 +68,39 @@ let microbenches () =
              ()
            done))
   in
+  let heap_hot_test =
+    (* steady-state churn on a warm heap via the allocation-free
+       min_time/pop_min pair: the engine run-loop's exact access
+       pattern *)
+    Test.make ~name:"event-queue hot add+pop_min"
+      (Staged.stage
+         (let h = Heap.create () in
+          let tick = ref 0 in
+          for i = 0 to 31 do
+            Heap.add h ~time:i i
+          done;
+          fun () ->
+            for _ = 0 to 31 do
+              let t = Heap.min_time h in
+              let v = Heap.pop_min h in
+              incr tick;
+              Heap.add h ~time:(t + 1 + (v land 7)) ((v + !tick) land 1023)
+            done))
+  in
+  let stats_interned_test =
+    Test.make ~name:"stats bump (interned)"
+      (Staged.stage
+         (let s = Stats.create () in
+          let c = Stats.counter s "sent:decision" in
+          fun () -> Stats.bump c))
+  in
+  let stats_string_test =
+    Test.make ~name:"stats incr (string build)"
+      (Staged.stage
+         (let s = Stats.create () in
+          let kind = "decision" in
+          fun () -> Stats.incr s ("sent:" ^ kind)))
+  in
   let fd_test =
     Test.make ~name:"failure-detector admit"
       (Staged.stage (fun () ->
@@ -97,17 +136,26 @@ let microbenches () =
             now := !now + 10;
             ignore (Eventloop.Timer_wheel.advance w ~to_:!now)))
   in
-  [ heap_test; fd_test; oal_test; gc_test; dispatcher_test; wheel_test ]
+  [
+    heap_test;
+    heap_hot_test;
+    stats_interned_test;
+    stats_string_test;
+    fd_test;
+    oal_test;
+    gc_test;
+    dispatcher_test;
+    wheel_test;
+  ]
 
-let run_micro () =
+(* ns-per-run estimates, in microbench declaration order *)
+let measure_micro () =
   let open Bechamel in
-  Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) ~kde:None ()
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let table = Harness.Table.create ~title:"M0: ns per call" ~columns:[ "operation"; "ns/run" ] in
-  List.iter
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
       let ols =
@@ -115,20 +163,94 @@ let run_micro () =
           (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
           Toolkit.Instance.monotonic_clock results
       in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           let name =
             if String.length name > 2 && String.sub name 0 2 = "g/" then
               String.sub name 2 (String.length name - 2)
             else name
           in
           match Analyze.OLS.estimates result with
-          | Some [ est ] ->
-            Harness.Table.add_row table [ name; Harness.Table.cell_f est ]
-          | _ -> ())
-        ols)
-    (microbenches ());
-  Harness.Table.print table
+          | Some [ est ] -> (name, est) :: acc
+          | _ -> acc)
+        ols [])
+    (microbenches ())
+
+let bench_json_file = "BENCH_engine.json"
+
+let engine_throughput ~quick =
+  let seconds = if quick then 3 else 10 in
+  (* best of three: the simulated work is identical each run, only
+     wall-clock noise differs *)
+  let runs = List.init 3 (fun _ -> Harness.Engine_bench.run ~seconds ()) in
+  List.fold_left
+    (fun best (r : Harness.Engine_bench.result) ->
+      if r.events_per_sec > best.Harness.Engine_bench.events_per_sec then r
+      else best)
+    (List.hd runs) (List.tl runs)
+
+let write_bench_json ~quick micro (tput : Harness.Engine_bench.result) =
+  let open Harness.Bench_json in
+  let json =
+    Obj
+      [
+        ("schema", String "timewheel/bench-engine/v1");
+        ("quick", Bool quick);
+        ("seed", Int 42);
+        ( "micro",
+          List
+            (List.map
+               (fun (name, ns) ->
+                 Obj [ ("name", String name); ("ns_per_op", Float ns) ])
+               micro) );
+        ( "engine_throughput",
+          Obj
+            [
+              ( "workload",
+                String "5-process broadcast, 1ms period, fixed seed" );
+              ("sim_seconds", Float tput.Harness.Engine_bench.sim_seconds);
+              ("wall_seconds", Float tput.wall_seconds);
+              ("events", Int tput.events);
+              ("sends", Int tput.sends);
+              ("deliveries", Int tput.deliveries);
+              ("timer_fires", Int tput.timer_fires);
+              ("observations", Int tput.observations);
+              ("events_per_sec", Float tput.events_per_sec);
+            ] );
+      ]
+  in
+  write_file bench_json_file json;
+  Fmt.pr "wrote %s@." bench_json_file
+
+let run_micro ?(quick = false) () =
+  Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
+  let micro = measure_micro () in
+  let table =
+    Harness.Table.create ~title:"M0: ns per call"
+      ~columns:[ "operation"; "ns/run" ]
+  in
+  List.iter
+    (fun (name, est) ->
+      Harness.Table.add_row table [ name; Harness.Table.cell_f est ])
+    micro;
+  Harness.Table.print table;
+  Fmt.pr "@.=== M1: engine throughput (5-process broadcast) ===@.@.";
+  let tput = engine_throughput ~quick in
+  let table =
+    Harness.Table.create ~title:"M1: events through the engine hot path"
+      ~columns:[ "metric"; "value" ]
+  in
+  Harness.Table.add_rows table
+    [
+      [ "simulated seconds"; Harness.Table.cell_f tput.Harness.Engine_bench.sim_seconds ];
+      [ "events dispatched"; string_of_int tput.events ];
+      [ "wall seconds (best of 3)"; Harness.Table.cell_f tput.wall_seconds ];
+      [ "events/sec"; Harness.Table.cell_f tput.events_per_sec ];
+    ];
+  Harness.Table.note table
+    "deterministic workload: event counts are seed-fixed, only wall time varies";
+  Harness.Table.print table;
+  write_bench_json ~quick micro tput
 
 (* ------------------------------------------------------------------ *)
 
@@ -139,9 +261,10 @@ let () =
   match targets with
   | [] ->
     Harness.Experiments.run_all ~quick ();
-    run_micro ()
-  | [ "micro" ] -> run_micro ()
+    run_micro ~quick ()
+  | [ "micro" ] -> run_micro ~quick ()
   | ids ->
+    let unknown = ref false in
     List.iter
       (fun id ->
         match Harness.Experiments.find id with
@@ -149,6 +272,16 @@ let () =
           Fmt.pr "@.=== %s: %s ===@.@." e.Harness.Experiments.id
             e.Harness.Experiments.title;
           List.iter Harness.Table.print (e.Harness.Experiments.run ~quick ())
-        | None when id = "micro" -> run_micro ()
-        | None -> Fmt.epr "unknown experiment %S@." id)
-      ids
+        | None when id = "micro" -> run_micro ~quick ()
+        | None ->
+          Fmt.epr "unknown experiment %S@." id;
+          unknown := true)
+      ids;
+    if !unknown then begin
+      Fmt.epr "known ids: %s, micro@."
+        (String.concat ", "
+           (List.map
+              (fun e -> e.Harness.Experiments.id)
+              Harness.Experiments.all));
+      exit 1
+    end

@@ -1,0 +1,20 @@
+(** Minimal JSON emitter for machine-readable benchmark results.
+
+    Just enough JSON to write [BENCH_engine.json] (see DESIGN.md
+    section 5) without adding a dependency: objects, arrays, numbers,
+    strings, booleans, null. Non-finite floats are emitted as [null]
+    so the output always parses. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val write_file : string -> t -> unit
+(** Serialize to a file, overwriting it, with a trailing newline. *)

@@ -1,0 +1,25 @@
+(** Engine-throughput macrobenchmark.
+
+    A fixed, deterministic 5-process broadcast workload: every process
+    broadcasts one message per simulated millisecond (4 datagrams each,
+    no losses) and every 256th payload raises an observation, so one
+    simulated second dispatches a stable mix of timer, delivery and
+    observation events through the full [Tasim.Engine] hot path. The
+    measured quantity is wall-clock events per second; the simulated
+    event counts are seed-determined and identical across runs, so two
+    builds are directly comparable. Results land in [BENCH_engine.json]
+    via [bench/main.exe micro] (see DESIGN.md section 5). *)
+
+type result = {
+  sim_seconds : float;  (** simulated duration of the run *)
+  wall_seconds : float;  (** wall-clock time of [Engine.run] *)
+  sends : int;  (** datagrams handed to the network *)
+  deliveries : int;  (** datagrams dispatched to automata *)
+  timer_fires : int;
+  observations : int;
+  events : int;  (** sends + deliveries + timer fires *)
+  events_per_sec : float;  (** events / wall_seconds *)
+}
+
+val run : ?seconds:int -> ?seed:int -> unit -> result
+(** Defaults: 10 simulated seconds, seed 42 (~450k events). *)

@@ -73,6 +73,18 @@ type ('s, 'm, 'obs) event =
   | Ev_start of Proc_id.t
   | Ev_action of (unit -> unit)
 
+(* Interned stats handles for one message kind. Built once per kind
+   (the only place the "sent:"/"delivered:"/... strings are ever
+   concatenated), then every transmit/deliver of that kind is a plain
+   int bump. *)
+type kind_counters = {
+  kind_name : string;
+  sent : Stats.counter;
+  delivered : Stats.counter;
+  dropped : Stats.counter;
+  lost_receiver_down : Stats.counter;
+}
+
 type ('s, 'm, 'obs) t = {
   cfg : config;
   n : int;
@@ -82,9 +94,13 @@ type ('s, 'm, 'obs) t = {
   stats : Stats.t;
   sched_rng : Rng.t;
   workload_rng : Rng.t;
+  kind_cache : (string, kind_counters) Hashtbl.t;
+  reason_cache : (string, Stats.counter) Hashtbl.t;
+  observations_c : Stats.counter;
   mutable now : Time.t;
   mutable classifier : ('m -> string) option;
   mutable probes : (Time.t -> Proc_id.t -> 'obs -> unit) list;
+  mutable probes_rev : (Time.t -> Proc_id.t -> 'obs -> unit) list;
   mutable trace : Trace.t option;
   mutable stopping : bool;
 }
@@ -94,18 +110,23 @@ let create cfg ~n =
   let net_rng = Rng.split root in
   let sched_rng = Rng.split root in
   let workload_rng = Rng.split root in
+  let stats = Stats.create () in
   {
     cfg;
     n;
     queue = Heap.create ();
     net = Net.create cfg.net net_rng;
     procs = Array.make n None;
-    stats = Stats.create ();
+    stats;
     sched_rng;
     workload_rng;
+    kind_cache = Hashtbl.create 16;
+    reason_cache = Hashtbl.create 16;
+    observations_c = Stats.counter stats "observations";
     now = Time.zero;
     classifier = None;
     probes = [];
+    probes_rev = [];
     trace = None;
     stopping = false;
   }
@@ -116,7 +137,13 @@ let net t = t.net
 let stats t = t.stats
 let rng t = t.workload_rng
 let classify t f = t.classifier <- Some f
-let on_observe t probe = t.probes <- t.probes @ [ probe ]
+
+(* Registration is rare, dispatch is hot: prepend onto the reversed
+   list and materialize the registration-order list once per
+   registration, so [Observe] dispatch just iterates. *)
+let on_observe t probe =
+  t.probes_rev <- probe :: t.probes_rev;
+  t.probes <- List.rev t.probes_rev
 let set_trace t trace = t.trace <- Some trace
 
 let trace_record t event =
@@ -153,6 +180,29 @@ let clock_of t id = (proc t id).clock.reading ~real:t.now
 let kind_of t msg =
   match t.classifier with Some f -> f msg | None -> "msg"
 
+(* Hashtbl.find (not find_opt) so the hit path allocates no [Some]. *)
+let kind_counters t kind =
+  try Hashtbl.find t.kind_cache kind
+  with Not_found ->
+    let kc =
+      {
+        kind_name = kind;
+        sent = Stats.counter t.stats ("sent:" ^ kind);
+        delivered = Stats.counter t.stats ("delivered:" ^ kind);
+        dropped = Stats.counter t.stats ("dropped:" ^ kind);
+        lost_receiver_down = Stats.counter t.stats ("lost_receiver_down:" ^ kind);
+      }
+    in
+    Hashtbl.add t.kind_cache kind kc;
+    kc
+
+let reason_counter t reason =
+  try Hashtbl.find t.reason_cache reason
+  with Not_found ->
+    let c = Stats.counter t.stats ("drop_reason:" ^ reason) in
+    Hashtbl.add t.reason_cache reason c;
+    c
+
 (* Scheduling (process reaction) delay: timely within sigma, or a
    performance failure with probability slow_prob. *)
 let sched_delay t =
@@ -163,14 +213,14 @@ let sched_delay t =
   else Rng.uniform_time t.sched_rng t.cfg.sched_min t.cfg.sigma
 
 let transmit t ~src ~dst msg =
-  let kind = kind_of t msg in
-  Stats.incr t.stats ("sent:" ^ kind);
-  trace_record t (Trace.Sent { src; dst; kind });
+  let kc = kind_counters t (kind_of t msg) in
+  Stats.bump kc.sent;
+  trace_record t (Trace.Sent { src; dst; kind = kc.kind_name });
   match Net.fate t.net ~src ~dst msg with
   | Net.Dropped reason ->
-    Stats.incr t.stats ("dropped:" ^ kind);
-    Stats.incr t.stats ("drop_reason:" ^ reason);
-    trace_record t (Trace.Dropped { src; dst; kind; reason })
+    Stats.bump kc.dropped;
+    Stats.bump (reason_counter t reason);
+    trace_record t (Trace.Dropped { src; dst; kind = kc.kind_name; reason })
   | Net.Deliver_after delay ->
     Heap.add t.queue
       ~time:(Time.add t.now (Time.add delay (sched_delay t)))
@@ -203,7 +253,7 @@ let rec apply_effects t p effects =
     | Set_timer { key; at_clock } -> set_timer t p ~key ~at_clock
     | Cancel_timer key -> cancel_timer p ~key
     | Observe obs ->
-      Stats.incr t.stats "observations";
+      Stats.bump t.observations_c;
       List.iter (fun probe -> probe t.now p.id obs) t.probes
     | Log msg ->
       Log.debug (fun m ->
@@ -227,11 +277,11 @@ let dispatch t event =
   | Ev_action f -> f ()
   | Ev_deliver { dst; src; msg } ->
     let p = proc t dst in
-    let kind = kind_of t msg in
-    if not p.up then Stats.incr t.stats ("lost_receiver_down:" ^ kind)
+    let kc = kind_counters t (kind_of t msg) in
+    if not p.up then Stats.bump kc.lost_receiver_down
     else begin
-      Stats.incr t.stats ("delivered:" ^ kind);
-      trace_record t (Trace.Delivered { src; dst; kind });
+      Stats.bump kc.delivered;
+      trace_record t (Trace.Delivered { src; dst; kind = kc.kind_name });
       match p.state with
       | None -> ()
       | Some state ->
@@ -294,18 +344,17 @@ let stop t = t.stopping <- true
 let run t ~until =
   t.stopping <- false;
   let rec loop () =
-    if t.stopping then ()
-    else
-      match Heap.peek_time t.queue with
-      | None -> ()
-      | Some time when time > until -> t.now <- until
-      | Some _ -> (
-        match Heap.pop t.queue with
-        | None -> ()
-        | Some (time, event) ->
-          t.now <- Time.max t.now time;
-          dispatch t event;
-          loop ())
+    if t.stopping || Heap.is_empty t.queue then ()
+    else begin
+      let time = Heap.min_time t.queue in
+      if time > until then t.now <- until
+      else begin
+        let event = Heap.pop_min t.queue in
+        t.now <- Time.max t.now time;
+        dispatch t event;
+        loop ()
+      end
+    end
   in
   loop ();
   if t.now < until && Heap.is_empty t.queue then t.now <- until

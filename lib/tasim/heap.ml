@@ -1,32 +1,69 @@
-type 'a entry = { time : Time.t; seq : int; value : 'a }
+(* Struct-of-arrays binary min-heap.
+
+   Entries live in three parallel arrays — unboxed [int array]s for
+   times and sequence numbers plus one value array — instead of an
+   ['a entry option array]. [add]/[pop] therefore allocate nothing per
+   event (no entry record, no [Some] box) and sifting compares and
+   moves plain ints without pattern matches. The value array is created
+   lazily from the first added element so float payloads still get a
+   flat array and no dummy value is ever fabricated; popped value slots
+   are not overwritten, so up to one array's worth of already-dispatched
+   values may stay reachable until overwritten or [clear]ed — fine for
+   the small event records the simulator queues. *)
 
 type 'a t = {
-  mutable arr : 'a entry option array;
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable values : 'a array; (* [||] until the first add *)
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { arr = Array.make 64 None; len = 0; next_seq = 0 }
+let initial_capacity = 64
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let create () =
+  {
+    times = Array.make initial_capacity 0;
+    seqs = Array.make initial_capacity 0;
+    values = [||];
+    len = 0;
+    next_seq = 0;
+  }
 
-let get t i =
-  match t.arr.(i) with
-  | Some e -> e
-  | None -> assert false
+(* entry i < entry j in heap order: earlier time, FIFO on ties *)
+let lt t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
+
+let swap t i j =
+  let tm = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- tm;
+  let sq = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- sq;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
 
 let grow t =
-  let arr = Array.make (2 * Array.length t.arr) None in
-  Array.blit t.arr 0 arr 0 t.len;
-  t.arr <- arr
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0 in
+  Array.blit t.times 0 times 0 t.len;
+  t.times <- times;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.len;
+  t.seqs <- seqs;
+  (* grow is only reached with len > 0, so values is non-empty *)
+  let values = Array.make cap t.values.(0) in
+  Array.blit t.values 0 values 0 t.len;
+  t.values <- values
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt (get t i) (get t parent) then begin
-      let tmp = t.arr.(i) in
-      t.arr.(i) <- t.arr.(parent);
-      t.arr.(parent) <- tmp;
+    if lt t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -34,41 +71,58 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && entry_lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.len && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if l < t.len && lt t l !smallest then smallest := l;
+  if r < t.len && lt t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.arr.(i) in
-    t.arr.(i) <- t.arr.(!smallest);
-    t.arr.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let add t ~time value =
-  if t.len = Array.length t.arr then grow t;
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  t.arr.(t.len) <- Some { time; seq; value };
-  t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  if t.len = Array.length t.times then grow t;
+  if Array.length t.values = 0 then
+    t.values <- Array.make (Array.length t.times) value;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.values.(i) <- value;
+  t.next_seq <- t.next_seq + 1;
+  t.len <- i + 1;
+  sift_up t i
+
+let is_empty t = t.len = 0
+let size t = t.len
+
+let min_time t =
+  if t.len = 0 then invalid_arg "Heap.min_time: empty heap";
+  t.times.(0)
+
+let pop_min t =
+  if t.len = 0 then invalid_arg "Heap.pop_min: empty heap";
+  let v = t.values.(0) in
+  let last = t.len - 1 in
+  t.len <- last;
+  if last > 0 then begin
+    t.times.(0) <- t.times.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    t.values.(0) <- t.values.(last);
+    sift_down t 0
+  end;
+  v
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = get t 0 in
-    t.len <- t.len - 1;
-    t.arr.(0) <- t.arr.(t.len);
-    t.arr.(t.len) <- None;
-    if t.len > 0 then sift_down t 0;
-    Some (top.time, top.value)
+    let time = t.times.(0) in
+    Some (time, pop_min t)
   end
 
-let peek_time t = if t.len = 0 then None else Some (get t 0).time
-let size t = t.len
-let is_empty t = t.len = 0
+let peek_time t = if t.len = 0 then None else Some t.times.(0)
 
 let clear t =
-  Array.fill t.arr 0 t.len None;
-  t.len <- 0
+  t.len <- 0;
+  (* release the payloads; capacity of the int arrays is kept *)
+  t.values <- [||]
 
 let drain t =
   let rec loop acc =

@@ -2,17 +2,32 @@
 
     The event queue of the simulation engine sits on this heap. Ties on
     time are broken by insertion order (the sequence number), which
-    makes simultaneous events fire FIFO and keeps runs deterministic. *)
+    makes simultaneous events fire FIFO and keeps runs deterministic.
+
+    Entries are stored unboxed in parallel arrays (times, sequence
+    numbers, values), so [add] and the [min_time]/[pop_min] pair
+    perform no per-event allocation — the engine's run loop depends on
+    this. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val add : 'a t -> time:Time.t -> 'a -> unit
-(** Insert an element with the given priority time. *)
+(** Insert an element with the given priority time. Allocation-free
+    except when the heap grows. *)
 
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the minimum element, FIFO among equal times. *)
+
+val min_time : 'a t -> Time.t
+(** Priority of the minimum element without removing it; allocation-free
+    variant of [peek_time]. @raise Invalid_argument when empty. *)
+
+val pop_min : 'a t -> 'a
+(** Remove the minimum element and return its value only (read
+    [min_time] first if the time is needed); allocation-free variant of
+    [pop]. @raise Invalid_argument when empty. *)
 
 val peek_time : 'a t -> Time.t option
 (** Priority of the minimum element without removing it. *)

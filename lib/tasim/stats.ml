@@ -14,6 +14,22 @@ let incr_by t name k =
 
 let incr t name = incr_by t name 1
 
+(* An interned counter is the very cell the string API updates, so the
+   two views can never disagree and [merge] needs no special case. *)
+type counter = int ref
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let bump c = Stdlib.incr c
+let bump_by c k = c := !c + k
+let counter_value c = !c
+
 let count t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 

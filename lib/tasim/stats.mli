@@ -18,6 +18,28 @@ val count : t -> string -> int
 val counters : t -> (string * int) list
 (** All counters, sorted by name. *)
 
+(** {2 Interned counters}
+
+    Hot paths that bump the same counter millions of times per run
+    should not pay a string build plus hashtable lookup per event. An
+    interned {!counter} is a handle to the underlying cell: obtain it
+    once (a normal lookup, creating the counter at 0 if absent) and
+    [bump] it for free afterwards. The handle aliases the cell the
+    string API updates, so [incr]/[count]/[counters]/[merge] and
+    interned bumps always observe the same totals. Handles stay valid
+    for the lifetime of [t], including across [merge]s into or out of
+    it. The string API remains for cold paths and reporting. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Intern [name], creating it with count 0 when absent (it then
+    already appears in {!counters}). *)
+
+val bump : counter -> unit
+val bump_by : counter -> int -> unit
+val counter_value : counter -> int
+
 (** {1 Sample series} *)
 
 val record : t -> string -> float -> unit

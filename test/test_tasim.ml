@@ -154,6 +154,58 @@ let test_heap_clear () =
   Heap.clear h;
   check Alcotest.bool "cleared" true (Heap.is_empty h)
 
+let prop_heap_stable_interleaved =
+  (* ops: [Some time] adds an entry (payload = (time, insertion index)),
+     [None] pops. The heap must agree with a stable-sorted model at
+     every pop and at the final drain; generated op lists run to 400
+     entries, so live size crosses the initial 64-slot capacity. *)
+  QCheck.Test.make
+    ~name:"Heap: interleaved add/pop drains as a stable (time,seq) sort"
+    QCheck.(list_of_size (Gen.int_range 0 400) (option (int_bound 20)))
+    (fun ops ->
+      let h = Heap.create () in
+      let rec insert ((t, s) as x) = function
+        | [] -> [ x ]
+        | (t', s') :: _ as rest when t < t' || (t = t' && s < s') -> x :: rest
+        | y :: rest -> y :: insert x rest
+      in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some time ->
+            Heap.add h ~time (time, !seq);
+            model := insert (time, !seq) !model;
+            incr seq
+          | None -> (
+            match (Heap.pop h, !model) with
+            | None, [] -> ()
+            | Some (pt, (vt, vs)), (mt, ms) :: rest ->
+              model := rest;
+              if not (pt = mt && vt = mt && vs = ms) then ok := false
+            | Some _, [] | None, _ :: _ -> ok := false))
+        ops;
+      let expected = List.map (fun (t, s) -> (t, (t, s))) !model in
+      !ok && Heap.drain h = expected)
+
+let test_heap_pop_min () =
+  let h = Heap.create () in
+  Alcotest.check_raises "min_time on empty"
+    (Invalid_argument "Heap.min_time: empty heap") (fun () ->
+      ignore (Heap.min_time h));
+  Alcotest.check_raises "pop_min on empty"
+    (Invalid_argument "Heap.pop_min: empty heap") (fun () ->
+      ignore (Heap.pop_min h));
+  Heap.add h ~time:20 "b";
+  Heap.add h ~time:10 "a";
+  check Alcotest.int "min_time" 10 (Heap.min_time h);
+  check Alcotest.string "pop_min" "a" (Heap.pop_min h);
+  check Alcotest.int "min_time after pop" 20 (Heap.min_time h);
+  check Alcotest.string "pop_min again" "b" (Heap.pop_min h);
+  check Alcotest.bool "empty" true (Heap.is_empty h)
+
 let prop_heap_sorted =
   QCheck.Test.make ~name:"Heap pops in nondecreasing time order"
     QCheck.(list (int_bound 1000))
@@ -294,6 +346,40 @@ let test_stats_summary () =
 
 let test_stats_empty_summary () =
   check Alcotest.bool "none" true (Stats.summarize [||] = None)
+
+let test_stats_interned () =
+  let s = Stats.create () in
+  let c = Stats.counter s "hot" in
+  check Alcotest.int "interned at zero" 0 (Stats.count s "hot");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "listed at zero" [ ("hot", 0) ] (Stats.counters s);
+  Stats.bump c;
+  Stats.bump c;
+  Stats.incr s "hot";
+  Stats.bump_by c 3;
+  (* both APIs observe the same cell *)
+  check Alcotest.int "string api sees bumps" 6 (Stats.count s "hot");
+  check Alcotest.int "handle sees string incrs" 6 (Stats.counter_value c);
+  let c' = Stats.counter s "hot" in
+  Stats.bump c';
+  check Alcotest.int "re-interning aliases the cell" 7 (Stats.count s "hot")
+
+let test_stats_merge_interned () =
+  let a = Stats.create () and b = Stats.create () in
+  let ca = Stats.counter a "x" in
+  Stats.bump ca;
+  let cb = Stats.counter b "x" in
+  Stats.bump_by cb 2;
+  Stats.incr b "y";
+  Stats.merge a b;
+  check Alcotest.int "merged interned counts" 3 (Stats.count a "x");
+  check Alcotest.int "merged string counts" 1 (Stats.count a "y");
+  (* handles survive the merge, on both sides *)
+  Stats.bump ca;
+  check Alcotest.int "dst handle live after merge" 4 (Stats.count a "x");
+  Stats.bump cb;
+  check Alcotest.int "src unaffected by dst bump" 3 (Stats.count b "x")
 
 let test_stats_merge () =
   let a = Stats.create () and b = Stats.create () in
@@ -701,7 +787,9 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "growth" `Quick test_heap_grows;
           Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "min_time/pop_min" `Quick test_heap_pop_min;
           qcheck prop_heap_sorted;
+          qcheck prop_heap_stable_interleaved;
         ] );
       ( "proc",
         [
@@ -724,6 +812,9 @@ let () =
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "empty" `Quick test_stats_empty_summary;
           Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "interned counters" `Quick test_stats_interned;
+          Alcotest.test_case "merge after interning" `Quick
+            test_stats_merge_interned;
           qcheck prop_stats_percentile_order;
         ] );
       ( "net",
