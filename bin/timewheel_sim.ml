@@ -4,6 +4,7 @@
    Subcommands:
      run         simulate a scenario and print the observation trace
      experiment  run a paper-reproduction experiment (e1..e10, ablate)
+     chaos       fuzz random fault plans against the membership invariants
      list        list scenarios and experiments *)
 
 open Cmdliner
@@ -82,6 +83,65 @@ let run_scenario ~name ~n ~seed ~omission ~duration_s ~workload ~verbose
     | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* chaos: fuzz fault plans against the membership invariants *)
+
+let artifact_path dir index =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Filename.concat dir (Fmt.str "chaos-%d.json" index)
+
+let run_chaos ~seed ~plans ~n ~ops ~artifact_dir ~replay =
+  match replay with
+  | Some file -> (
+    match Chaos.Plan.load file with
+    | Error msg ->
+      Fmt.epr "cannot load plan artifact %S: %s@." file msg;
+      exit 2
+    | Ok plan ->
+      Fmt.pr "replaying %a@." Chaos.Plan.pp plan;
+      let probe svc =
+        Service.on_view svc (fun proc view ->
+            Fmt.pr "[%a] %a view #%d %a@." Time.pp view.Service.at Proc_id.pp
+              proc view.Service.group_id Proc_set.pp view.Service.group);
+        Service.on_obs svc (fun at proc obs ->
+            match obs with
+            | Member.Suspected _ | Member.Transition _ | Member.Excluded ->
+              Fmt.pr "[%a] %a %a@." Time.pp at Proc_id.pp proc Member.pp_obs
+                obs
+            | _ -> ())
+      in
+      let outcome = Chaos.Runner.run ~probe plan in
+      if Chaos.Runner.ok outcome then begin
+        if outcome.Chaos.Runner.blocked then
+          Fmt.pr
+            "PASS (fail-safe blocked): the plan destroys the newest view's \
+             majority, so the service blocks by design; no invariant \
+             violation (%d invariant samples)@."
+            outcome.Chaos.Runner.views_sampled
+        else
+          Fmt.pr "PASS: no invariant violation (%d invariant samples)@."
+            outcome.Chaos.Runner.views_sampled;
+        exit 0
+      end
+      else begin
+        Fmt.pr "FAIL:@.%a@."
+          Fmt.(vbox (list Chaos.Runner.pp_violation))
+          outcome.Chaos.Runner.violations;
+        exit 1
+      end)
+  | None ->
+    let report = Chaos.Fuzz.sweep ~ops ~seed ~plans ~n () in
+    Fmt.pr "%a@." Chaos.Fuzz.pp_report report;
+    List.iter
+      (fun (f : Chaos.Fuzz.failure) ->
+        let path = artifact_path artifact_dir f.Chaos.Fuzz.index in
+        Chaos.Plan.save path f.Chaos.Fuzz.shrunk;
+        Fmt.pr "artifact written: %s (replay with `timewheel-sim chaos \
+                --replay %s')@."
+          path path)
+      report.Chaos.Fuzz.failures;
+    exit (if Chaos.Fuzz.ok report then 0 else 1)
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner terms *)
 
 let n_arg =
@@ -145,6 +205,46 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc) term
 
+let chaos_cmd =
+  let doc =
+    "fuzz seeded fault plans against the membership invariants; violating \
+     plans are shrunk to a minimal counterexample and written as replayable \
+     JSON artifacts"
+  in
+  let plans_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "plans" ] ~docv:"K" ~doc:"Number of fault plans to fuzz.")
+  in
+  let ops_arg =
+    Arg.(
+      value
+      & opt int Chaos.Fuzz.default_ops
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Fault ops per generated plan.")
+  in
+  let artifact_dir_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "artifact-dir" ] ~docv:"DIR"
+          ~doc:"Directory for counterexample artifacts.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a plan artifact instead of sweeping; exits non-zero when \
+             the plan still violates an invariant.")
+  in
+  let term =
+    Term.(
+      const (fun seed plans n ops artifact_dir replay ->
+          run_chaos ~seed ~plans ~n ~ops ~artifact_dir ~replay)
+      $ seed_arg $ plans_arg $ n_arg $ ops_arg $ artifact_dir_arg $ replay_arg)
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) term
+
 let experiment_cmd =
   let doc = "run a paper-reproduction experiment (tables on stdout)" in
   let run id quick =
@@ -179,6 +279,6 @@ let list_cmd =
 let main =
   let doc = "the timewheel group membership protocol, simulated" in
   let info = Cmd.info "timewheel-sim" ~version:"1.0.0" ~doc in
-  Cmd.group info [ run_cmd; experiment_cmd; list_cmd ]
+  Cmd.group info [ run_cmd; experiment_cmd; chaos_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,178 @@
+open Tasim
+open Timewheel
+
+type violation = { at : Time.t; property : string; detail : string }
+
+type outcome = {
+  plan : Plan.t;
+  violations : violation list;
+  views_sampled : int;
+  blocked : bool;
+}
+
+type check = Harness.Run.svc -> Invariant.violation list
+
+let pp_violation ppf v =
+  Fmt.pf ppf "[%a] %s: %s" Time.pp v.at v.property v.detail
+
+let default_check (svc : Harness.Run.svc) =
+  let engine = Service.engine svc in
+  Invariant.check_all ~n:(Engine.n engine) (Invariant.take engine)
+
+let pid = Proc_id.of_int
+
+(* How long the epilogue waits for re-convergence before declaring a
+   violation: generous, because a plan may leave the whole team to
+   rebuild through the join protocol from scratch. *)
+let convergence_tries = 40
+
+let schedule_op svc ~abs i op =
+  let engine = Service.engine svc in
+  let net = Engine.net engine in
+  match op with
+  | Plan.Crash { at; proc } -> Service.crash_at svc (abs at) (pid proc)
+  | Plan.Recover { at; proc } -> Service.recover_at svc (abs at) (pid proc)
+  | Plan.Partition { at; block } ->
+    let n = Engine.n engine in
+    let inside = Proc_set.of_list (List.map pid block) in
+    let outside = Proc_set.diff (Proc_set.full ~n) inside in
+    Service.partition_at svc (abs at) [ inside; outside ]
+  | Plan.Heal { at } -> Service.heal_at svc (abs at)
+  | Plan.Omission_burst { at; until; prob; seed } ->
+    let name = Fmt.str "chaos-burst-%d" i in
+    Engine.at engine (abs at) (fun () ->
+        let rng = Rng.create seed in
+        Net.add_filter net ~name (fun ~src:_ ~dst:_ _ -> Rng.bool rng prob));
+    Engine.at engine (abs until) (fun () -> Net.remove_filter net ~name)
+  | Plan.Filter_window { at; until; kind; src; dst } ->
+    let name = Fmt.str "chaos-drop-%d" i in
+    let matches_end want have =
+      match want with None -> true | Some x -> Proc_id.to_int have = x
+    in
+    Engine.at engine (abs at) (fun () ->
+        Net.add_filter net ~name (fun ~src:s ~dst:d msg ->
+            String.equal (Control_msg.kind msg) kind
+            && matches_end src s && matches_end dst d));
+    Engine.at engine (abs until) (fun () -> Net.remove_filter net ~name)
+  | Plan.Slow_window { at; until; prob; delay_max } ->
+    Engine.at engine (abs at) (fun () ->
+        Engine.set_slow engine ~slow_prob:prob ~slow_delay_max:delay_max);
+    Engine.at engine (abs until) (fun () -> Engine.reset_slow engine)
+
+let run ?probe ?(check = default_check) (plan : Plan.t) =
+  let svc = Harness.Run.service ~seed:plan.Plan.seed ~n:plan.Plan.n () in
+  (match probe with Some f -> f svc | None -> ());
+  let svc = Harness.Run.settle svc in
+  let engine = Service.engine svc in
+  let base = Service.now svc in
+  let abs at = Time.add base at in
+  let violations = ref [] in
+  let sampled = ref 0 in
+  let record vs =
+    if vs <> [] && !violations = [] then begin
+      violations :=
+        List.map
+          (fun (v : Invariant.violation) ->
+            {
+              at = Engine.now engine;
+              property = v.Invariant.property;
+              detail = v.Invariant.detail;
+            })
+          vs;
+      Engine.stop engine
+    end
+  in
+  Engine.on_observe engine (fun _at _proc obs ->
+      match obs with
+      | Member.View_installed _ ->
+        incr sampled;
+        record (check svc)
+      | _ -> ());
+  List.iteri (fun i op -> schedule_op svc ~abs i op) plan.Plan.ops;
+  (* light workload: one totally ordered update per 100ms, submitter
+     rotating over the team, so oals keep growing under faults *)
+  let stop_t = abs (Time.add (Plan.end_time plan) (Time.of_sec 1)) in
+  let rec submit k t =
+    if t < stop_t then begin
+      Service.submit_at svc t
+        (pid (k mod plan.Plan.n))
+        ~semantics:Broadcast.Semantics.total_strong k;
+      submit (k + 1) (Time.add t (Time.of_ms 100))
+    end
+  in
+  submit 0 base;
+  Service.run svc ~until:stop_t;
+  (* post-quiescence: remove every fault and require one agreed full
+     view, then take a final invariant sample *)
+  let blocked = ref false in
+  if !violations = [] then begin
+    let net = Engine.net engine in
+    Net.clear_filters net;
+    Net.heal net;
+    Engine.reset_slow engine;
+    List.iter
+      (fun p ->
+        if not (Engine.is_up engine p) then
+          Engine.recover_at engine (Engine.now engine) p)
+      (Proc_id.all ~n:plan.Plan.n);
+    let cycle = Params.cycle (Service.params svc) in
+    let converged () =
+      match Service.agreed_view svc with
+      | Some v -> Proc_set.cardinal v.Service.group = plan.Plan.n
+      | None -> false
+    in
+    (* Can the group be reconstituted at all? Reconfiguration needs a
+       majority of the team still holding the newest view; a plan that
+       crashes group members below that (their replica state is lost —
+       recovery is amnesiac, through the join protocol) leaves the
+       service blocked forever. That blocking is the protocol's
+       specified fail-safe behavior, not a liveness violation, so the
+       epilogue classifies it instead of flagging it. *)
+    let majority_holds_latest () =
+      let states = Invariant.take engine in
+      let latest =
+        List.fold_left
+          (fun acc (_, s) -> max acc (Member.group_id s))
+          (-1) states
+      in
+      let holders =
+        List.filter
+          (fun (p, s) ->
+            Member.group_id s = latest && Proc_set.mem p (Member.group s))
+          states
+      in
+      latest >= 0
+      && List.length holders >= Params.majority (Service.params svc)
+    in
+    let rec wait tries =
+      Service.run svc ~until:(Time.add (Service.now svc) cycle);
+      if !violations <> [] then () (* an invariant broke during re-join *)
+      else if converged () then ()
+      else if tries <= 1 then begin
+        if majority_holds_latest () then
+          violations :=
+            [
+              {
+                at = Service.now svc;
+                property = "convergence";
+                detail =
+                  Fmt.str
+                    "no agreed full view within %d cycles of healing all \
+                     faults"
+                    convergence_tries;
+              };
+            ]
+        else blocked := true
+      end
+      else wait (tries - 1)
+    in
+    wait convergence_tries;
+    if !violations = [] then record (check svc)
+  end;
+  { plan; violations = !violations; views_sampled = !sampled; blocked = !blocked }
+
+let ok outcome = outcome.violations = []
+
+let minimize ?check (plan : Plan.t) =
+  let violates ops = not (ok (run ?check { plan with Plan.ops })) in
+  { plan with Plan.ops = Shrink.minimize ~violates plan.Plan.ops }

@@ -1,0 +1,54 @@
+(** Execute a fault plan against a live [n]-member group.
+
+    The runner builds a service (engine seed = plan seed), waits for
+    initial group formation, schedules every plan op through the
+    engine's fault-injection hooks, and drives a light broadcast
+    workload so the ordinal invariant has data to bite on. While the
+    plan runs, {!Timewheel.Invariant.check_all} is sampled on {e every}
+    membership observation (view installation); the first violation
+    stops the run. After the last op the runner heals all faults
+    (partitions, filters, slow scheduling, crashed processes) and
+    requires post-quiescence convergence: every member back up and one
+    agreed full view within a bounded number of cycles, then one final
+    invariant sample. The one exception is a plan that destroys the
+    newest view's majority outright (see {!type:outcome}); such runs are
+    classified blocked rather than violating. Everything is
+    deterministic in the plan alone. *)
+
+open Tasim
+
+type violation = { at : Time.t; property : string; detail : string }
+
+type outcome = {
+  plan : Plan.t;
+  violations : violation list;
+      (** empty = plan survived; the run stops at the first sample that
+          violates, so these all share one sample time *)
+  views_sampled : int;  (** invariant samples taken (one per view) *)
+  blocked : bool;
+      (** the plan crashed members of the newest view below a majority
+          of the team: their replica state is lost (recovery is
+          amnesiac) so the group can never be reconstituted. The paper's
+          fail-safe answer is to block, so the epilogue waives the
+          convergence requirement — safety invariants are still
+          sampled. *)
+}
+
+type check = Harness.Run.svc -> Timewheel.Invariant.violation list
+(** Invariant sampler; tests substitute a deliberately broken one to
+    exercise shrinking. The default checks
+    {!Timewheel.Invariant.check_all}. *)
+
+val pp_violation : violation Fmt.t
+
+val run : ?probe:(Harness.Run.svc -> unit) -> ?check:check -> Plan.t -> outcome
+(** [probe] is called once on the freshly built service, before
+    anything runs — the place to install extra observers (the CLI's
+    verbose replay uses it to print views and suspicions). *)
+
+val ok : outcome -> bool
+
+val minimize : ?check:check -> Plan.t -> Plan.t
+(** Delta-debug a violating plan down to a 1-minimal op list (see
+    {!Shrink.minimize}); returns the plan unchanged when it does not
+    violate. *)

@@ -1,0 +1,60 @@
+let probe_count = ref 0
+let probes () = !probe_count
+let reset_probes () = probe_count := 0
+
+(* Split [xs] into [k] contiguous chunks, the first [len mod k] of them
+   one element longer, so every chunk is nonempty when k <= len. *)
+let split_chunks xs k =
+  let len = List.length xs in
+  let base = len / k and extra = len mod k in
+  let rec go xs i =
+    if i >= k then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let rec take n = function
+        | rest when n = 0 -> ([], rest)
+        | [] -> ([], [])
+        | x :: rest ->
+          let taken, rest = take (n - 1) rest in
+          (x :: taken, rest)
+      in
+      let chunk, rest = take size xs in
+      chunk :: go rest (i + 1)
+  in
+  go xs 0
+
+let minimize ~violates ops =
+  let check xs =
+    incr probe_count;
+    violates xs
+  in
+  let rec ddmin ops granularity =
+    let len = List.length ops in
+    if len <= 1 then ops
+    else begin
+      let granularity = min granularity len in
+      let chunks = split_chunks ops granularity in
+      (* a single chunk that still violates: recurse into it *)
+      match List.find_opt check chunks with
+      | Some chunk -> ddmin chunk 2
+      | None -> (
+        (* a complement that still violates: drop the chunk *)
+        let complements =
+          List.mapi
+            (fun i _ ->
+              List.concat
+                (List.filteri (fun j _ -> j <> i) chunks))
+            chunks
+        in
+        let complement =
+          if granularity <= 2 then None
+          else List.find_opt check complements
+        in
+        match complement with
+        | Some comp -> ddmin comp (max 2 (granularity - 1))
+        | None ->
+          if granularity < len then ddmin ops (min len (2 * granularity))
+          else ops)
+    end
+  in
+  if ops = [] || not (check ops) then ops else ddmin ops 2

@@ -1,0 +1,17 @@
+(** Delta-debugging plan minimization (Zeller–Hildebrandt ddmin).
+
+    Given an op list known to make [violates] true, find a
+    locally-minimal sublist that still does: the result is 1-minimal
+    (removing any single remaining op makes the violation disappear),
+    preserves the original op order, and every candidate is probed by
+    re-running the deterministic oracle. *)
+
+val minimize : violates:('a list -> bool) -> 'a list -> 'a list
+(** Returns the input unchanged when it does not violate (nothing to
+    shrink) or is empty. *)
+
+val probes : unit -> int
+(** Oracle invocations since the last {!reset_probes} — for tests and
+    sweep reports. *)
+
+val reset_probes : unit -> unit

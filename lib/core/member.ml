@@ -931,7 +931,15 @@ let reconfig_list_of s ~clock =
 
 (* Initial group formation (Section 4.2): at system start, a process
    becomes the first decider when a majority sent join messages, each in
-   its own latest slot, all carrying exactly this process's join-list. *)
+   its own latest slot, all carrying exactly this process's join-list.
+
+   Known gap (chaos counterexample chaos-11): this rule also fires after
+   a mass crash-and-recovery, where a majority of amnesiac processes is
+   locally indistinguishable from a starting system. They then mint a
+   second epoch whose group ids restart at 0 and can transiently
+   disagree with equally-numbered views still held by the surviving
+   epoch. Mass-recovery liveness currently depends on exactly this
+   re-formation, so an epoch-aware fix is deferred. *)
 let try_initial_create s ~clock =
   if s.group_id >= 0 then None
   else begin
@@ -980,10 +988,16 @@ let try_reconfig_create s ~clock ~wait_until_slot =
   if current_slot < wait_until_slot then None
   else begin
     let rl = reconfig_list_of s ~clock in
+    (* The new group S is chosen from the heard set, not equal to it: a
+       stale ex-member (excluded in an earlier view, now running its own
+       hopeless election) also broadcasts reconfiguration messages and
+       lands in rl, but only processes of the last group this process
+       knows are eligible. Requiring rl itself to be inside the group
+       would let one such straggler veto the election forever. *)
+    let candidates = Proc_set.inter rl s.group in
     let ok =
-      Proc_set.is_majority rl ~n:s.n
+      Proc_set.is_majority candidates ~n:s.n
       && s.group_id >= 0
-      && Proc_set.subset rl s.group
       && Proc_set.for_all
            (fun p ->
              Proc_id.equal p s.self
@@ -995,9 +1009,9 @@ let try_reconfig_create s ~clock ~wait_until_slot =
                && Proc_set.equal rc_list rl
                && Time.compare rc_last_decision_ts s.last_decision_ts <= 0
              | None -> false)
-           rl
+           candidates
     in
-    if ok then Some rl else None
+    if ok then Some candidates else None
   end
 
 let on_slot s ~clock : ('u, 'app) state * ('u, 'app) eff list =

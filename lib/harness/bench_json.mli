@@ -1,7 +1,8 @@
-(** Minimal JSON emitter for machine-readable benchmark results.
+(** Minimal JSON emitter and parser for machine-readable artifacts.
 
     Just enough JSON to write [BENCH_engine.json] (see DESIGN.md
-    section 5) without adding a dependency: objects, arrays, numbers,
+    section 5) and to round-trip chaos fault-plan artifacts (DESIGN.md
+    section 8) without adding a dependency: objects, arrays, numbers,
     strings, booleans, null. Non-finite floats are emitted as [null]
     so the output always parses. *)
 
@@ -18,3 +19,20 @@ val to_string : t -> string
 
 val write_file : string -> t -> unit
 (** Serialize to a file, overwriting it, with a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (integers without [.]/[e] come back as [Int],
+    other numbers as [Float]; string escapes are limited to the ones
+    {!to_string} emits plus [\u00XX]). Trailing whitespace is allowed,
+    trailing garbage is an error. *)
+
+val read_file : string -> (t, string) result
+
+(** {1 Accessors} — shallow, for decoding parsed artifacts. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

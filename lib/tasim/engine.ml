@@ -56,6 +56,24 @@ let default_config =
     seed = 42;
   }
 
+(* Degenerate timing configs must be rejected, not silently clamped:
+   [Rng.uniform_time lo hi] returns [lo] whenever [hi <= lo], so e.g.
+   [slow_prob > 0] with [slow_delay_max <= sigma] would yield
+   "performance failures" no slower than a timely dispatch. *)
+let validate_slow ~sigma ~slow_prob ~slow_delay_max =
+  if slow_prob < 0.0 || slow_prob > 1.0 then Error "slow_prob out of [0,1]"
+  else if slow_prob > 0.0 && slow_delay_max <= sigma then
+    Error "slow_delay_max must be > sigma when slow_prob > 0"
+  else Ok ()
+
+let validate_config c =
+  if c.sigma <= Time.zero then Error "sigma must be > 0"
+  else if c.sched_min < Time.zero then Error "sched_min must be >= 0"
+  else if c.sched_min > c.sigma then Error "sched_min must be <= sigma"
+  else
+    validate_slow ~sigma:c.sigma ~slow_prob:c.slow_prob
+      ~slow_delay_max:c.slow_delay_max
+
 type ('s, 'm, 'obs) process = {
   id : Proc_id.t;
   automaton : ('s, 'm, 'obs) automaton;
@@ -64,13 +82,17 @@ type ('s, 'm, 'obs) process = {
   mutable incarnation : int;
   mutable up : bool;
   mutable started : bool;
+      (* the registration-time [Ev_start] has been consumed (init ran)
+         or cancelled by a pre-start crash *)
   timer_gens : (int, int) Hashtbl.t; (* timer key -> current generation *)
 }
 
 type ('s, 'm, 'obs) event =
   | Ev_deliver of { dst : Proc_id.t; src : Proc_id.t; msg : 'm }
   | Ev_timer of { proc : Proc_id.t; key : int; gen : int; inc : int }
-  | Ev_start of Proc_id.t
+  | Ev_start of { proc : Proc_id.t; inc : int }
+      (* [inc] guards against a start made stale by a pre-start crash
+         (which bumps the incarnation) or an early [recover] *)
   | Ev_action of (unit -> unit)
 
 (* Interned stats handles for one message kind. Built once per kind
@@ -97,6 +119,10 @@ type ('s, 'm, 'obs) t = {
   kind_cache : (string, kind_counters) Hashtbl.t;
   reason_cache : (string, Stats.counter) Hashtbl.t;
   observations_c : Stats.counter;
+  (* runtime-adjustable copies of cfg.slow_prob / cfg.slow_delay_max,
+     so fault injectors can open slow-scheduling windows mid-run *)
+  mutable slow_prob : float;
+  mutable slow_delay_max : Time.t;
   mutable now : Time.t;
   mutable classifier : ('m -> string) option;
   mutable probes : (Time.t -> Proc_id.t -> 'obs -> unit) list;
@@ -106,6 +132,9 @@ type ('s, 'm, 'obs) t = {
 }
 
 let create cfg ~n =
+  (match validate_config cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.create: " ^ msg));
   let root = Rng.create cfg.seed in
   let net_rng = Rng.split root in
   let sched_rng = Rng.split root in
@@ -123,6 +152,8 @@ let create cfg ~n =
     kind_cache = Hashtbl.create 16;
     reason_cache = Hashtbl.create 16;
     observations_c = Stats.counter stats "observations";
+    slow_prob = cfg.slow_prob;
+    slow_delay_max = cfg.slow_delay_max;
     now = Time.zero;
     classifier = None;
     probes = [];
@@ -137,6 +168,17 @@ let net t = t.net
 let stats t = t.stats
 let rng t = t.workload_rng
 let classify t f = t.classifier <- Some f
+
+let set_slow t ~slow_prob ~slow_delay_max =
+  (match validate_slow ~sigma:t.cfg.sigma ~slow_prob ~slow_delay_max with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.set_slow: " ^ msg));
+  t.slow_prob <- slow_prob;
+  t.slow_delay_max <- slow_delay_max
+
+let reset_slow t =
+  t.slow_prob <- t.cfg.slow_prob;
+  t.slow_delay_max <- t.cfg.slow_delay_max
 
 (* Registration is rare, dispatch is hot: prepend onto the reversed
    list and materialize the registration-order list once per
@@ -171,7 +213,7 @@ let add_process t id automaton ~clock ?(start = Time.zero) () =
         started = false;
         timer_gens = Hashtbl.create 8;
       };
-  Heap.add t.queue ~time:start (Ev_start id)
+  Heap.add t.queue ~time:start (Ev_start { proc = id; inc = 0 })
 
 let state_of t id = (proc t id).state
 let is_up t id = (proc t id).up
@@ -206,10 +248,10 @@ let reason_counter t reason =
 (* Scheduling (process reaction) delay: timely within sigma, or a
    performance failure with probability slow_prob. *)
 let sched_delay t =
-  if Rng.bool t.sched_rng t.cfg.slow_prob then
+  if Rng.bool t.sched_rng t.slow_prob then
     Rng.uniform_time t.sched_rng
       (Time.add t.cfg.sigma (Time.of_us 1))
-      t.cfg.slow_delay_max
+      t.slow_delay_max
   else Rng.uniform_time t.sched_rng t.cfg.sched_min t.cfg.sigma
 
 let transmit t ~src ~dst msg =
@@ -273,7 +315,11 @@ let start_process t p =
 
 let dispatch t event =
   match event with
-  | Ev_start id -> start_process t (proc t id)
+  | Ev_start { proc = id; inc } ->
+    let p = proc t id in
+    (* stale when a pre-start crash bumped the incarnation, or an early
+       [recover] already ran init *)
+    if (not p.up) && p.incarnation = inc then start_process t p
   | Ev_action f -> f ()
   | Ev_deliver { dst; src; msg } ->
     let p = proc t dst in
@@ -309,11 +355,15 @@ let at t time f = Heap.add t.queue ~time (Ev_action f)
 
 let crash t id =
   let p = proc t id in
-  if p.up then begin
+  (* crashing before the registration-time [Ev_start] fired must not
+     no-op: bump the incarnation so the pending start is stale, leaving
+     the process down until [recover] re-runs init *)
+  if p.up || not p.started then begin
     Log.debug (fun m -> m "[%a] crash %a" Time.pp t.now Proc_id.pp id);
     Stats.incr t.stats "crashes";
     trace_record t (Trace.Crashed id);
     p.up <- false;
+    p.started <- true;
     p.state <- None;
     p.incarnation <- p.incarnation + 1;
     Hashtbl.reset p.timer_gens

@@ -72,11 +72,22 @@ val default_config : config
 (** delta = 10ms, sigma = 1ms, deterministic seed, no stochastic
     failures. *)
 
+val validate_config : config -> (unit, string) result
+(** Reject degenerate timing configs that [Rng.uniform_time] would
+    otherwise silently clamp: [sigma <= 0], [sched_min < 0],
+    [sched_min > sigma], [slow_prob] outside [0,1], and [slow_prob > 0]
+    with [slow_delay_max <= sigma] (a "performance failure" that would
+    be no slower than a timely dispatch). The [net] field is validated
+    separately by {!Net.create}. *)
+
 (** {1 Engine} *)
 
 type ('s, 'm, 'obs) t
 
 val create : config -> n:int -> ('s, 'm, 'obs) t
+(** Raises [Invalid_argument] when {!validate_config} rejects the
+    config (or {!Net.create} rejects its [net] field). *)
+
 val n : ('s, 'm, 'obs) t -> int
 val now : ('s, 'm, 'obs) t -> Time.t
 val net : ('s, 'm, 'obs) t -> 'm Net.t
@@ -126,11 +137,36 @@ val at : ('s, 'm, 'obs) t -> Time.t -> (unit -> unit) -> unit
 val crash_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
 (** Crash-stop the process: its state is lost, pending timers are
     cancelled, and messages addressed to it are dropped until
-    recovery. *)
+    recovery.
+
+    Crashing a process {e before} its registration-time start has fired
+    cancels that start: the process stays down (its [init] never runs)
+    until {!recover_at}, which re-runs [init] with an incremented
+    incarnation.
+
+    Delivery semantics across a crash/recovery pair:
+    - a datagram in flight when the receiver crashes is {e not}
+      discarded by the crash; if the receiver has recovered by the
+      datagram's delivery time, the {e new} incarnation receives it
+      (the network does not know about process restarts — fail-aware
+      protocol layers must reject stale messages themselves);
+    - timers armed before the crash never fire after recovery: every
+      pending [Ev_timer] carries the arming incarnation (and per-key
+      generation) and is suppressed when either is stale. *)
 
 val recover_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
 (** Restart a crashed process with a fresh state (its [init] runs with
     an incremented incarnation). *)
+
+val set_slow :
+  ('s, 'm, 'obs) t -> slow_prob:float -> slow_delay_max:Time.t -> unit
+(** Override the scheduling performance-failure regime from this point
+    of the run on — the fault-injection hook behind slow-scheduling
+    windows. Subject to the same validation as {!create}; raises
+    [Invalid_argument] on a degenerate pair. *)
+
+val reset_slow : ('s, 'm, 'obs) t -> unit
+(** Restore [slow_prob]/[slow_delay_max] to the creation config. *)
 
 val partition_at : ('s, 'm, 'obs) t -> Time.t -> Proc_set.t list -> unit
 val heal_at : ('s, 'm, 'obs) t -> Time.t -> unit

@@ -39,14 +39,19 @@ type 'm t = {
   cfg : config;
   rng : Rng.t;
   mutable partition : Proc_set.t list option;
+  (* [filters] is the registration-order list consulted on every
+     datagram; [filters_rev] is its reversed twin, prepended to on
+     registration (rare) and materialized into [filters] once per
+     change, so neither path is quadratic *)
   mutable filters : 'm filter list;
+  mutable filters_rev : 'm filter list;
 }
 
 let create cfg rng =
   (match validate_config cfg with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Net.create: " ^ msg));
-  { cfg; rng; partition = None; filters = [] }
+  { cfg; rng; partition = None; filters = []; filters_rev = [] }
 
 let config t = t.cfg
 
@@ -68,10 +73,23 @@ let same_block t a b =
     | Some block -> Proc_set.mem b block
     | None -> false)
 
-let add_filter t ?(max_drops = -1) ~name pred =
-  t.filters <- t.filters @ [ { name; pred; remaining = max_drops } ]
+let refresh_filters t = t.filters <- List.rev t.filters_rev
 
-let clear_filters t = t.filters <- []
+let add_filter t ?(max_drops = -1) ~name pred =
+  if max_drops <> 0 then begin
+    t.filters_rev <- { name; pred; remaining = max_drops } :: t.filters_rev;
+    refresh_filters t
+  end
+
+let remove_filter t ~name =
+  t.filters_rev <- List.filter (fun f -> f.name <> name) t.filters_rev;
+  refresh_filters t
+
+let clear_filters t =
+  t.filters <- [];
+  t.filters_rev <- []
+
+let active_filters t = List.map (fun f -> f.name) t.filters
 
 let matching_filter t ~src ~dst msg =
   let matches f =
@@ -81,7 +99,15 @@ let matching_filter t ~src ~dst msg =
          true
        end
   in
-  List.find_opt matches t.filters
+  match List.find_opt matches t.filters with
+  | Some f as hit ->
+    (* drop exhausted filters so they are never consulted again *)
+    if f.remaining = 0 then begin
+      t.filters_rev <- List.filter (fun g -> g != f) t.filters_rev;
+      refresh_filters t
+    end;
+    hit
+  | None -> None
 
 let fate t ~src ~dst msg =
   match matching_filter t ~src ~dst msg with

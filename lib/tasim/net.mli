@@ -64,7 +64,16 @@ val add_filter :
   (src:Proc_id.t -> dst:Proc_id.t -> 'm -> bool) ->
   unit
 (** Drop every message matching the predicate. With [max_drops] the
-    filter disarms after that many matches. Filters are checked in
+    filter disarms after that many matches and is removed; a
+    [max_drops] of 0 is never installed at all. Filters are checked in
     installation order. *)
 
+val remove_filter : 'm t -> name:string -> unit
+(** Remove every filter installed under [name]; unknown names are
+    ignored. The uninstall hook behind bounded fault windows. *)
+
 val clear_filters : 'm t -> unit
+
+val active_filters : 'm t -> string list
+(** Names of the installed, non-exhausted filters in consultation
+    order. *)

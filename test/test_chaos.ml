@@ -1,0 +1,297 @@
+(* Tests for the chaos fault-plan fuzzer (lib/chaos): plan generation
+   determinism, JSON artifact round-trips, ddmin shrinking (both pure
+   and end-to-end against a deliberately broken invariant checker),
+   the fixed-seed smoke sweep with its two known protocol
+   counterexamples, and regressions for bugs the harness found. *)
+
+open Tasim
+module Plan = Chaos.Plan
+module Runner = Chaos.Runner
+module Fuzz = Chaos.Fuzz
+module Shrink = Chaos.Shrink
+
+let check = Alcotest.check
+let plan_str p = Fmt.str "%a" Plan.pp p
+
+(* ------------------------------------------------------------------ *)
+(* plans *)
+
+let test_plan_generation_deterministic () =
+  let p1 = Plan.generate ~seed:7 ~n:5 ~ops:8 in
+  let p2 = Plan.generate ~seed:7 ~n:5 ~ops:8 in
+  check Alcotest.string "same seed, same plan" (plan_str p1) (plan_str p2);
+  let p3 = Plan.generate ~seed:8 ~n:5 ~ops:8 in
+  check Alcotest.bool "different seed, different plan" true
+    (plan_str p1 <> plan_str p3);
+  check Alcotest.int "requested op count" 8 (List.length p1.Plan.ops);
+  List.iter
+    (fun op ->
+      check Alcotest.bool "op starts within horizon" true
+        (Plan.op_time op <= Plan.horizon))
+    p1.Plan.ops
+
+(* one op of every kind, with every optional field exercised *)
+let every_op_plan =
+  {
+    Plan.seed = 1;
+    n = 5;
+    ops =
+      [
+        Plan.Crash { at = Time.of_ms 100; proc = 2 };
+        Plan.Recover { at = Time.of_ms 200; proc = 2 };
+        Plan.Partition { at = Time.of_ms 300; block = [ 0; 1 ] };
+        Plan.Heal { at = Time.of_ms 400 };
+        Plan.Omission_burst
+          { at = Time.of_ms 500; until = Time.of_ms 600; prob = 0.25; seed = 99 };
+        Plan.Filter_window
+          {
+            at = Time.of_ms 700;
+            until = Time.of_ms 800;
+            kind = "decision";
+            src = Some 1;
+            dst = None;
+          };
+        Plan.Slow_window
+          {
+            at = Time.of_ms 900;
+            until = Time.of_sec 1;
+            prob = 0.5;
+            delay_max = Time.of_ms 5;
+          };
+      ];
+  }
+
+let test_plan_json_roundtrip () =
+  let roundtrip p =
+    (* through the JSON tree and through the printed string *)
+    (match Plan.of_json (Plan.to_json p) with
+    | Error e -> Alcotest.failf "of_json: %s" e
+    | Ok p' -> check Alcotest.string "tree round-trip" (plan_str p) (plan_str p'));
+    let s = Harness.Bench_json.to_string (Plan.to_json p) in
+    match Harness.Bench_json.of_string s with
+    | Error e -> Alcotest.failf "of_string: %s" e
+    | Ok json -> (
+      match Plan.of_json json with
+      | Error e -> Alcotest.failf "of_json after print: %s" e
+      | Ok p' ->
+        check Alcotest.string "string round-trip" (plan_str p) (plan_str p');
+        check Alcotest.bool "structural equality" true (p = p'))
+  in
+  roundtrip every_op_plan;
+  roundtrip (Plan.generate ~seed:123 ~n:5 ~ops:8);
+  check Alcotest.bool "garbage rejected" true
+    (match Plan.of_json (Harness.Bench_json.Obj [ ("seed", Harness.Bench_json.Int 1) ]) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_plan_file_roundtrip () =
+  let file = Filename.temp_file "chaos-plan" ".json" in
+  Plan.save file every_op_plan;
+  (match Plan.load file with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok p ->
+    check Alcotest.string "file round-trip" (plan_str every_op_plan) (plan_str p));
+  Sys.remove file
+
+(* ------------------------------------------------------------------ *)
+(* shrinking *)
+
+let test_shrink_ddmin () =
+  let violates l = List.mem 3 l && List.mem 7 l in
+  Shrink.reset_probes ();
+  check
+    (Alcotest.list Alcotest.int)
+    "1-minimal, order preserved" [ 3; 7 ]
+    (Shrink.minimize ~violates [ 1; 3; 5; 7; 9 ]);
+  check Alcotest.bool "oracle consulted" true (Shrink.probes () > 0);
+  check
+    (Alcotest.list Alcotest.int)
+    "non-violating input unchanged" [ 1; 2 ]
+    (Shrink.minimize ~violates:(fun _ -> false) [ 1; 2 ]);
+  check
+    (Alcotest.list Alcotest.int)
+    "empty input" []
+    (Shrink.minimize ~violates [])
+
+(* A deliberately broken invariant checker: flags any down process.
+   Every plan containing a crash "violates" as soon as the exclusion
+   view installs, so shrinking must strip the noise ops and keep
+   exactly the crash — the end-to-end path the real counterexamples
+   take (ISSUE acceptance: seeded violation -> minimal op list ->
+   replay from JSON artifact). *)
+let down_check svc =
+  let engine = Timewheel.Service.engine svc in
+  let n = Engine.n engine in
+  if List.for_all (fun p -> Engine.is_up engine p) (Proc_id.all ~n) then []
+  else
+    [
+      {
+        Timewheel.Invariant.property = "no-downtime";
+        detail = "some process is down";
+      };
+    ]
+
+let test_broken_checker_shrinks_and_replays () =
+  let plan =
+    {
+      Plan.seed = 11;
+      n = 5;
+      ops =
+        [
+          Plan.Partition { at = Time.of_ms 200; block = [ 0; 1; 2 ] };
+          Plan.Heal { at = Time.of_ms 400 };
+          Plan.Crash { at = Time.of_ms 600; proc = 1 };
+          Plan.Recover { at = Time.of_sec 2; proc = 1 };
+        ];
+    }
+  in
+  let outcome = Runner.run ~check:down_check plan in
+  check Alcotest.bool "full plan violates" false (Runner.ok outcome);
+  let shrunk = Runner.minimize ~check:down_check plan in
+  (match shrunk.Plan.ops with
+  | [ Plan.Crash { proc = 1; _ } ] -> ()
+  | ops ->
+    Alcotest.failf "expected the minimal plan [crash p1], got %d op(s): %a"
+      (List.length ops) Plan.pp shrunk);
+  (* the artifact replays to the same verdict *)
+  let file = Filename.temp_file "chaos-shrunk" ".json" in
+  Plan.save file shrunk;
+  (match Plan.load file with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok loaded ->
+    check Alcotest.string "artifact round-trip" (plan_str shrunk)
+      (plan_str loaded);
+    check Alcotest.bool "replay reproduces the violation" false
+      (Runner.ok (Runner.run ~check:down_check loaded)));
+  Sys.remove file
+
+(* ------------------------------------------------------------------ *)
+(* runner outcomes pinned by handcrafted plans *)
+
+(* Regression for the reconfiguration candidate-selection fix in
+   [Member.try_reconfig_create]: after [crash p2] the group is
+   {p0 p1 p3 p4}; isolating p3 shrinks it to {p0 p1 p4}; repartitioning
+   around p0 reconnects the stale ex-member p3 with p1 and p4 just as
+   they enter the n-failure election. p3's reconfig stream contaminates
+   the heard-set, and electing "all of the heard-set" (the old reading
+   of the paper's rule) can never succeed because p3 is outside the
+   group — the election deadlocks forever. Choosing the new group as
+   heard-set intersected with the current group converges. *)
+let test_stale_member_cannot_veto_election () =
+  let plan =
+    {
+      Plan.seed = 77;
+      n = 5;
+      ops =
+        [
+          Plan.Crash { at = Time.of_ms 500; proc = 2 };
+          Plan.Partition { at = Time.of_ms 1500; block = [ 3 ] };
+          Plan.Partition { at = Time.of_ms 3000; block = [ 0 ] };
+        ];
+    }
+  in
+  let outcome = Runner.run plan in
+  check Alcotest.bool "no violation" true (Runner.ok outcome);
+  check Alcotest.bool "converges (not blocked)" false outcome.Runner.blocked
+
+(* A plan that crashes the newest view down to a minority loses that
+   state for good (recovery is amnesiac): the paper's fail-safe answer
+   is to block, which the runner classifies rather than flags. *)
+let test_majority_loss_classified_blocked () =
+  let plan =
+    {
+      Plan.seed = 33;
+      n = 5;
+      ops =
+        [
+          Plan.Crash { at = Time.of_ms 500; proc = 2 };
+          Plan.Partition { at = Time.of_ms 1500; block = [ 3 ] };
+          Plan.Crash { at = Time.of_ms 3000; proc = 4 };
+        ];
+    }
+  in
+  let outcome = Runner.run plan in
+  check Alcotest.bool "blocking is not a violation" true (Runner.ok outcome);
+  check Alcotest.bool "classified as fail-safe blocked" true
+    outcome.Runner.blocked
+
+(* ------------------------------------------------------------------ *)
+(* the fixed-seed smoke sweep *)
+
+(* The sweep is a pure function of (seed, plans, n, ops). Seed 1 is the
+   suite's fixed seed; among its 20 plans the harness currently finds
+   exactly two genuine protocol counterexamples, both shrunk to 3 ops
+   and kept as known gaps (see DESIGN.md):
+   - plan #11: a mass crash leaves an amnesiac majority that re-forms a
+     second epoch whose group ids collide with surviving views
+     ("view agreement" violation);
+   - plan #17: a wrongly-suspected process with a suspended failure
+     detector is deaf to the reconfiguration stream and the election
+     deadlocks ("convergence" violation).
+   If a protocol change fixes one of these, this test is the place
+   that notices: update it (and DESIGN.md) rather than suppressing. *)
+let test_smoke_sweep_finds_known_counterexamples () =
+  let r1 = Fuzz.sweep ~seed:1 ~plans:20 ~n:5 () in
+  let r2 = Fuzz.sweep ~seed:1 ~plans:20 ~n:5 () in
+  let indexes r = List.map (fun f -> f.Fuzz.index) r.Fuzz.failures in
+  check
+    (Alcotest.list Alcotest.int)
+    "deterministic verdicts" (indexes r1) (indexes r2);
+  check Alcotest.int "deterministic sampling" r1.Fuzz.views_sampled
+    r2.Fuzz.views_sampled;
+  check
+    (Alcotest.list Alcotest.int)
+    "the two known counterexamples" [ 11; 17 ] (indexes r1);
+  check Alcotest.int "fail-safe blocked plans" 2 r1.Fuzz.blocked;
+  check Alcotest.bool "sweep not ok" false (Fuzz.ok r1);
+  List.iter
+    (fun f ->
+      check Alcotest.int "shrunk to 3 ops" 3
+        (List.length f.Fuzz.shrunk.Plan.ops);
+      check Alcotest.bool "shrunk plan still violates" false
+        (Runner.ok f.Fuzz.outcome);
+      (* the sweep regenerates each plan from (seed, index) *)
+      check Alcotest.string "plan_of regenerates the original"
+        (plan_str f.Fuzz.original)
+        (plan_str
+           (Fuzz.plan_of ~seed:1 ~n:5 ~ops:Fuzz.default_ops ~index:f.Fuzz.index)))
+    r1.Fuzz.failures;
+  match r1.Fuzz.failures with
+  | [ f11; f17 ] ->
+    (match f11.Fuzz.outcome.Runner.violations with
+    | { Runner.property = "view agreement"; _ } :: _ -> ()
+    | _ -> Alcotest.fail "plan #11 should violate view agreement");
+    (match f17.Fuzz.outcome.Runner.violations with
+    | { Runner.property = "convergence"; _ } :: _ -> ()
+    | _ -> Alcotest.fail "plan #17 should violate convergence")
+  | _ -> Alcotest.fail "expected exactly two failures"
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "generation deterministic" `Quick
+            test_plan_generation_deterministic;
+          Alcotest.test_case "json round-trip" `Quick test_plan_json_roundtrip;
+          Alcotest.test_case "file round-trip" `Quick test_plan_file_roundtrip;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "ddmin" `Quick test_shrink_ddmin;
+          Alcotest.test_case "broken checker shrinks and replays" `Quick
+            test_broken_checker_shrinks_and_replays;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "stale member cannot veto election" `Quick
+            test_stale_member_cannot_veto_election;
+          Alcotest.test_case "majority loss blocks fail-safe" `Quick
+            test_majority_loss_classified_blocked;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "fixed-seed smoke sweep" `Quick
+            test_smoke_sweep_finds_known_counterexamples;
+        ] );
+    ]

@@ -209,6 +209,99 @@ let test_threaded_serialized_handlers () =
   check Alcotest.int "exact count without handler locking" 800 !counter;
   Eventloop.Threaded.shutdown d
 
+(* ------------------------------------------------------------------ *)
+(* Crash/recover delivery semantics of the simulation engine's event
+   loop (see engine.mli, crash_at). Two behaviors are pinned here: a
+   datagram in flight across a receiver crash/recovery pair is handed
+   to the NEW incarnation (the network does not know about process
+   restarts), while a timer armed before the crash never fires after
+   recovery (pending timer events carry the arming incarnation). *)
+
+module Time = Tasim.Time
+module Proc_id = Tasim.Proc_id
+module Engine = Tasim.Engine
+
+type probe_msg = Mark of int
+
+(* deterministic 5ms transmission delay so the crash/recover window can
+   be placed precisely inside the flight time *)
+let fixed_delay_config =
+  {
+    Engine.default_config with
+    Engine.net =
+      {
+        Tasim.Net.default_config with
+        Tasim.Net.delay_min = Time.of_ms 5;
+        delay_max = Time.of_ms 5;
+      };
+  }
+
+let test_inflight_delivery_reaches_new_incarnation () =
+  let received = ref [] in
+  let a =
+    {
+      Engine.name = "inc-probe";
+      init =
+        (fun ~self ~n:_ ~clock:_ ~incarnation ->
+          let effects =
+            if Proc_id.to_int self = 0 && incarnation = 0 then
+              [ Engine.Send (Proc_id.of_int 1, Mark 7) ]
+            else []
+          in
+          (incarnation, effects));
+      on_receive =
+        (fun inc ~clock:_ ~src:_ (Mark k) ->
+          received := (inc, k) :: !received;
+          (inc, []));
+      on_timer = (fun inc ~clock:_ ~key:_ -> (inc, []));
+    }
+  in
+  let engine = Engine.create fixed_delay_config ~n:2 in
+  Engine.add_process engine (Proc_id.of_int 0) a ~clock:Engine.ideal_clock ();
+  Engine.add_process engine (Proc_id.of_int 1) a ~clock:Engine.ideal_clock ();
+  (* the datagram is sent at t=0 and lands at t=5ms; the receiver
+     crashes and recovers entirely within the flight window *)
+  Engine.crash_at engine (Time.of_ms 1) (Proc_id.of_int 1);
+  Engine.recover_at engine (Time.of_ms 3) (Proc_id.of_int 1);
+  Engine.run engine ~until:(Time.of_sec 1);
+  match !received with
+  | [ (inc, 7) ] ->
+    Alcotest.check Alcotest.int "delivered to the new incarnation" 1 inc
+  | l -> Alcotest.failf "expected one delivery, got %d" (List.length l)
+
+let test_precrash_timer_suppressed () =
+  let fired = ref [] in
+  let a =
+    {
+      Engine.name = "timer-guard";
+      init =
+        (fun ~self:_ ~n:_ ~clock ~incarnation ->
+          ( incarnation,
+            [
+              Engine.Set_timer
+                { key = 1; at_clock = Time.add clock (Time.of_ms 10) };
+            ] ));
+      on_receive = (fun inc ~clock:_ ~src:_ (Mark _) -> (inc, []));
+      on_timer =
+        (fun inc ~clock ~key:_ ->
+          fired := (inc, clock) :: !fired;
+          (inc, []));
+    }
+  in
+  let engine = Engine.create fixed_delay_config ~n:1 in
+  Engine.add_process engine (Proc_id.of_int 0) a ~clock:Engine.ideal_clock ();
+  (* incarnation 0 arms a timer for t=10ms, then crashes at 5ms; the
+     recovered incarnation re-arms for t=16ms. Only the latter fires. *)
+  Engine.crash_at engine (Time.of_ms 5) (Proc_id.of_int 0);
+  Engine.recover_at engine (Time.of_ms 6) (Proc_id.of_int 0);
+  Engine.run engine ~until:(Time.of_sec 1);
+  match !fired with
+  | [ (inc, at) ] ->
+    Alcotest.check Alcotest.int "fired in the new incarnation" 1 inc;
+    Alcotest.check Alcotest.bool "the stale arming never fired" true
+      (at >= Time.of_ms 16)
+  | l -> Alcotest.failf "expected one firing, got %d" (List.length l)
+
 let () =
   Alcotest.run "eventloop"
     [
@@ -239,5 +332,12 @@ let () =
           Alcotest.test_case "unknown kind" `Quick test_threaded_unknown_kind;
           Alcotest.test_case "double register" `Quick test_threaded_double_register;
           Alcotest.test_case "serialized" `Quick test_threaded_serialized_handlers;
+        ] );
+      ( "engine delivery semantics",
+        [
+          Alcotest.test_case "in-flight datagram across crash/recover" `Quick
+            test_inflight_delivery_reaches_new_incarnation;
+          Alcotest.test_case "pre-crash timer suppressed" `Quick
+            test_precrash_timer_suppressed;
         ] );
     ]

@@ -56,6 +56,64 @@ let test_sent_matching () =
     (Harness.Run.sent_matching counters ~prefixes:[ "" ])
 
 (* ------------------------------------------------------------------ *)
+(* Bench_json: the minimal JSON emitter/parser behind BENCH_engine.json
+   and the chaos plan artifacts *)
+
+module J = Harness.Bench_json
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("int", J.Int 42);
+        ("neg", J.Int (-7));
+        ("float", J.Float 0.25);
+        ("awkward", J.Float 0.1);
+        ("str", J.String "a \"quoted\"\nline\ttab\\slash");
+        ("t", J.Bool true);
+        ("f", J.Bool false);
+        ("null", J.Null);
+        ("list", J.List [ J.Int 1; J.List []; J.Obj [] ]);
+      ]
+  in
+  match J.of_string (J.to_string v) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v' -> check Alcotest.bool "round-trips structurally" true (v = v')
+
+let test_json_parser_forms () =
+  let ok s = match J.of_string s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  let bad s = match J.of_string s with Error _ -> () | Ok _ -> Alcotest.failf "%S accepted" s in
+  check Alcotest.bool "int stays int" true (ok "17" = J.Int 17);
+  check Alcotest.bool "exponent becomes float" true (ok "1e2" = J.Float 100.0);
+  check Alcotest.bool "decimal becomes float" true (ok "2.5" = J.Float 2.5);
+  check Alcotest.bool "unicode escape" true
+    (ok "\"\\u0041\"" = J.String "A");
+  check Alcotest.bool "trailing whitespace ok" true (ok "null  \n" = J.Null);
+  bad "";
+  bad "nul";
+  bad "{\"a\":1";
+  bad "[1,]";
+  bad "1 garbage"
+
+let test_json_nonfinite_floats_are_null () =
+  check Alcotest.string "nan" "null" (J.to_string (J.Float Float.nan));
+  check Alcotest.string "inf" "null" (J.to_string (J.Float Float.infinity))
+
+let test_json_accessors () =
+  let v = J.Obj [ ("a", J.Int 1); ("b", J.String "x"); ("c", J.List [ J.Int 2 ]) ] in
+  check Alcotest.bool "member hit" true (J.member "a" v = Some (J.Int 1));
+  check Alcotest.bool "member miss" true (J.member "z" v = None);
+  check Alcotest.bool "member on non-object" true (J.member "a" (J.Int 3) = None);
+  check (Alcotest.option Alcotest.int) "to_int" (Some 1)
+    (Option.bind (J.member "a" v) J.to_int);
+  check (Alcotest.option Alcotest.string) "to_str" (Some "x")
+    (Option.bind (J.member "b" v) J.to_str);
+  check Alcotest.bool "to_list" true
+    (Option.bind (J.member "c" v) J.to_list = Some [ J.Int 2 ]);
+  check (Alcotest.option Alcotest.int) "to_int on string" None
+    (J.to_int (J.String "1"))
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 2 conformance matrix (E5a): exact expected cells *)
 
 let test_fig2_matrix_cells () =
@@ -166,6 +224,14 @@ let () =
         [
           Alcotest.test_case "counters diff" `Quick test_counters_diff;
           Alcotest.test_case "sent matching" `Quick test_sent_matching;
+        ] );
+      ( "bench json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parser forms" `Quick test_json_parser_forms;
+          Alcotest.test_case "non-finite floats" `Quick
+            test_json_nonfinite_floats_are_null;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "fig2 matrix",
         [ Alcotest.test_case "cells" `Quick test_fig2_matrix_cells ] );

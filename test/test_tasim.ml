@@ -478,6 +478,38 @@ let test_net_partition () =
   | Net.Deliver_after _ -> ()
   | Net.Dropped _ -> Alcotest.fail "heal did not restore"
 
+let test_net_filter_exhausted_pruned () =
+  let net = Net.create Net.default_config (Rng.create 6) in
+  Net.add_filter net ~max_drops:1 ~name:"once" (fun ~src:_ ~dst:_ v -> v = 1);
+  Net.add_filter net ~name:"sticky" (fun ~src:_ ~dst:_ v -> v = 2);
+  check (Alcotest.list Alcotest.string) "installation order" [ "once"; "sticky" ]
+    (Net.active_filters net);
+  let fate v =
+    Net.fate net ~src:(Proc_id.of_int 0) ~dst:(Proc_id.of_int 1) v
+  in
+  (match fate 1 with
+  | Net.Dropped _ -> ()
+  | Net.Deliver_after _ -> Alcotest.fail "bounded filter did not match");
+  (* the single allowed drop is spent: the filter must be gone, not
+     merely inert *)
+  check (Alcotest.list Alcotest.string) "exhausted filter removed"
+    [ "sticky" ] (Net.active_filters net);
+  (match fate 1 with
+  | Net.Deliver_after _ -> ()
+  | Net.Dropped _ -> Alcotest.fail "exhausted filter still matching");
+  Net.remove_filter net ~name:"sticky";
+  check (Alcotest.list Alcotest.string) "removed by name" []
+    (Net.active_filters net);
+  (match fate 2 with
+  | Net.Deliver_after _ -> ()
+  | Net.Dropped _ -> Alcotest.fail "removed filter still matching");
+  (* unknown names are ignored *)
+  Net.remove_filter net ~name:"never-installed";
+  (* a max_drops of 0 is never installed at all *)
+  Net.add_filter net ~max_drops:0 ~name:"zero" (fun ~src:_ ~dst:_ _ -> true);
+  check (Alcotest.list Alcotest.string) "zero-budget filter skipped" []
+    (Net.active_filters net)
+
 let test_net_filters () =
   let net = Net.create Net.default_config (Rng.create 5) in
   Net.add_filter net ~max_drops:2 ~name:"two"
@@ -747,6 +779,88 @@ let test_engine_slow_scheduling () =
       (at > Time.add (Time.of_ms 10) cfg.Engine.sigma)
   | _ -> Alcotest.fail "expected one firing"
 
+let test_engine_config_validation () =
+  let rejected cfg =
+    match Engine.validate_config cfg with
+    | Error _ -> (
+      (* Engine.create must agree with the validator *)
+      match Engine.create cfg ~n:1 with
+      | exception Invalid_argument _ -> true
+      | _ -> Alcotest.fail "create accepted a config validate rejects")
+    | Ok () -> false
+  in
+  check Alcotest.bool "default ok" true
+    (Engine.validate_config Engine.default_config = Ok ());
+  check Alcotest.bool "sigma <= 0 rejected" true
+    (rejected { Engine.default_config with Engine.sigma = Time.zero });
+  check Alcotest.bool "sched_min < 0 rejected" true
+    (rejected
+       { Engine.default_config with Engine.sched_min = Time.of_ms (-1) });
+  check Alcotest.bool "sched_min > sigma rejected" true
+    (rejected { Engine.default_config with Engine.sched_min = Time.of_ms 2 });
+  check Alcotest.bool "slow_prob > 1 rejected" true
+    (rejected { Engine.default_config with Engine.slow_prob = 1.5 });
+  check Alcotest.bool "slow_prob < 0 rejected" true
+    (rejected { Engine.default_config with Engine.slow_prob = -0.1 });
+  (* a "performance failure" no slower than a timely dispatch *)
+  check Alcotest.bool "slow_delay_max <= sigma rejected" true
+    (rejected
+       {
+         Engine.default_config with
+         Engine.slow_prob = 0.5;
+         slow_delay_max = Engine.default_config.Engine.sigma;
+       });
+  (* ... but slow_delay_max is irrelevant while slow_prob = 0 *)
+  check Alcotest.bool "slow_delay_max ignored when slow off" true
+    (Engine.validate_config
+       { Engine.default_config with Engine.slow_delay_max = Time.zero }
+    = Ok ())
+
+let test_engine_set_slow_validation () =
+  let engine = Engine.create Engine.default_config ~n:1 in
+  Engine.add_process engine (Proc_id.of_int 0)
+    (timer_automaton ~fired:(ref []))
+    ~clock:Engine.ideal_clock ();
+  (match
+     Engine.set_slow engine ~slow_prob:0.5
+       ~slow_delay_max:Engine.default_config.Engine.sigma
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "set_slow accepted a degenerate pair");
+  Engine.set_slow engine ~slow_prob:0.5 ~slow_delay_max:(Time.of_ms 5);
+  Engine.reset_slow engine
+
+let test_engine_crash_before_start () =
+  (* crashing a process before its registration-time start fires must
+     cancel the start: the process stays down, its init never runs,
+     until an explicit recovery *)
+  let incarnations = ref [] in
+  let a =
+    {
+      Engine.name = "late-start";
+      init =
+        (fun ~self:_ ~n:_ ~clock:_ ~incarnation ->
+          incarnations := incarnation :: !incarnations;
+          ((), []));
+      on_receive = (fun () ~clock:_ ~src:_ _ -> ((), []));
+      on_timer = (fun () ~clock:_ ~key:_ -> ((), []));
+    }
+  in
+  let engine = Engine.create Engine.default_config ~n:1 in
+  Engine.add_process engine (Proc_id.of_int 0) a ~clock:Engine.ideal_clock
+    ~start:(Time.of_ms 100) ();
+  Engine.crash_at engine (Time.of_ms 50) (Proc_id.of_int 0);
+  Engine.run engine ~until:(Time.of_ms 500);
+  check (Alcotest.list Alcotest.int) "init never ran" [] !incarnations;
+  check Alcotest.bool "still down past its start time" false
+    (Engine.is_up engine (Proc_id.of_int 0));
+  Engine.recover_at engine (Time.of_ms 600) (Proc_id.of_int 0);
+  Engine.run engine ~until:(Time.of_sec 1);
+  check (Alcotest.list Alcotest.int) "recovery runs init once" [ 1 ]
+    !incarnations;
+  check Alcotest.bool "up after recovery" true
+    (Engine.is_up engine (Proc_id.of_int 0))
+
 let test_engine_determinism () =
   let run () =
     let fired = ref [] in
@@ -825,6 +939,8 @@ let () =
           Alcotest.test_case "late > delta" `Quick test_net_late_messages_exceed_delta;
           Alcotest.test_case "partitions" `Quick test_net_partition;
           Alcotest.test_case "filters" `Quick test_net_filters;
+          Alcotest.test_case "exhausted filter pruned" `Quick
+            test_net_filter_exhausted_pruned;
         ] );
       ( "engine",
         [
@@ -838,6 +954,12 @@ let () =
           Alcotest.test_case "broadcast" `Quick test_engine_broadcast_excludes_self;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
           Alcotest.test_case "slow scheduling" `Quick test_engine_slow_scheduling;
+          Alcotest.test_case "config validation" `Quick
+            test_engine_config_validation;
+          Alcotest.test_case "set_slow validation" `Quick
+            test_engine_set_slow_validation;
+          Alcotest.test_case "crash before start" `Quick
+            test_engine_crash_before_start;
         ] );
       ( "trace",
         [
