@@ -23,8 +23,9 @@ let () =
     Service.create ~apply:(fun log v -> v :: log) ~initial_app:[] params
   in
   Service.on_view svc (fun proc view ->
-      Fmt.pr "[%a] %a installed view #%d = %a@." Time.pp view.Service.at
-        Proc_id.pp proc view.Service.group_id Proc_set.pp view.Service.group);
+      Fmt.pr "[%a] %a installed view #%a = %a@." Time.pp view.Service.at
+        Proc_id.pp proc Group_id.pp view.Service.group_id Proc_set.pp
+        view.Service.group);
   Service.on_obs svc (fun at proc obs ->
       match obs with
       | Member.Suspected { suspect } ->

@@ -43,8 +43,8 @@ let () =
         Fmt.pr "[%a] %a clock synchronized; member starts in join state@."
           Time.pp at Proc_id.pp proc
       | Full_stack.Member_obs (Member.View_installed { group; group_id }) ->
-        Fmt.pr "[%a] %a installed view #%d = %a@." Time.pp at Proc_id.pp proc
-          group_id Proc_set.pp group
+        Fmt.pr "[%a] %a installed view #%a = %a@." Time.pp at Proc_id.pp proc
+          Group_id.pp group_id Proc_set.pp group
       | Full_stack.Sync_obs (Clocksync.Protocol.Status_change { synchronized; _ })
         when not synchronized ->
         Fmt.pr "[%a] %a LOST clock synchronization@." Time.pp at Proc_id.pp
@@ -79,7 +79,8 @@ let () =
       | Some st -> (
         match Full_stack.member st with
         | Some m ->
-          Fmt.pr "  %a (view #%d): [%a]@." Proc_id.pp p (Member.group_id m)
+          Fmt.pr "  %a (view #%a): [%a]@." Proc_id.pp p Group_id.pp
+            (Member.group_id m)
             Fmt.(list ~sep:(any "; ") int)
             (List.rev (Member.app m))
         | None -> Fmt.pr "  %a: member not started@." Proc_id.pp p)

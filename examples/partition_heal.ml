@@ -19,8 +19,8 @@ let pid = Proc_id.of_int
 let show_group svc label =
   match Service.agreed_view svc with
   | Some v ->
-    Fmt.pr "%s: agreed view #%d = %a@." label v.Service.group_id Proc_set.pp
-      v.Service.group
+    Fmt.pr "%s: agreed view #%a = %a@." label Group_id.pp v.Service.group_id
+      Proc_set.pp v.Service.group
   | None -> Fmt.pr "%s: no agreed view among up-to-date members@." label
 
 let show_states svc =
@@ -28,8 +28,8 @@ let show_states svc =
     (fun p ->
       match Service.member_state svc p with
       | Some s ->
-        Fmt.pr "  %a: %a (group #%d)@." Proc_id.pp p Creator_state.pp
-          (Member.creator_state s) (Member.group_id s)
+        Fmt.pr "  %a: %a (group #%a)@." Proc_id.pp p Creator_state.pp
+          (Member.creator_state s) Group_id.pp (Member.group_id s)
       | None -> Fmt.pr "  %a: down@." Proc_id.pp p)
     (Proc_id.all ~n:5)
 

@@ -26,8 +26,9 @@ let () =
 
   (* 3. subscribe to membership views and deliveries *)
   Service.on_view svc (fun proc view ->
-      Fmt.pr "[%a] %a installed view #%d = %a@." Time.pp view.Service.at
-        Proc_id.pp proc view.Service.group_id Proc_set.pp view.Service.group);
+      Fmt.pr "[%a] %a installed view #%a = %a@." Time.pp view.Service.at
+        Proc_id.pp proc Group_id.pp view.Service.group_id Proc_set.pp
+        view.Service.group);
   Service.on_delivery svc (fun proc ~at proposal ~ordinal ->
       if Proc_id.equal proc (Proc_id.of_int 0) then
         Fmt.pr "[%a] %a delivered %a (ordinal %a)@." Time.pp at Proc_id.pp
@@ -61,8 +62,8 @@ let () =
   (* 8. final state: everyone agrees, logs identical *)
   (match Service.agreed_view svc with
   | Some v ->
-    Fmt.pr "@.final agreed view #%d: %a@." v.Service.group_id Proc_set.pp
-      v.Service.group
+    Fmt.pr "@.final agreed view #%a: %a@." Group_id.pp v.Service.group_id
+      Proc_set.pp v.Service.group
   | None -> Fmt.pr "@.no agreement (unexpected)@.");
   List.iter
     (fun p ->

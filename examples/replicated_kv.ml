@@ -110,6 +110,6 @@ let () =
   | _ -> Fmt.pr "recovery failed@.");
   match Service.agreed_view svc with
   | Some v ->
-    Fmt.pr "final view #%d: %a@." v.Service.group_id Proc_set.pp
+    Fmt.pr "final view #%a: %a@." Group_id.pp v.Service.group_id Proc_set.pp
       v.Service.group
   | None -> Fmt.pr "no agreed view@."

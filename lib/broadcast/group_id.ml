@@ -1,0 +1,22 @@
+type t = { epoch : int; seq : int }
+
+let none = { epoch = 0; seq = -1 }
+let is_known t = t.seq >= 0
+let v ~epoch ~seq = { epoch; seq }
+let form ~epoch = { epoch; seq = 0 }
+let succ t = { t with seq = t.seq + 1 }
+let epoch t = t.epoch
+let seq t = t.seq
+
+let compare a b =
+  match Int.compare a.epoch b.epoch with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let equal a b = compare a b = 0
+let later a ~than = compare a than > 0
+let max a b = if compare a b >= 0 then a else b
+
+let pp ppf t =
+  if t.epoch = 0 then Fmt.int ppf t.seq
+  else Fmt.pf ppf "%d.%d" t.epoch t.seq

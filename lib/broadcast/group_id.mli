@@ -1,0 +1,50 @@
+(** Epoch-qualified group identifiers.
+
+    The paper numbers groups with a single counter and assumes "a
+    majority of members of the last group survive" across any crash
+    pattern, so a counter restarted from zero can never collide with a
+    surviving view. The chaos sweep's mass-crash counterexample
+    (chaos-11, DESIGN.md section 8) breaks that assumption: an amnesiac
+    recovered majority re-forms group #1 while first-incarnation
+    survivors still hold a different group #1.
+
+    A group id is therefore a pair [(epoch, seq)], ordered
+    lexicographically. [seq] is the paper's counter: initial formation
+    starts it at 0 and every reconfiguration increments it. [epoch]
+    counts initial formations: a cold team forms at epoch 0; a process
+    that recovers with persisted membership state (Storage) only ever
+    takes part in a formation at an epoch {e strictly above} its
+    persisted one, so a re-formed group's ids compare later than every
+    id the previous incarnation could have issued.
+
+    Epoch 0 ids print as the bare [seq] — identical to the historical
+    integer ids, keeping single-epoch traces and tables unchanged. *)
+
+type t = { epoch : int; seq : int }
+(** Exposed so the stdlib's polymorphic compare (used by containers
+    keyed on group ids) agrees with {!compare}: [epoch] is declared
+    first, making the polymorphic order lexicographic too. *)
+
+val none : t
+(** Sentinel for "not in a group": [(0, -1)], earlier than every
+    formed id. *)
+
+val is_known : t -> bool
+(** [true] for every id except {!none} (and other negative [seq]). *)
+
+val v : epoch:int -> seq:int -> t
+val form : epoch:int -> t
+(** First id of an initial formation at [epoch]: [(epoch, 0)]. *)
+
+val succ : t -> t
+(** Next group id within the same epoch (reconfiguration, join). *)
+
+val epoch : t -> int
+val seq : t -> int
+val compare : t -> t -> int
+(** Lexicographic: epoch first, then seq. *)
+
+val equal : t -> t -> bool
+val later : t -> than:t -> bool
+val max : t -> t -> t
+val pp : t Fmt.t

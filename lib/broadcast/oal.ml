@@ -9,7 +9,7 @@ type update_info = {
 
 type body =
   | Update of update_info
-  | Membership of { group : Proc_set.t; group_id : int }
+  | Membership of { group : Proc_set.t; group_id : Group_id.t }
 
 type entry = {
   ordinal : int;
@@ -25,7 +25,7 @@ type t = {
   entries : entry Imap.t;
   low : int;
   next_ordinal : int;
-  current : (int * Proc_set.t * int) option;
+  current : (int * Proc_set.t * Group_id.t) option;
       (* newest membership: (ordinal, group, group id) — kept as a
          field so the descriptor entry itself can be purged once
          stable *)
@@ -170,7 +170,8 @@ let merge ~local ~incoming =
   in
   let current =
     match (local.current, incoming.current) with
-    | Some (_, _, g1), Some (_, _, g2) when g2 >= g1 -> incoming.current
+    | Some (_, _, g1), Some (_, _, g2) when Group_id.compare g2 g1 >= 0 ->
+      incoming.current
     | Some _, Some _ -> local.current
     | Some c, None | None, Some c -> Some c
     | None, None -> None
@@ -189,7 +190,7 @@ let body_equal a b =
     && Semantics.equal x.semantics y.semantics
     && Time.equal x.send_ts y.send_ts && x.hdo = y.hdo
   | Membership m1, Membership m2 ->
-    Proc_set.equal m1.group m2.group && m1.group_id = m2.group_id
+    Proc_set.equal m1.group m2.group && Group_id.equal m1.group_id m2.group_id
   | Update _, Membership _ | Membership _, Update _ -> false
 
 let is_prefix a ~of_ =
@@ -211,7 +212,8 @@ let pp_entry ppf e =
     Fmt.pf ppf "%d%s:%a(acks=%a)" e.ordinal mark Proposal.pp_id
       info.proposal_id Proc_set.pp e.acks
   | Membership { group; group_id } ->
-    Fmt.pf ppf "%d%s:grp#%d%a" e.ordinal mark group_id Proc_set.pp group
+    Fmt.pf ppf "%d%s:grp#%a%a" e.ordinal mark Group_id.pp group_id Proc_set.pp
+      group
 
 let pp ppf t =
   Fmt.pf ppf "oal[low=%d next=%d %a]" t.low t.next_ordinal

@@ -27,7 +27,7 @@ type update_info = {
 
 type body =
   | Update of update_info
-  | Membership of { group : Proc_set.t; group_id : int }
+  | Membership of { group : Proc_set.t; group_id : Group_id.t }
 
 type entry = {
   ordinal : int;
@@ -59,7 +59,7 @@ val append_update : t -> update_info -> acks:Proc_set.t -> t * int
 (** Assign the next ordinal to an update descriptor. Returns the
     ordinal. *)
 
-val append_membership : t -> group:Proc_set.t -> group_id:int -> t * int
+val append_membership : t -> group:Proc_set.t -> group_id:Group_id.t -> t * int
 
 (** {1 Lookup} *)
 
@@ -69,7 +69,7 @@ val mem_update : t -> Proposal.id -> bool
 val highest_ordinal : t -> int
 (** -1 when the list never held an entry. *)
 
-val latest_membership : t -> (int * Proc_set.t * int) option
+val latest_membership : t -> (int * Proc_set.t * Group_id.t) option
 (** The newest membership: [(ordinal, group, group_id)]. Kept even
     after the descriptor entry itself is purged, so receivers of a
     truncated list still learn the current group. *)

@@ -13,7 +13,6 @@ type report = {
   plans : int;
   ops_per_plan : int;
   views_sampled : int;
-  blocked : int;
   failures : failure list;
 }
 
@@ -32,14 +31,12 @@ let plan_of ~seed ~n ~ops ~index =
 let sweep ?check ?(ops = default_ops) ~seed ~plans ~n () =
   let seeds = plan_seeds ~seed ~plans in
   let views = ref 0 in
-  let blocked = ref 0 in
   let failures = ref [] in
   Array.iteri
     (fun index plan_seed ->
       let plan = Plan.generate ~seed:plan_seed ~n ~ops in
       let outcome = Runner.run ?check plan in
       views := !views + outcome.Runner.views_sampled;
-      if outcome.Runner.blocked then incr blocked;
       if not (Runner.ok outcome) then begin
         let shrunk = Runner.minimize ?check plan in
         let outcome = Runner.run ?check shrunk in
@@ -52,7 +49,6 @@ let sweep ?check ?(ops = default_ops) ~seed ~plans ~n () =
     plans;
     ops_per_plan = ops;
     views_sampled = !views;
-    blocked = !blocked;
     failures = List.rev !failures;
   }
 
@@ -69,8 +65,8 @@ let pp_failure ppf f =
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>chaos sweep: seed=%d n=%d plans=%d ops/plan=%d invariant \
-     samples=%d fail-safe blocked=%d@,%a@]"
-    r.seed r.n r.plans r.ops_per_plan r.views_sampled r.blocked
+     samples=%d@,%a@]"
+    r.seed r.n r.plans r.ops_per_plan r.views_sampled
     (fun ppf -> function
       | [] -> Fmt.string ppf "all plans passed"
       | fs ->

@@ -21,9 +21,6 @@ type report = {
   plans : int;
   ops_per_plan : int;
   views_sampled : int;  (** invariant samples across the whole sweep *)
-  blocked : int;
-      (** plans classified as fail-safe blocking (see
-          {!Runner.type-outcome}): they pass, but are worth counting *)
   failures : failure list;
 }
 

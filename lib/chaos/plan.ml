@@ -20,6 +20,12 @@ type op =
       prob : float;
       delay_max : Time.t;
     }
+  | Storage_fault of {
+      at : Time.t;
+      until : Time.t;
+      proc : int option;
+      fault : Storage.Store.fault;
+    }
 
 type t = { seed : int; n : int; ops : op list }
 
@@ -32,13 +38,15 @@ let op_time = function
   | Heal { at }
   | Omission_burst { at; _ }
   | Filter_window { at; _ }
-  | Slow_window { at; _ } ->
+  | Slow_window { at; _ }
+  | Storage_fault { at; _ } ->
     at
 
 let op_end = function
   | Omission_burst { until; _ }
   | Filter_window { until; _ }
-  | Slow_window { until; _ } ->
+  | Slow_window { until; _ }
+  | Storage_fault { until; _ } ->
     until
   | op -> op_time op
 
@@ -62,7 +70,7 @@ let gen_op rng ~n =
   let at = Rng.uniform_time rng Time.zero horizon in
   let window () = Time.add at (Rng.uniform_time rng (Time.of_ms 100) (Time.of_ms 1500)) in
   let proc () = Rng.int rng n in
-  match Rng.int rng 12 with
+  match Rng.int rng 14 with
   | 0 | 1 | 2 -> Crash { at; proc = proc () }
   | 3 | 4 | 5 -> Recover { at; proc = proc () }
   | 6 ->
@@ -90,13 +98,23 @@ let gen_op rng ~n =
         src = pick_end ();
         dst = pick_end ();
       }
-  | _ ->
+  | 11 ->
     Slow_window
       {
         at;
         until = window ();
         prob = 0.25 +. (0.75 *. Rng.float rng);
         delay_max = Rng.uniform_time rng (Time.of_ms 2) (Time.of_ms 20);
+      }
+  | _ ->
+    Storage_fault
+      {
+        at;
+        until = window ();
+        proc = (if Rng.bool rng 0.5 then Some (proc ()) else None);
+        fault =
+          (if Rng.bool rng 0.5 then Storage.Store.Torn_write
+           else Storage.Store.Lost_flush);
       }
 
 let generate ~seed ~n ~ops =
@@ -107,6 +125,57 @@ let generate ~seed ~n ~ops =
     List.stable_sort (fun a b -> Time.compare (op_time a) (op_time b)) unsorted
   in
   { seed; n; ops = sorted }
+
+(* ------------------------------------------------------------------ *)
+(* Parameter shrinking *)
+
+(* Candidate smaller variants of one op, for {!Shrink.shrink_params}:
+   halve window durations, probabilities and delays, each down to a
+   floor. Every candidate is strictly smaller by an integer or
+   floored-float measure, so repeated shrinking terminates. *)
+
+let halved_until at until =
+  let dur = Time.sub until at in
+  if Time.compare dur (Time.of_ms 100) > 0 then
+    Some (Time.add at (Time.div dur 2))
+  else None
+
+let halved_prob p =
+  if p > 0.05 then Some (Float.max 0.05 (p /. 2.)) else None
+
+let shrink_op op =
+  match op with
+  | Crash _ | Recover _ | Partition _ | Heal _ -> []
+  | Omission_burst ({ at; until; prob; _ } as o) ->
+    (match halved_until at until with
+    | Some until -> [ Omission_burst { o with until } ]
+    | None -> [])
+    @
+    (match halved_prob prob with
+    | Some prob -> [ Omission_burst { o with prob } ]
+    | None -> [])
+  | Filter_window ({ at; until; _ } as o) -> (
+    match halved_until at until with
+    | Some until -> [ Filter_window { o with until } ]
+    | None -> [])
+  | Slow_window ({ at; until; prob; delay_max } as o) ->
+    (match halved_until at until with
+    | Some until -> [ Slow_window { o with until } ]
+    | None -> [])
+    @ (match halved_prob prob with
+      | Some prob -> [ Slow_window { o with prob } ]
+      | None -> [])
+    @
+    if Time.compare delay_max (Time.of_ms 2) > 0 then
+      [
+        Slow_window
+          { o with delay_max = Time.max (Time.of_ms 2) (Time.div delay_max 2) };
+      ]
+    else []
+  | Storage_fault ({ at; until; _ } as o) -> (
+    match halved_until at until with
+    | Some until -> [ Storage_fault { o with until } ]
+    | None -> [])
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing *)
@@ -132,6 +201,9 @@ let pp_op ppf = function
   | Slow_window { at; until; prob; delay_max } ->
     Fmt.pf ppf "[%a..%a] slow scheduling p=%.2f max=%a" Time.pp at Time.pp
       until prob Time.pp delay_max
+  | Storage_fault { at; until; proc; fault } ->
+    Fmt.pf ppf "[%a..%a] storage %a p%a" Time.pp at Time.pp until
+      Storage.Store.pp_fault fault pp_endpoint proc
 
 let pp ppf t =
   Fmt.pf ppf "plan seed=%d n=%d (%d ops)@,%a" t.seed t.n (List.length t.ops)
@@ -186,6 +258,19 @@ let op_to_json op =
         ("until", J.Int until);
         ("prob", J.Float prob);
         ("delay_max", J.Int delay_max);
+      ]
+  | Storage_fault { at; until; proc; fault } ->
+    J.Obj
+      [
+        ("op", J.String "storage-fault");
+        ("at", J.Int at);
+        ("until", J.Int until);
+        ("proc", json_endpoint proc);
+        ( "fault",
+          J.String
+            (match fault with
+            | Storage.Store.Torn_write -> "torn-write"
+            | Storage.Store.Lost_flush -> "lost-flush") );
       ]
 
 let to_json t =
@@ -255,6 +340,16 @@ let op_of_json j =
     let* prob = float_field "prob" j in
     let* delay_max = field "delay_max" J.to_int j in
     Ok (Slow_window { at; until; prob; delay_max })
+  | "storage-fault" ->
+    let* until = field "until" J.to_int j in
+    let* proc = endpoint_field "proc" j in
+    let* fault =
+      match J.member "fault" j with
+      | Some (J.String "torn-write") -> Ok Storage.Store.Torn_write
+      | Some (J.String "lost-flush") -> Ok Storage.Store.Lost_flush
+      | _ -> Error "plan artifact: bad or missing field \"fault\""
+    in
+    Ok (Storage_fault { at; until; proc; fault })
   | tag -> Error (Fmt.str "plan artifact: unknown op %S" tag)
 
 let of_json j =

@@ -41,6 +41,14 @@ type op =
       prob : float;
       delay_max : Time.t;
     }
+  | Storage_fault of {
+      at : Time.t;
+      until : Time.t;
+      proc : int option;  (** [None] = every process's slot *)
+      fault : Storage.Store.fault;
+    }
+      (** stable-storage writes inside the window are torn or lose
+          their flush (see {!Storage.Store.fault}) *)
 
 type t = { seed : int; n : int; ops : op list }
 
@@ -56,6 +64,12 @@ val end_time : t -> Time.t
 (** Latest op time (window closes included); [Time.zero] when empty. *)
 
 val op_time : op -> Time.t
+
+val shrink_op : op -> op list
+(** Strictly-smaller variants of one op (halved window durations,
+    probabilities, delays — each down to a floor; instantaneous ops
+    have none), for {!Shrink.shrink_params}. *)
+
 val pp_op : op Fmt.t
 val pp : t Fmt.t
 

@@ -7,7 +7,6 @@ type outcome = {
   plan : Plan.t;
   violations : violation list;
   views_sampled : int;
-  blocked : bool;
 }
 
 type check = Harness.Run.svc -> Invariant.violation list
@@ -58,6 +57,13 @@ let schedule_op svc ~abs i op =
     Engine.at engine (abs at) (fun () ->
         Engine.set_slow engine ~slow_prob:prob ~slow_delay_max:delay_max);
     Engine.at engine (abs until) (fun () -> Engine.reset_slow engine)
+  | Plan.Storage_fault { at; until; proc; fault } ->
+    let store = Service.storage svc in
+    let proc = Option.map pid proc in
+    Engine.at engine (abs at) (fun () ->
+        Storage.Store.set_fault store ?proc (Some fault));
+    Engine.at engine (abs until) (fun () ->
+        Storage.Store.set_fault store ?proc None)
 
 let run ?probe ?(check = default_check) (plan : Plan.t) =
   let svc = Harness.Run.service ~seed:plan.Plan.seed ~n:plan.Plan.n () in
@@ -103,13 +109,17 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
   submit 0 base;
   Service.run svc ~until:stop_t;
   (* post-quiescence: remove every fault and require one agreed full
-     view, then take a final invariant sample *)
-  let blocked = ref false in
+     view, then take a final invariant sample. With stable storage
+     there is no waiver: even a plan that crashes every member of the
+     newest view leaves their persisted epochs behind, so a recovered
+     majority re-forms at a higher epoch and the stragglers rejoin —
+     non-convergence is always a violation. *)
   if !violations = [] then begin
     let net = Engine.net engine in
     Net.clear_filters net;
     Net.heal net;
     Engine.reset_slow engine;
+    Storage.Store.set_fault (Service.storage svc) None;
     List.iter
       (fun p ->
         if not (Engine.is_up engine p) then
@@ -121,58 +131,35 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
       | Some v -> Proc_set.cardinal v.Service.group = plan.Plan.n
       | None -> false
     in
-    (* Can the group be reconstituted at all? Reconfiguration needs a
-       majority of the team still holding the newest view; a plan that
-       crashes group members below that (their replica state is lost —
-       recovery is amnesiac, through the join protocol) leaves the
-       service blocked forever. That blocking is the protocol's
-       specified fail-safe behavior, not a liveness violation, so the
-       epilogue classifies it instead of flagging it. *)
-    let majority_holds_latest () =
-      let states = Invariant.take engine in
-      let latest =
-        List.fold_left
-          (fun acc (_, s) -> max acc (Member.group_id s))
-          (-1) states
-      in
-      let holders =
-        List.filter
-          (fun (p, s) ->
-            Member.group_id s = latest && Proc_set.mem p (Member.group s))
-          states
-      in
-      latest >= 0
-      && List.length holders >= Params.majority (Service.params svc)
-    in
     let rec wait tries =
       Service.run svc ~until:(Time.add (Service.now svc) cycle);
       if !violations <> [] then () (* an invariant broke during re-join *)
       else if converged () then ()
-      else if tries <= 1 then begin
-        if majority_holds_latest () then
-          violations :=
-            [
-              {
-                at = Service.now svc;
-                property = "convergence";
-                detail =
-                  Fmt.str
-                    "no agreed full view within %d cycles of healing all \
-                     faults"
-                    convergence_tries;
-              };
-            ]
-        else blocked := true
-      end
+      else if tries <= 1 then
+        violations :=
+          [
+            {
+              at = Service.now svc;
+              property = "convergence";
+              detail =
+                Fmt.str
+                  "no agreed full view within %d cycles of healing all faults"
+                  convergence_tries;
+            };
+          ]
       else wait (tries - 1)
     in
     wait convergence_tries;
     if !violations = [] then record (check svc)
   end;
-  { plan; violations = !violations; views_sampled = !sampled; blocked = !blocked }
+  { plan; violations = !violations; views_sampled = !sampled }
 
 let ok outcome = outcome.violations = []
 
 let minimize ?check (plan : Plan.t) =
   let violates ops = not (ok (run ?check { plan with Plan.ops })) in
-  { plan with Plan.ops = Shrink.minimize ~violates plan.Plan.ops }
+  let ops = Shrink.minimize ~violates plan.Plan.ops in
+  let ops =
+    Shrink.shrink_params ~violates ~candidates:Plan.shrink_op ops
+  in
+  { plan with Plan.ops }

@@ -7,13 +7,14 @@
     plan runs, {!Timewheel.Invariant.check_all} is sampled on {e every}
     membership observation (view installation); the first violation
     stops the run. After the last op the runner heals all faults
-    (partitions, filters, slow scheduling, crashed processes) and
-    requires post-quiescence convergence: every member back up and one
-    agreed full view within a bounded number of cycles, then one final
-    invariant sample. The one exception is a plan that destroys the
-    newest view's majority outright (see {!type:outcome}); such runs are
-    classified blocked rather than violating. Everything is
-    deterministic in the plan alone. *)
+    (partitions, filters, slow scheduling, storage faults, crashed
+    processes) and requires post-quiescence convergence: every member
+    back up and one agreed full view within a bounded number of cycles,
+    then one final invariant sample. There is no waiver for plans that
+    crash the newest view's majority: stable storage makes recovery
+    non-amnesiac, so a recovered majority always re-forms at a higher
+    epoch and the stragglers rejoin. Everything is deterministic in the
+    plan alone. *)
 
 open Tasim
 
@@ -25,13 +26,6 @@ type outcome = {
       (** empty = plan survived; the run stops at the first sample that
           violates, so these all share one sample time *)
   views_sampled : int;  (** invariant samples taken (one per view) *)
-  blocked : bool;
-      (** the plan crashed members of the newest view below a majority
-          of the team: their replica state is lost (recovery is
-          amnesiac) so the group can never be reconstituted. The paper's
-          fail-safe answer is to block, so the epilogue waives the
-          convergence requirement — safety invariants are still
-          sampled. *)
 }
 
 type check = Harness.Run.svc -> Timewheel.Invariant.violation list
@@ -50,5 +44,7 @@ val ok : outcome -> bool
 
 val minimize : ?check:check -> Plan.t -> Plan.t
 (** Delta-debug a violating plan down to a 1-minimal op list (see
-    {!Shrink.minimize}); returns the plan unchanged when it does not
+    {!Shrink.minimize}), then shrink the surviving ops' parameters
+    (halved windows and probabilities, see {!Shrink.shrink_params} and
+    {!Plan.shrink_op}); returns the plan unchanged when it does not
     violate. *)

@@ -58,3 +58,26 @@ let minimize ~violates ops =
     end
   in
   if ops = [] || not (check ops) then ops else ddmin ops 2
+
+let shrink_params ~violates ~candidates ops =
+  let check xs =
+    incr probe_count;
+    violates xs
+  in
+  let replace ops i c = List.mapi (fun j o -> if j = i then c else o) ops in
+  (* For each position in turn, greedily adopt the first candidate that
+     still violates and re-shrink the same position until none does.
+     Terminates because [candidates] only returns strictly smaller
+     variants (Plan.shrink_op's contract). *)
+  let rec at_pos ops i =
+    if i >= List.length ops then ops
+    else
+      let rec try_candidates = function
+        | [] -> at_pos ops (i + 1)
+        | c :: rest ->
+          let ops' = replace ops i c in
+          if check ops' then at_pos ops' i else try_candidates rest
+      in
+      try_candidates (candidates (List.nth ops i))
+  in
+  if ops = [] || not (check ops) then ops else at_pos ops 0

@@ -10,6 +10,17 @@ val minimize : violates:('a list -> bool) -> 'a list -> 'a list
 (** Returns the input unchanged when it does not violate (nothing to
     shrink) or is empty. *)
 
+val shrink_params :
+  violates:('a list -> bool) -> candidates:('a -> 'a list) -> 'a list -> 'a list
+(** Parameter-shrinking pass, run after {!minimize}: for each op in
+    turn, try the strictly-smaller variants [candidates] proposes
+    (e.g. {!Plan.shrink_op}'s halved window durations and
+    probabilities), greedily adopting any that keeps [violates] true
+    and re-shrinking that position until none does. The op list's
+    length and order never change. [candidates] must only propose
+    strictly smaller variants, or this need not terminate. Returns the
+    input unchanged when it does not violate or is empty. *)
+
 val probes : unit -> int
 (** Oracle invocations since the last {!reset_probes} — for tests and
     sweep reports. *)

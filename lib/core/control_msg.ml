@@ -23,7 +23,12 @@ and 'u no_decision = {
   nd_alive : Proc_set.t;
 }
 
-and join = { j_ts : Time.t; j_list : Proc_set.t; j_alive : Proc_set.t }
+and join = {
+  j_ts : Time.t;
+  j_list : Proc_set.t;
+  j_alive : Proc_set.t;
+  j_epoch : int;
+}
 
 and 'u reconfig = {
   r_ts : Time.t;
@@ -37,7 +42,7 @@ and 'u reconfig = {
 and ('u, 'app) state_transfer = {
   st_ts : Time.t;
   st_group : Proc_set.t;
-  st_group_id : int;
+  st_group_id : Group_id.t;
   st_oal : Oal.t;
   st_app : 'app;
   st_buffers : 'u Buffers.t;
@@ -93,4 +98,5 @@ let pp ppf = function
     Fmt.pf ppf "reconfiguration(ts=%a list=%a last_d=%a)" Time.pp r_ts
       Proc_set.pp r_list Time.pp r_last_decision_ts
   | State_transfer { st_group; st_group_id; _ } ->
-    Fmt.pf ppf "state-transfer(grp#%d %a)" st_group_id Proc_set.pp st_group
+    Fmt.pf ppf "state-transfer(grp#%a %a)" Group_id.pp st_group_id Proc_set.pp
+      st_group

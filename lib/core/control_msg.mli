@@ -47,7 +47,17 @@ and 'u no_decision = {
   nd_alive : Proc_set.t;
 }
 
-and join = { j_ts : Time.t; j_list : Proc_set.t; j_alive : Proc_set.t }
+and join = {
+  j_ts : Time.t;
+  j_list : Proc_set.t;
+  j_alive : Proc_set.t;
+  j_epoch : int;
+      (** the sender's formation epoch: 0 for a cold start, one above
+          the persisted epoch for a process recovering with stable
+          storage. Initial formation only counts join messages of the
+          receiver's own epoch, and receivers ratchet their epoch up to
+          the largest one heard (see {!Group_id}). *)
+}
 
 and 'u reconfig = {
   r_ts : Time.t;
@@ -62,7 +72,7 @@ and 'u reconfig = {
 and ('u, 'app) state_transfer = {
   st_ts : Time.t;
   st_group : Proc_set.t;
-  st_group_id : int;
+  st_group_id : Group_id.t;
   st_oal : Oal.t;
   st_app : 'app;
   st_buffers : 'u Buffers.t;

@@ -25,7 +25,7 @@ type event =
       from_suspect : bool;
       in_new_group : bool;
     }
-  | Reconfig_received of { from_expected : bool }
+  | Reconfig_received of { from_expected : bool; from_member : bool }
   | All_new_members_heard
 
 type directive =
@@ -129,7 +129,7 @@ let step env state event =
     else (One_failure_receive { suspect; since }, [])
   | Failure_free, Decision_received { from_expected; in_new_group; _ } ->
     on_decision state ~from_expected ~in_new_group
-  | Failure_free, Reconfig_received { from_expected } ->
+  | Failure_free, Reconfig_received { from_expected; _ } ->
     if from_expected then enter_n_failure env else (state, [])
   | Failure_free, All_new_members_heard -> (state, [])
   (* ------------------------------------------------- wrong-suspicion *)
@@ -141,15 +141,16 @@ let step env state event =
     ->
     on_decision state ~from_expected ~in_new_group
   | Wrong_suspicion _, Fd_timeout _ -> enter_n_failure env
-  | Wrong_suspicion _, Reconfig_received { from_expected } ->
-    (* Known gap (chaos counterexample chaos-17): a wrongly-suspected
-       process whose surveillance points at nobody (its ring successor
-       can be itself, which suspends the FD) is deaf to the reconfig
-       stream when the rest of the group collapses to n-failure, and an
-       election that needs its vote deadlocks. Accepting a reconfig
-       from any current group member here would fix it, but changes
-       wrong-suspicion-heavy trajectories (E10/A1 tables); deferred. *)
-    if from_expected then enter_n_failure env else (state, [])
+  | Wrong_suspicion _, Reconfig_received { from_expected; from_member } ->
+    (* A wrongly-suspected process's surveillance can point at nobody
+       (its ring successor may be itself, which suspends the FD), so
+       [from_expected] alone would leave it deaf to the reconfig
+       stream when the rest of the group collapses to n-failure — and
+       an election needing its vote deadlocks (chaos counterexample
+       chaos-17). In this state a reconfiguration from any current
+       group member is believable: the group has given up on the ring. *)
+    if from_expected || from_member then enter_n_failure env
+    else (state, [])
   | Wrong_suspicion _, All_new_members_heard -> (state, [])
   (* ----------------------------------------------- 1-failure-receive *)
   | ( One_failure_receive { suspect; since },
@@ -165,7 +166,7 @@ let step env state event =
       (Wrong_suspicion { suspect }, [ Adopt_decision ])
     else on_decision state ~from_expected ~in_new_group
   | One_failure_receive _, Fd_timeout _ -> enter_n_failure env
-  | One_failure_receive _, Reconfig_received { from_expected } ->
+  | One_failure_receive _, Reconfig_received { from_expected; _ } ->
     if from_expected then enter_n_failure env else (state, [])
   | One_failure_receive _, All_new_members_heard -> (state, [])
   (* -------------------------------------------------- 1-failure-send *)
@@ -174,7 +175,7 @@ let step env state event =
       Decision_received { from_expected; in_new_group; _ } ) ->
     on_decision state ~from_expected ~in_new_group
   | One_failure_send _, Fd_timeout _ -> enter_n_failure env
-  | One_failure_send _, Reconfig_received { from_expected } ->
+  | One_failure_send _, Reconfig_received { from_expected; _ } ->
     if from_expected then enter_n_failure env else (state, [])
   | One_failure_send _, All_new_members_heard -> (state, [])
   (* ------------------------------------------------------- n-failure *)

@@ -49,7 +49,14 @@ type event =
           (** true when the decision carries no membership change, or
               carries one whose group contains this process *)
     }
-  | Reconfig_received of { from_expected : bool }
+  | Reconfig_received of {
+      from_expected : bool;  (** sender satisfies FD surveillance *)
+      from_member : bool;
+          (** sender is a member of this process's current group — in
+              the wrong-suspicion state (whose FD may be suspended when
+              the ring successor is this process itself) this is enough
+              to join the reconfiguration, closing chaos-17 *)
+    }
   | All_new_members_heard
       (** in n-failure, excluded from the new group, and decisions from
           every new-group member have now been received (the delayed

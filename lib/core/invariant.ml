@@ -17,13 +17,13 @@ let pp_violation ppf v = Fmt.pf ppf "%s: %s" v.property v.detail
 let body_descr = function
   | Oal.Update info -> Fmt.str "update %a" Proposal.pp_id info.Oal.proposal_id
   | Oal.Membership { group; group_id } ->
-    Fmt.str "membership #%d %a" group_id Proc_set.pp group
+    Fmt.str "membership #%a %a" Group_id.pp group_id Proc_set.pp group
 
 let bodies_equal a b =
   match (a, b) with
   | Oal.Update x, Oal.Update y -> Proposal.id_equal x.Oal.proposal_id y.Oal.proposal_id
   | Oal.Membership m1, Oal.Membership m2 ->
-    m1.group_id = m2.group_id && Proc_set.equal m1.group m2.group
+    Group_id.equal m1.group_id m2.group_id && Proc_set.equal m1.group m2.group
   | Oal.Update _, Oal.Membership _ | Oal.Membership _, Oal.Update _ -> false
 
 let is_up_to_date p s =
@@ -43,9 +43,13 @@ let ordinals_consistent states =
      scope here.) *)
   let utd = List.filter (fun (p, s) -> is_up_to_date p s) states in
   let newest =
-    List.fold_left (fun acc (_, s) -> max acc (Member.group_id s)) (-1) utd
+    List.fold_left
+      (fun acc (_, s) -> Group_id.max acc (Member.group_id s))
+      Group_id.none utd
   in
-  let cohort = List.filter (fun (_, s) -> Member.group_id s = newest) utd in
+  let cohort =
+    List.filter (fun (_, s) -> Group_id.equal (Member.group_id s) newest) utd
+  in
   let seen : (int, Proc_id.t * Oal.body) Hashtbl.t = Hashtbl.create 64 in
   List.concat_map
     (fun (p, s) ->
@@ -80,7 +84,9 @@ let views_consistent ~n:_ states =
       states
   in
   (* same gid -> same group *)
-  let by_gid : (int, Proc_id.t * Proc_set.t) Hashtbl.t = Hashtbl.create 8 in
+  let by_gid : (Group_id.t, Proc_id.t * Proc_set.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   List.filter_map
     (fun (p, gid, g) ->
       match Hashtbl.find_opt by_gid gid with
@@ -94,10 +100,45 @@ let views_consistent ~n:_ states =
             {
               property = "view agreement";
               detail =
-                Fmt.str "group #%d is %a at %a but %a at %a" gid Proc_set.pp
-                  g' Proc_id.pp q Proc_set.pp g Proc_id.pp p;
+                Fmt.str "group #%a is %a at %a but %a at %a" Group_id.pp gid
+                  Proc_set.pp g' Proc_id.pp q Proc_set.pp g Proc_id.pp p;
             })
     utd
+
+let epochs_monotone states =
+  (* within one process's ordering and acknowledgement list, membership
+     descriptors must carry strictly increasing (lexicographic) group
+     ids in ordinal order: every view change either increments seq
+     inside an epoch or moves to a later epoch's formation. A violation
+     means an old-epoch view survived past a re-formation — exactly the
+     collision the epoch-aware formation guard exists to prevent. *)
+  List.concat_map
+    (fun (p, s) ->
+      let descriptors =
+        List.filter_map
+          (fun e ->
+            match e.Oal.body with
+            | Oal.Membership { group_id; _ } -> Some (e.Oal.ordinal, group_id)
+            | Oal.Update _ -> None)
+          (Oal.entries (Member.oal_of s))
+      in
+      let rec check = function
+        | (o1, g1) :: ((o2, g2) :: _ as rest) ->
+          if Group_id.later g2 ~than:g1 then check rest
+          else
+            {
+              property = "epoch monotonicity";
+              detail =
+                Fmt.str
+                  "%a holds membership #%a at ordinal %d not later than \
+                   #%a at ordinal %d"
+                  Proc_id.pp p Group_id.pp g2 o2 Group_id.pp g1 o1;
+            }
+            :: check rest
+        | [ _ ] | [] -> []
+      in
+      check descriptors)
+    states
 
 let groups_majority ~n states =
   List.filter_map
@@ -121,3 +162,4 @@ let check_all ~n states =
   ordinals_consistent states
   @ views_consistent ~n states
   @ groups_majority ~n states
+  @ epochs_monotone states

@@ -49,5 +49,13 @@ val groups_majority :
 (** Every group currently held by a member that belongs to it contains
     a majority of the team. *)
 
+val epochs_monotone :
+  (Proc_id.t * ('u, 'app) Member.state) list -> violation list
+(** Within every member's oal, membership descriptors carry strictly
+    increasing (lexicographic) group ids in ordinal order: a view
+    change either increments seq within an epoch or moves to a later
+    epoch's formation. Catches old-epoch views surviving past a
+    re-formation (the chaos-11 class of bug). *)
+
 val check_all :
   n:int -> (Proc_id.t * ('u, 'app) Member.state) list -> violation list

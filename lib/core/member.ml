@@ -16,18 +16,28 @@ let timer_expect = 1
 let timer_decide = 2
 let timer_slot = 3
 
+type persistent = { last_group_id : Group_id.t; last_group : Proc_set.t }
+
 type ('u, 'app) config = {
   params : Params.t;
   apply : 'app -> 'u -> 'app;
   initial_app : 'app;
+  persist : self:Proc_id.t -> now:Time.t -> persistent -> unit;
+  restore : self:Proc_id.t -> now:Time.t -> persistent option;
 }
 
-let config ?apply ~initial_app params =
+let config ?apply ?persist ?restore ~initial_app params =
   let apply = match apply with Some f -> f | None -> fun app _ -> app in
-  { params; apply; initial_app }
+  let persist =
+    match persist with Some f -> f | None -> fun ~self:_ ~now:_ _ -> ()
+  in
+  let restore =
+    match restore with Some f -> f | None -> fun ~self:_ ~now:_ -> None
+  in
+  { params; apply; initial_app; persist; restore }
 
 type 'u obs =
-  | View_installed of { group : Proc_set.t; group_id : int }
+  | View_installed of { group : Proc_set.t; group_id : Group_id.t }
   | Delivered of { proposal : 'u Proposal.t; ordinal : int option }
   | Transition of { from_ : CS.kind; to_ : CS.kind }
   | Suspected of { suspect : Proc_id.t }
@@ -37,7 +47,7 @@ type 'u obs =
 
 let pp_obs ppf = function
   | View_installed { group; group_id } ->
-    Fmt.pf ppf "view#%d%a" group_id Proc_set.pp group
+    Fmt.pf ppf "view#%a%a" Group_id.pp group_id Proc_set.pp group
   | Delivered { proposal; ordinal } ->
     Fmt.pf ppf "delivered(%a ord=%a)" Proposal.pp_id proposal.Proposal.id
       Fmt.(option ~none:(any "-") int)
@@ -55,7 +65,7 @@ type peer_view = {
   pv_dpd : Oal.update_info list;
 }
 
-type join_info = { ji_ts : Time.t; ji_list : Proc_set.t }
+type join_info = { ji_ts : Time.t; ji_list : Proc_set.t; ji_epoch : int }
 
 type reconfig_info = {
   rc_ts : Time.t;
@@ -71,7 +81,11 @@ type ('u, 'app) state = {
   n : int;
   creator : CS.t;
   group : Proc_set.t;
-  group_id : int; (* -1 until a first group is known *)
+  group_id : Group_id.t; (* Group_id.none until a first group is known *)
+  form_epoch : int;
+      (* epoch any initial formation this process takes part in must
+         use: 0 cold, one above the persisted epoch after recovery,
+         ratcheted up to the largest epoch heard in a join message *)
   fd : FD.t;
   oal : Oal.t;
   buffers : 'u Buffers.t;
@@ -84,7 +98,7 @@ type ('u, 'app) state = {
   reconfig_msgs : reconfig_info Pmap.t;
   peer_views : peer_view Pmap.t;
   alive_views : alive_info Pmap.t;
-  pending_new_group : (int * Proc_set.t * Proc_set.t) option;
+  pending_new_group : (Group_id.t * Proc_set.t * Proc_set.t) option;
       (* excluded while in n-failure: (group_id, group, members heard) *)
 }
 
@@ -93,7 +107,8 @@ type ('u, 'app) eff = (('u, 'app) C.t, 'u obs) Engine.effect
 let creator_state s = s.creator
 let group s = s.group
 let group_id s = s.group_id
-let has_group s = s.group_id >= 0
+let form_epoch s = s.form_epoch
+let has_group s = Group_id.is_known s.group_id
 let is_decider s = s.decider
 let app s = s.app
 let oal_of s = s.oal
@@ -120,7 +135,15 @@ let env_of s ~clock =
 (* small helpers producing (state, effect list)                        *)
 
 let member_of_current_group s =
-  s.group_id >= 0 && Proc_set.mem s.self s.group
+  Group_id.is_known s.group_id && Proc_set.mem s.self s.group
+
+(* Stable storage: record the installed view. Called at every view
+   install so a recovered incarnation knows the epoch it must form
+   above (chaos-11: an amnesiac majority re-forming a colliding
+   epoch). *)
+let persist_view s ~clock =
+  s.cfg.persist ~self:s.self ~now:clock
+    { last_group_id = s.group_id; last_group = s.group }
 
 let can_deliver s =
   member_of_current_group s && CS.kind_of s.creator <> CS.KJoin
@@ -339,10 +362,11 @@ let send_decision s ~clock : ('u, 'app) state * ('u, 'app) eff list =
     if Proc_set.is_empty joiners then (s, [])
     else begin
       let group = Proc_set.union s.group joiners in
-      let group_id = s.group_id + 1 in
+      let group_id = Group_id.succ s.group_id in
       let oal, _ = Oal.append_membership s.oal ~group ~group_id in
-      ( { s with group; group_id; oal },
-        [ Engine.Observe (View_installed { group; group_id }) ] )
+      let s = { s with group; group_id; oal } in
+      persist_view s ~clock;
+      (s, [ Engine.Observe (View_installed { group; group_id }) ])
     end
   in
   let s = order_pending s ~clock in
@@ -468,9 +492,10 @@ let create_group s ~clock ~new_group : ('u, 'app) state * ('u, 'app) eff list =
   in
   let s = order_pending s ~clock in
   (* 7. membership descriptor and adoption *)
-  let group_id = s.group_id + 1 in
+  let group_id = Group_id.succ s.group_id in
   let oal, _ = Oal.append_membership s.oal ~group:new_group ~group_id in
   let s = { s with oal; group = new_group; group_id } in
+  persist_view s ~clock;
   let view_effect =
     Engine.Observe (View_installed { group = new_group; group_id })
   in
@@ -625,7 +650,22 @@ let valid_membership s oal =
    deliver. Returns the updated state plus whether the decision named a
    new group that excludes this process. *)
 let adopt_decision s ~clock ~(d : C.decision) =
-  let s = { s with oal = Oal.merge ~local:s.oal ~incoming:d.C.d_oal } in
+  let s =
+    (* A decision of a later incarnation (strictly higher formation
+       epoch) carries the fresh history of a group formed after this
+       process's group died. The local history must not be merged into
+       it ordinal by ordinal — stale descriptors would land above the
+       new formation and break epoch monotonicity — so it is replaced
+       wholesale, as a state transfer replaces it. *)
+    let incoming_epoch =
+      match Oal.latest_membership d.C.d_oal with
+      | Some (_, _, gid) -> Group_id.epoch gid
+      | None -> 0
+    in
+    if incoming_epoch > Group_id.epoch s.group_id then
+      { s with oal = d.C.d_oal }
+    else { s with oal = Oal.merge ~local:s.oal ~incoming:d.C.d_oal }
+  in
   let s = { s with oal = my_view s } in
   (* learn ordinals for unordered-delivered updates *)
   let s =
@@ -644,16 +684,19 @@ let adopt_decision s ~clock ~(d : C.decision) =
   in
   let s, view_effects, excluded =
     match valid_membership s s.oal with
-    | Some (grp, gid) when gid > s.group_id ->
+    | Some (grp, gid) when Group_id.later gid ~than:s.group_id ->
       if Proc_set.mem s.self grp then
-        if CS.kind_of s.creator = CS.KJoin && gid > 0 then
+        if CS.kind_of s.creator = CS.KJoin && Group_id.seq gid > 0 then
           (* joining an existing group: adoption waits for the state
              transfer, which carries the replica state *)
           (s, [], false)
-        else
-          ( { s with group = grp; group_id = gid },
+        else begin
+          let s = { s with group = grp; group_id = gid } in
+          persist_view s ~clock;
+          ( s,
             [ Engine.Observe (View_installed { group = grp; group_id = gid }) ],
             false )
+        end
       else (s, [], true)
     | Some _ | None -> (s, [], false)
   in
@@ -671,21 +714,22 @@ let adopt_decision s ~clock ~(d : C.decision) =
    only actionable once the state transfer arrives. *)
 let decision_in_new_group s (d : C.decision) =
   match valid_membership s d.C.d_oal with
-  | Some (grp, gid) when gid > s.group_id ->
+  | Some (grp, gid) when Group_id.later gid ~than:s.group_id ->
     if Proc_set.mem s.self grp then
-      not (CS.kind_of s.creator = CS.KJoin && gid > 0)
+      not (CS.kind_of s.creator = CS.KJoin && Group_id.seq gid > 0)
     else false
-  | Some _ | None -> s.group_id >= 0
+  | Some _ | None -> Group_id.is_known s.group_id
 
 (* Track decisions from the members of a new group that excluded us (the
    delayed switch to join in the n-failure state). *)
 let track_exclusion s ~src (d : C.decision) =
   match valid_membership s d.C.d_oal with
-  | Some (grp, gid) when gid > s.group_id && not (Proc_set.mem s.self grp)
-    ->
+  | Some (grp, gid)
+    when Group_id.later gid ~than:s.group_id
+         && not (Proc_set.mem s.self grp) ->
     let gid0, grp0, heard =
       match s.pending_new_group with
-      | Some (g_id, g, h) when g_id >= gid -> (g_id, g, h)
+      | Some (g_id, g, h) when Group_id.compare g_id gid >= 0 -> (g_id, g, h)
       | Some _ | None -> (gid, grp, Proc_set.empty)
     in
     let heard =
@@ -725,7 +769,8 @@ let on_decision s ~clock ~src (d : C.decision) =
      was when the election ran *)
   let election_outcome =
     match valid_membership s d.C.d_oal with
-    | Some (grp, gid) -> gid > s.group_id && Proc_set.mem s.self grp
+    | Some (grp, gid) ->
+      Group_id.later gid ~than:s.group_id && Proc_set.mem s.self grp
     | None -> false
   in
   let from_expected =
@@ -792,8 +837,10 @@ let on_no_decision s ~clock ~src (nd : 'u C.no_decision) =
   (* a no-decision about a process that is no longer (or not yet) in our
      group is from an already-settled election: record the view above,
      but do not re-open the suspicion *)
-  if s.group_id >= 0 && not (Proc_set.mem nd.C.nd_suspect s.group) then
-    (s, [])
+  if
+    Group_id.is_known s.group_id
+    && not (Proc_set.mem nd.C.nd_suspect s.group)
+  then (s, [])
   else
   let concur =
     not (FD.heard_after s.fd nd.C.nd_suspect ~since:nd.C.nd_since)
@@ -826,10 +873,33 @@ let on_join_msg s ~src (j : C.join) =
     {
       s with
       join_msgs =
-        Pmap.add src { ji_ts = j.C.j_ts; ji_list = j.C.j_list } s.join_msgs;
+        Pmap.add src
+          { ji_ts = j.C.j_ts; ji_list = j.C.j_list; ji_epoch = j.C.j_epoch }
+          s.join_msgs;
+      (* epoch ratchet: a process recovering into a team whose other
+         recovered members persisted a later epoch must form at that
+         later epoch, or mixed-epoch join lists would never agree *)
+      form_epoch = max s.form_epoch j.C.j_epoch;
     }
   in
-  (s, [])
+  (* Epoch-join rescue. A member stuck in the n-failure state has an
+     election that cannot complete (the survivors of its group are
+     fewer than a team majority — only possible after its group lost
+     members to crashes). A join message at a strictly higher epoch
+     than its own group proves one of those crashed members is back
+     and forming the group's next incarnation: abandon the dead
+     election and join it. States with a live ring (failure-free and
+     the failure states) never react — a recovering process rejoins a
+     functioning group through state transfer, not by tearing it
+     down. *)
+  match CS.kind_of s.creator with
+  | CS.KN_failure when j.C.j_epoch > Group_id.epoch s.group_id ->
+    let creator' = CS.Join in
+    let transition_effects = fsm_transition s creator' in
+    let s = { s with creator = creator' } in
+    let s, join_effects = enter_join s in
+    (s, transition_effects @ join_effects)
+  | _ -> (s, [])
 
 let on_reconfig s ~clock ~src (r : 'u C.reconfig) =
   let s =
@@ -850,8 +920,11 @@ let on_reconfig s ~clock ~src (r : 'u C.reconfig) =
     }
   in
   let from_expected = FD.satisfied_by s.fd ~from:src ~ts:r.C.r_ts in
+  let from_member =
+    Group_id.is_known s.group_id && Proc_set.mem src s.group
+  in
   let s, directives, transition_effects =
-    run_fsm s ~clock (GC.Reconfig_received { from_expected })
+    run_fsm s ~clock (GC.Reconfig_received { from_expected; from_member })
   in
   let s, directive_effects =
     List.fold_left (fun acc dir -> exec_directive acc ~clock dir) (s, [])
@@ -863,7 +936,7 @@ let on_state_transfer s ~clock ~src (st : ('u, 'app) C.state_transfer) =
   if CS.kind_of s.creator <> CS.KJoin then (s, [])
   else if not (Proc_set.mem s.self st.C.st_group) then (s, [])
   else if not (Proc_set.is_majority st.C.st_group ~n:s.n) then (s, [])
-  else if st.C.st_group_id < s.group_id then (s, [])
+  else if Group_id.compare st.C.st_group_id s.group_id < 0 then (s, [])
   else begin
     (* adopt the transferred replica state (merging any oal information
        absorbed while waiting — decisions may have raced the transfer),
@@ -879,12 +952,19 @@ let on_state_transfer s ~clock ~src (st : ('u, 'app) C.state_transfer) =
         s with
         group = st.C.st_group;
         group_id = st.C.st_group_id;
-        oal = Oal.merge ~local:st.C.st_oal ~incoming:s.oal;
+        oal =
+          (* same epoch: keep oal information absorbed while waiting
+             (decisions may have raced the transfer); later incarnation:
+             the local history is from a dead epoch — replace it *)
+          (if Group_id.epoch st.C.st_group_id > Group_id.epoch s.group_id then
+             st.C.st_oal
+           else Oal.merge ~local:st.C.st_oal ~incoming:s.oal);
         buffers;
         app = st.C.st_app;
         pending_new_group = None;
       }
     in
+    persist_view s ~clock;
     let transition_effects = fsm_transition s CS.Failure_free in
     let s = { s with creator = CS.Failure_free } in
     let s = realign_surveillance s ~from:src ~ts:st.C.st_ts in
@@ -912,10 +992,15 @@ let fresh_within s ~clock ~ts ~slots =
   Slots.in_last_k_slots (params s) ~now:clock ~sent_at:ts ~k:slots
 
 let join_list_of s ~clock =
+  (* only join messages of this process's own formation epoch count: a
+     sender still at an older epoch (not yet ratcheted) must not land in
+     the join-list a formation is based on *)
   Pmap.fold
-    (fun p { ji_ts; _ } acc ->
-      if fresh_within s ~clock ~ts:ji_ts ~slots:(s.n - 1) then
-        Proc_set.add p acc
+    (fun p { ji_ts; ji_epoch; _ } acc ->
+      if
+        ji_epoch = s.form_epoch
+        && fresh_within s ~clock ~ts:ji_ts ~slots:(s.n - 1)
+      then Proc_set.add p acc
       else acc)
     s.join_msgs
     (Proc_set.singleton s.self)
@@ -933,15 +1018,21 @@ let reconfig_list_of s ~clock =
    becomes the first decider when a majority sent join messages, each in
    its own latest slot, all carrying exactly this process's join-list.
 
-   Known gap (chaos counterexample chaos-11): this rule also fires after
-   a mass crash-and-recovery, where a majority of amnesiac processes is
-   locally indistinguishable from a starting system. They then mint a
-   second epoch whose group ids restart at 0 and can transiently
-   disagree with equally-numbered views still held by the surviving
-   epoch. Mass-recovery liveness currently depends on exactly this
-   re-formation, so an epoch-aware fix is deferred. *)
+   Epoch awareness (closing chaos counterexample chaos-11): this rule
+   also fires after a mass crash-and-recovery, where a majority of
+   recovered processes is locally indistinguishable from a starting
+   system. Formation therefore happens at [s.form_epoch] — strictly
+   above any epoch this incarnation (or, via the join-message ratchet,
+   any formation peer) ever persisted — so the re-formed group's ids
+   compare later than every view the previous epoch could have issued
+   and can no longer collide with views held by first-epoch survivors.
+   Mass-recovery liveness is preserved: a recovered majority still
+   re-forms, just one epoch up. Safety of formation itself rests on the
+   same counting argument as before: a formation quorum and a live
+   group both need a majority of the team, members of a live group are
+   never in the join state, so the two cannot coexist. *)
 let try_initial_create s ~clock =
-  if s.group_id >= 0 then None
+  if Group_id.is_known s.group_id then None
   else begin
     let jl = join_list_of s ~clock in
     let ok =
@@ -951,7 +1042,7 @@ let try_initial_create s ~clock =
              Proc_id.equal p s.self
              ||
              match Pmap.find_opt p s.join_msgs with
-             | Some { ji_ts; ji_list } ->
+             | Some { ji_ts; ji_list; _ } ->
                Slots.was_own_latest_slot (params s) ~sender:p ~sent_at:ji_ts
                  ~now:clock
                && Proc_set.equal ji_list jl
@@ -962,9 +1053,10 @@ let try_initial_create s ~clock =
   end
 
 let create_initial_group s ~clock ~group =
-  let group_id = 0 in
+  let group_id = Group_id.form ~epoch:s.form_epoch in
   let oal, _ = Oal.append_membership s.oal ~group ~group_id in
   let s = { s with oal; group; group_id } in
+  persist_view s ~clock;
   let transition_effects = fsm_transition s CS.Failure_free in
   let s = { s with creator = CS.Failure_free } in
   let ts = clock in
@@ -997,7 +1089,7 @@ let try_reconfig_create s ~clock ~wait_until_slot =
     let candidates = Proc_set.inter rl s.group in
     let ok =
       Proc_set.is_majority candidates ~n:s.n
-      && s.group_id >= 0
+      && Group_id.is_known s.group_id
       && Proc_set.for_all
            (fun p ->
              Proc_id.equal p s.self
@@ -1030,6 +1122,7 @@ let on_slot s ~clock : ('u, 'app) state * ('u, 'app) eff list =
               j_ts = clock;
               j_list = join_list_of s ~clock;
               j_alive = FD.alive_list s.fd ~now:clock;
+              j_epoch = s.form_epoch;
             }
         in
         let s, send_effects = send_control s ~ring:false ~ts:clock msg in
@@ -1098,6 +1191,16 @@ let on_expect_timeout s ~clock =
 let init cfg ~self ~n ~clock ~incarnation:_ =
   if n <> cfg.params.Params.n then
     invalid_arg "Member: engine team size differs from Params.n";
+  (* a recovered incarnation never cold-forms at an epoch it already
+     lived through: its formation epoch starts one above the persisted
+     one. The replica state itself is not restored — a rejoining
+     process goes through the join protocol and state transfer exactly
+     like a fresh joiner. *)
+  let form_epoch =
+    match cfg.restore ~self ~now:clock with
+    | Some { last_group_id; _ } -> Group_id.epoch last_group_id + 1
+    | None -> 0
+  in
   let s =
     {
       cfg;
@@ -1105,7 +1208,8 @@ let init cfg ~self ~n ~clock ~incarnation:_ =
       n;
       creator = CS.Join;
       group = Proc_set.empty;
-      group_id = -1;
+      group_id = Group_id.none;
+      form_epoch;
       fd = FD.create cfg.params ~self;
       oal = Oal.empty;
       buffers = Buffers.empty;

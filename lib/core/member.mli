@@ -23,18 +23,37 @@
 open Tasim
 open Broadcast
 
+type persistent = { last_group_id : Group_id.t; last_group : Proc_set.t }
+(** The stable-storage record a member maintains: the group id (whose
+    epoch component is what crash recovery needs) and membership of the
+    last installed view. Written through [config.persist] at every view
+    install; read back through [config.restore] at (re)initialization
+    to pick the formation epoch. *)
+
 type ('u, 'app) config = {
   params : Params.t;
   apply : 'app -> 'u -> 'app;  (** deterministic update application *)
   initial_app : 'app;
+  persist : self:Proc_id.t -> now:Time.t -> persistent -> unit;
+      (** stable-storage write hook, called at every view install *)
+  restore : self:Proc_id.t -> now:Time.t -> persistent option;
+      (** stable-storage read hook, called once at initialization *)
 }
 
 val config :
-  ?apply:('app -> 'u -> 'app) -> initial_app:'app -> Params.t -> ('u, 'app) config
-(** [apply] defaults to ignoring updates (membership-only runs). *)
+  ?apply:('app -> 'u -> 'app) ->
+  ?persist:(self:Proc_id.t -> now:Time.t -> persistent -> unit) ->
+  ?restore:(self:Proc_id.t -> now:Time.t -> persistent option) ->
+  initial_app:'app ->
+  Params.t ->
+  ('u, 'app) config
+(** [apply] defaults to ignoring updates (membership-only runs).
+    [persist]/[restore] default to no storage (every incarnation is
+    amnesiac, the seed behaviour); {!Service} wires them to a
+    {!Storage.Store} so recovery is epoch-aware. *)
 
 type 'u obs =
-  | View_installed of { group : Proc_set.t; group_id : int }
+  | View_installed of { group : Proc_set.t; group_id : Group_id.t }
       (** a new group-list was adopted (including the initial one and
           re-adoption after a rejoin) *)
   | Delivered of { proposal : 'u Proposal.t; ordinal : int option }
@@ -71,8 +90,13 @@ val creator_state : ('u, 'app) state -> Creator_state.t
 val group : ('u, 'app) state -> Proc_set.t
 (** Current group-list (empty before any group was formed). *)
 
-val group_id : ('u, 'app) state -> int
-(** -1 before any group was formed. *)
+val group_id : ('u, 'app) state -> Group_id.t
+(** {!Group_id.none} before any group was formed. *)
+
+val form_epoch : ('u, 'app) state -> int
+(** The epoch any initial formation this process takes part in would
+    use: 0 cold, one above the persisted epoch after recovery,
+    ratcheted up by join messages carrying a later epoch. *)
 
 val has_group : ('u, 'app) state -> bool
 val is_decider : ('u, 'app) state -> bool

@@ -3,12 +3,13 @@ open Broadcast
 
 type clocks = Perfect | Oracle
 
-type view = { group : Proc_set.t; group_id : int; at : Time.t }
+type view = { group : Proc_set.t; group_id : Group_id.t; at : Time.t }
 
 type ('u, 'app) t = {
   params : Params.t;
   engine :
     (('u, 'app) Member.state, ('u, 'app) Control_msg.t, 'u Member.obs) Engine.t;
+  storage : Member.persistent Storage.Store.t;
   mutable view_probes : (Proc_id.t -> view -> unit) list;
   mutable delivery_probes :
     (Proc_id.t -> at:Time.t -> 'u Proposal.t -> ordinal:int option -> unit)
@@ -16,7 +17,8 @@ type ('u, 'app) t = {
   mutable views : (Proc_id.t * view) list; (* newest first *)
 }
 
-let create ?engine_config ?(clocks = Oracle) ?apply ~initial_app params =
+let create ?engine_config ?(clocks = Oracle) ?storage_write_latency ?apply
+    ~initial_app params =
   let base =
     match engine_config with
     | Some c -> c
@@ -35,7 +37,19 @@ let create ?engine_config ?(clocks = Oracle) ?apply ~initial_app params =
       Clocksync.Oracle.clocks (Engine.rng engine) ~n
         ~epsilon:params.Params.epsilon ~max_drift:1e-6
   in
-  let member_cfg = Member.config ?apply ~initial_app params in
+  let storage =
+    Storage.Store.create ?write_latency:storage_write_latency ~n ()
+  in
+  (* members persist through the store keyed by their process id; the
+     store's clock is the member's synchronized clock, which under the
+     oracle clock sources stays within epsilon of real time *)
+  let member_cfg =
+    Member.config ?apply
+      ~persist:(fun ~self ~now record ->
+        Storage.Store.write storage ~proc:self ~now record)
+      ~restore:(fun ~self ~now -> Storage.Store.read storage ~proc:self ~now)
+      ~initial_app params
+  in
   let automaton = Member.automaton member_cfg in
   List.iter
     (fun id ->
@@ -44,7 +58,14 @@ let create ?engine_config ?(clocks = Oracle) ?apply ~initial_app params =
         ())
     (Proc_id.all ~n);
   let t =
-    { params; engine; view_probes = []; delivery_probes = []; views = [] }
+    {
+      params;
+      engine;
+      storage;
+      view_probes = [];
+      delivery_probes = [];
+      views = [];
+    }
   in
   Engine.on_observe engine (fun at proc obs ->
       match obs with
@@ -115,18 +136,28 @@ let agreed_view t =
   | v :: rest ->
     let newest =
       List.fold_left
-        (fun best v -> if v.group_id > best.group_id then v else best)
+        (fun best v ->
+          if Group_id.later v.group_id ~than:best.group_id then v else best)
         v rest
     in
     let agree =
       List.for_all
         (fun (v : view) ->
-          v.group_id = newest.group_id && Proc_set.equal v.group newest.group)
+          Group_id.equal v.group_id newest.group_id
+          && Proc_set.equal v.group newest.group)
         members_with_views
     in
     if agree then Some newest else None
 
-let crash_at t time p = Engine.crash_at t.engine time p
+let storage t = t.storage
+
+let crash_at t time p =
+  Engine.crash_at t.engine time p;
+  (* scheduled after the crash thunk at the same instant (the event
+     heap is stable): the store drops the crashed process's write-back
+     cache and latency-pending writes, keeping only durable records *)
+  Engine.at t.engine time (fun () ->
+      Storage.Store.note_crash t.storage ~proc:p ~now:time)
 let recover_at t time p = Engine.recover_at t.engine time p
 let partition_at t time blocks = Engine.partition_at t.engine time blocks
 let heal_at t time = Engine.heal_at t.engine time

@@ -24,13 +24,21 @@ type ('u, 'app) t
 val create :
   ?engine_config:Engine.config ->
   ?clocks:clocks ->
+  ?storage_write_latency:Time.t ->
   ?apply:('app -> 'u -> 'app) ->
   initial_app:'app ->
   Params.t ->
   ('u, 'app) t
 (** Build a team of [Params.n] members, all starting at time 0 in the
     join state; the initial group forms by the join protocol. The
-    engine's network delta is forced to the protocol's delta. *)
+    engine's network delta is forced to the protocol's delta.
+
+    Every member is wired to a per-process {!Storage.Store} slot: it
+    persists its last installed view at each view install and recovers
+    its formation epoch from it after a crash (see {!Member.persistent}
+    and {!Broadcast.Group_id}). [storage_write_latency] (default zero,
+    i.e. atomically durable writes) delays durability; a crash inside
+    the window loses the unflushed write. *)
 
 val params : ('u, 'app) t -> Params.t
 val engine :
@@ -52,7 +60,7 @@ val submit_at :
 
 (** {1 Observation} *)
 
-type view = { group : Proc_set.t; group_id : int; at : Time.t }
+type view = { group : Proc_set.t; group_id : Group_id.t; at : Time.t }
 
 val on_view : ('u, 'app) t -> (Proc_id.t -> view -> unit) -> unit
 (** Called on every [View_installed] observation. *)
@@ -78,7 +86,14 @@ val agreed_view : ('u, 'app) t -> view option
 
 (** {1 Fault injection} *)
 
+val storage : ('u, 'app) t -> Member.persistent Storage.Store.t
+(** The per-process stable store backing the members' persistence, for
+    fault injection ([Storage.Store.set_fault]) and test assertions. *)
+
 val crash_at : ('u, 'app) t -> Time.t -> Proc_id.t -> unit
+(** Crash the process at [time] (see [Engine.crash_at]) and drop its
+    store's unflushed writes; durable records survive. *)
+
 val recover_at : ('u, 'app) t -> Time.t -> Proc_id.t -> unit
 val partition_at : ('u, 'app) t -> Time.t -> Proc_set.t list -> unit
 val heal_at : ('u, 'app) t -> Time.t -> unit

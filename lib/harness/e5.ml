@@ -68,7 +68,8 @@ let event_classes =
           from_suspect = true;
           in_new_group = true;
         } );
-    ("R expected", GC.Reconfig_received { from_expected = true });
+    ( "R expected",
+      GC.Reconfig_received { from_expected = true; from_member = true } );
     ("all heard", GC.All_new_members_heard);
   ]
 
@@ -198,9 +199,15 @@ let one_spec_run ~n ~seed =
               (Proc_id.all ~n)
           in
           let max_gid =
-            List.fold_left (fun acc (gid, _) -> max acc gid) (-1) views
+            List.fold_left
+              (fun acc (gid, _) -> Broadcast.Group_id.max acc gid)
+              Broadcast.Group_id.none views
           in
-          let newest = List.filter (fun (gid, _) -> gid = max_gid) views in
+          let newest =
+            List.filter
+              (fun (gid, _) -> Broadcast.Group_id.equal gid max_gid)
+              views
+          in
           match newest with
           | (_, g) :: rest ->
             if not (List.for_all (fun (_, g') -> Proc_set.equal g g') rest)

@@ -28,7 +28,9 @@ let one_run ~n ~seed ~omission ~crash =
     Array.init n (fun _ ->
         Hardware_clock.random rng ~max_offset:(Time.of_ms 100) ~max_drift:1e-5)
   in
-  let views : (Time.t * Proc_id.t * int * Proc_set.t) list ref = ref [] in
+  let views : (Time.t * Proc_id.t * Broadcast.Group_id.t * Proc_set.t) list ref =
+    ref []
+  in
   Engine.on_observe engine (fun at proc obs ->
       match obs with
       | Full_stack.Member_obs (Member.View_installed { group; group_id }) ->

@@ -1,0 +1,104 @@
+open Tasim
+
+type fault = Torn_write | Lost_flush
+
+let pp_fault ppf = function
+  | Torn_write -> Fmt.string ppf "torn-write"
+  | Lost_flush -> Fmt.string ppf "lost-flush"
+
+type 'r slot = {
+  mutable durable : 'r option;
+  mutable cached : 'r option;
+      (* a record the process believes it wrote but whose flush was
+         lost: visible to the running incarnation, gone after a crash *)
+  mutable pending : (Time.t * 'r) option; (* (flush due, record) *)
+  mutable fault : fault option;
+  mutable writes : int;
+  mutable lost : int;
+}
+
+type 'r t = { write_latency : Time.t; slots : 'r slot array }
+
+let create ?(write_latency = Time.zero) ~n () =
+  if write_latency < Time.zero then
+    invalid_arg "Store.create: write_latency must be >= 0";
+  {
+    write_latency;
+    slots =
+      Array.init n (fun _ ->
+          {
+            durable = None;
+            cached = None;
+            pending = None;
+            fault = None;
+            writes = 0;
+            lost = 0;
+          });
+  }
+
+let slot t proc =
+  let i = Proc_id.to_int proc in
+  if i < 0 || i >= Array.length t.slots then
+    invalid_arg (Fmt.str "Store: unknown process %a" Proc_id.pp proc);
+  t.slots.(i)
+
+(* Complete any pending write whose latency has elapsed. *)
+let flush slot ~now =
+  match slot.pending with
+  | Some (due, r) when Time.compare due now <= 0 ->
+    slot.pending <- None;
+    slot.durable <- Some r;
+    slot.cached <- None
+  | Some _ | None -> ()
+
+let write t ~proc ~now r =
+  let s = slot t proc in
+  flush s ~now;
+  s.writes <- s.writes + 1;
+  match s.fault with
+  | Some Torn_write ->
+    (* the write tears mid-way; the atomic-rename journal discards the
+       incomplete new version at recovery, the previous record
+       survives *)
+    s.lost <- s.lost + 1
+  | Some Lost_flush ->
+    (* the write lands in the cache (this incarnation reads it back)
+       but never reaches the disk: a crash reverts to the previous
+       durable record *)
+    s.lost <- s.lost + 1;
+    s.pending <- None;
+    s.cached <- Some r
+  | None ->
+    if Time.equal t.write_latency Time.zero then begin
+      s.durable <- Some r;
+      s.cached <- None
+    end
+    else begin
+      (* a newer write supersedes an unflushed older one *)
+      s.pending <- Some (Time.add now t.write_latency, r);
+      s.cached <- Some r
+    end
+
+let read t ~proc ~now =
+  let s = slot t proc in
+  flush s ~now;
+  match s.cached with Some _ as c -> c | None -> s.durable
+
+let durable t ~proc ~now =
+  let s = slot t proc in
+  flush s ~now;
+  s.durable
+
+let note_crash t ~proc ~now =
+  let s = slot t proc in
+  flush s ~now;
+  s.pending <- None;
+  s.cached <- None
+
+let set_fault t ?proc f =
+  match proc with
+  | Some p -> (slot t p).fault <- f
+  | None -> Array.iter (fun s -> s.fault <- f) t.slots
+
+let writes t ~proc = (slot t proc).writes
+let lost_writes t ~proc = (slot t proc).lost

@@ -1,0 +1,70 @@
+(** Per-process stable storage, modeled inside the simulator.
+
+    One store holds one small record per process — for the membership
+    protocol, the {!Timewheel.Member.persistent} view record — with the
+    semantics of a write-ahead journal updated by atomic rename:
+
+    - {b atomicity}: a read returns a complete record or nothing, never
+      a mix of two writes. In particular, a torn write loses the {e
+      new} version; the previous durable record survives.
+    - {b durability}: a durable record survives crash and recovery
+      ({!note_crash} + re-{!read}), unlike every other simulated
+      process resource (automaton state, timers).
+    - {b write latency}: with [write_latency > 0], a write becomes
+      durable only once the latency has elapsed; a crash before then
+      loses it (falling back to the previous durable record). The
+      running process reads its own unflushed writes back (cache
+      visibility).
+
+    Fault injection ({!set_fault}, wired into [Chaos.Plan]):
+    - [Torn_write]: writes during the fault window are torn and lost
+      entirely — the previous durable record survives, and even the
+      running process reads the old record back.
+    - [Lost_flush]: writes during the fault window appear to succeed
+      (the running process reads them back) but never become durable —
+      after a crash the store reverts to the previous durable record.
+
+    The store is engine-external on purpose: [Engine.crash_at] destroys
+    a process's state, while the store's [durable] slots survive; the
+    only coupling is that the service layer calls {!note_crash} when it
+    crashes a process, modeling the loss of the write-back cache and of
+    in-flight (latency-pending) writes. *)
+
+open Tasim
+
+type fault = Torn_write | Lost_flush
+
+val pp_fault : fault Fmt.t
+
+type 'r t
+
+val create : ?write_latency:Time.t -> n:int -> unit -> 'r t
+(** A store with one empty slot per process. [write_latency] defaults
+    to zero (writes are atomically durable at once). Raises
+    [Invalid_argument] on a negative latency. *)
+
+val write : 'r t -> proc:Proc_id.t -> now:Time.t -> 'r -> unit
+(** Replace [proc]'s record. Subject to the slot's active fault and to
+    the store's write latency. *)
+
+val read : 'r t -> proc:Proc_id.t -> now:Time.t -> 'r option
+(** What the running process reads back: its latest cached write if
+    one is outstanding, else the durable record. *)
+
+val durable : 'r t -> proc:Proc_id.t -> now:Time.t -> 'r option
+(** The record that would survive a crash at [now] (for assertions). *)
+
+val note_crash : 'r t -> proc:Proc_id.t -> now:Time.t -> unit
+(** The process crashed: flush any pending write whose latency had
+    already elapsed, then drop the rest of the cache. The durable
+    record is untouched — that is the point of stable storage. *)
+
+val set_fault : 'r t -> ?proc:Proc_id.t -> fault option -> unit
+(** Set (or with [None] clear) the active fault of one process's slot,
+    or of every slot when [proc] is omitted. *)
+
+val writes : 'r t -> proc:Proc_id.t -> int
+(** Total {!write} calls for [proc] (including faulted ones). *)
+
+val lost_writes : 'r t -> proc:Proc_id.t -> int
+(** Writes lost to an active fault (torn or flush-lost). *)

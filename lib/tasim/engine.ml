@@ -371,6 +371,12 @@ let crash t id =
 
 let recover t id =
   let p = proc t id in
+  (* recovery is only meaningful for a process that has a start (or a
+     start-cancelling crash) behind it: silently early-starting a
+     never-started process would hide a mis-scheduled fault plan *)
+  if not p.started then
+    invalid_arg
+      (Fmt.str "Engine.recover: process %a was never started" Proc_id.pp id);
   if not p.up then begin
     Log.debug (fun m -> m "[%a] recover %a" Time.pp t.now Proc_id.pp id);
     Stats.incr t.stats "recoveries";

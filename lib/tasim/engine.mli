@@ -144,6 +144,10 @@ val crash_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
     until {!recover_at}, which re-runs [init] with an incremented
     incarnation.
 
+    Crashing an already-down (crashed) process is a well-defined no-op:
+    the state is already lost and the incarnation does not advance, so
+    double-crash fault plans are idempotent.
+
     Delivery semantics across a crash/recovery pair:
     - a datagram in flight when the receiver crashes is {e not}
       discarded by the crash; if the receiver has recovered by the
@@ -156,7 +160,14 @@ val crash_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
 
 val recover_at : ('s, 'm, 'obs) t -> Time.t -> Proc_id.t -> unit
 (** Restart a crashed process with a fresh state (its [init] runs with
-    an incremented incarnation). *)
+    an incremented incarnation).
+
+    Symmetric validation to {!crash_at}: recovering an already-up
+    process is a well-defined no-op (double-recover fault plans are
+    idempotent), while recovering a process whose registration-time
+    start has not yet fired (never started, never crashed) raises
+    [Invalid_argument] at the scheduled time — silently early-starting
+    it would hide a mis-scheduled fault plan. *)
 
 val set_slow :
   ('s, 'm, 'obs) t -> slow_prob:float -> slow_delay_max:Time.t -> unit

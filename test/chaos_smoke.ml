@@ -1,0 +1,27 @@
+(* CI smoke gate, run with [dune build @chaos-smoke]: a small
+   fixed-seed chaos sweep plus replay of the pinned counterexample
+   artifacts (chaos-11, the amnesiac epoch fork; chaos-17, the
+   wrong-suspicion deafness). Exits nonzero on the first violation, so
+   the alias fails the build. *)
+
+let replay name =
+  let path = Filename.concat "artifacts" name in
+  match Chaos.Plan.load path with
+  | Error msg -> Fmt.epr "replay %s: cannot load: %s@." name msg; exit 2
+  | Ok plan ->
+    let outcome = Chaos.Runner.run plan in
+    if Chaos.Runner.ok outcome then Fmt.pr "replay %s: ok@." name
+    else begin
+      Fmt.epr "replay %s: VIOLATION@." name;
+      List.iter
+        (fun v -> Fmt.epr "  %a@." Chaos.Runner.pp_violation v)
+        outcome.Chaos.Runner.violations;
+      exit 1
+    end
+
+let () =
+  let report = Chaos.Fuzz.sweep ~seed:1 ~plans:6 ~n:5 () in
+  Fmt.pr "%a@." Chaos.Fuzz.pp_report report;
+  if not (Chaos.Fuzz.ok report) then exit 1;
+  List.iter replay [ "chaos-11.json"; "chaos-17.json" ];
+  Fmt.pr "chaos smoke: all clear@."

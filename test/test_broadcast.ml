@@ -50,7 +50,10 @@ let test_oal_append_assigns_ordinals () =
   let oal = Oal.empty in
   let oal, o1 = Oal.append_update oal (info ~origin:1 ~seq:0 ()) ~acks:Proc_set.empty in
   let oal, o2 = Oal.append_update oal (info ~origin:2 ~seq:0 ()) ~acks:Proc_set.empty in
-  let oal, o3 = Oal.append_membership oal ~group:(set_of [ 0; 1 ]) ~group_id:1 in
+  let oal, o3 =
+    Oal.append_membership oal ~group:(set_of [ 0; 1 ])
+      ~group_id:(Group_id.v ~epoch:0 ~seq:1)
+  in
   check Alcotest.int "first" 0 o1;
   check Alcotest.int "second" 1 o2;
   check Alcotest.int "membership too" 2 o3;
@@ -180,13 +183,19 @@ let test_oal_undeliverable_marks () =
   | None -> Alcotest.fail "entry lost"
 
 let test_oal_latest_membership () =
-  let oal, _ = Oal.append_membership Oal.empty ~group:(set_of [ 0; 1; 2 ]) ~group_id:0 in
+  let oal, _ =
+    Oal.append_membership Oal.empty ~group:(set_of [ 0; 1; 2 ])
+      ~group_id:(Group_id.v ~epoch:0 ~seq:0)
+  in
   let oal, _ = Oal.append_update oal (info ~origin:0 ~seq:0 ()) ~acks:Proc_set.empty in
-  let oal, o = Oal.append_membership oal ~group:(set_of [ 0; 1 ]) ~group_id:1 in
+  let oal, o =
+    Oal.append_membership oal ~group:(set_of [ 0; 1 ])
+      ~group_id:(Group_id.v ~epoch:0 ~seq:1)
+  in
   match Oal.latest_membership oal with
   | Some (ordinal, group, gid) ->
     check Alcotest.int "ordinal" o ordinal;
-    check Alcotest.int "gid" 1 gid;
+    check Alcotest.int "gid" 1 (Group_id.seq gid);
     check Alcotest.bool "group" true (Proc_set.equal group (set_of [ 0; 1 ]))
   | None -> Alcotest.fail "no membership found"
 

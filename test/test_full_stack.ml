@@ -15,7 +15,7 @@ type harness = {
       (int, int list) Full_stack.msg,
       int Full_stack.obs )
     Engine.t;
-  views : (Time.t * Proc_id.t * int * Proc_set.t) list ref;
+  views : (Time.t * Proc_id.t * Group_id.t * Proc_set.t) list ref;
   started : Proc_id.t list ref;
   deliveries : (Proc_id.t * int) list ref;
 }
@@ -91,7 +91,9 @@ let test_group_forms_over_real_clocks () =
   | (gid, g) :: rest ->
     List.iter
       (fun (gid', g') ->
-        check Alcotest.int "same gid" gid gid';
+        check
+          (Alcotest.testable Group_id.pp Group_id.equal)
+          "same gid" gid gid';
         check Alcotest.bool "same group" true (Proc_set.equal g g'))
       rest
   | [] -> Alcotest.fail "no views"

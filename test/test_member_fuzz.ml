@@ -36,6 +36,13 @@ let gen_set =
 
 let gen_time = QCheck.Gen.map Time.of_ms (QCheck.Gen.int_bound 5_000)
 
+(* epoch-qualified group ids, spanning two epochs so the fuzz also
+   feeds the member foreign-epoch ids *)
+let gen_gid =
+  QCheck.Gen.map
+    (fun (epoch, seq) -> Group_id.v ~epoch ~seq)
+    QCheck.Gen.(pair (int_bound 1) (int_bound 3))
+
 let gen_semantics =
   QCheck.Gen.oneofl Semantics.all
 
@@ -73,7 +80,7 @@ let gen_oal =
         | _ -> oal)
       (pair
          (list_size (int_bound 4) gen_proposal)
-         (option (pair gen_set (int_bound 3)))))
+         (option (pair gen_set gen_gid))))
 
 let gen_msg : (int, unit) Control_msg.t QCheck.Gen.t =
   QCheck.Gen.(
@@ -114,7 +121,8 @@ let gen_msg : (int, unit) Control_msg.t QCheck.Gen.t =
         ( 2,
           map
             (fun (ts, jl, alive) ->
-              Control_msg.Join_msg { j_ts = ts; j_list = jl; j_alive = alive })
+              Control_msg.Join_msg
+                { j_ts = ts; j_list = jl; j_alive = alive; j_epoch = 0 })
             (triple gen_time gen_set gen_set) );
         ( 2,
           map
@@ -142,7 +150,7 @@ let gen_msg : (int, unit) Control_msg.t QCheck.Gen.t =
                   st_app = ();
                   st_buffers = Buffers.empty;
                 })
-            (pair (triple gen_time gen_set (int_bound 3)) gen_oal) );
+            (pair (triple gen_time gen_set gen_gid) gen_oal) );
       ])
 
 type input =
@@ -230,9 +238,9 @@ let drive inputs =
            last_next := Oal.next_ordinal (Member.oal_of state')
          | _ -> ());
          let gid = Member.group_id state' in
-         if gid < !last_gid then
+         if Group_id.compare gid !last_gid < 0 then
            verdict := { !verdict with group_ids_monotone = false };
-         last_gid := max !last_gid gid;
+         last_gid := Group_id.max !last_gid gid;
          let g = Member.group state' in
          if
            Member.has_group state'

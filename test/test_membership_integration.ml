@@ -34,7 +34,7 @@ let test_initial_group_forms () =
   (* formation is the only membership change *)
   let gids =
     Service.views_installed svc
-    |> List.map (fun (_, v) -> v.Service.group_id)
+    |> List.map (fun (_, v) -> Group_id.seq v.Service.group_id)
     |> List.sort_uniq compare
   in
   check (Alcotest.list Alcotest.int) "single view" [ 0 ] gids
@@ -180,7 +180,7 @@ let test_minority_cannot_form_group () =
   Service.run svc ~until:(Time.add t (Time.of_sec 8));
   let new_views =
     Service.views_installed svc
-    |> List.filter (fun (_, v) -> v.Service.group_id > 0)
+    |> List.filter (fun (_, v) -> Group_id.later v.Service.group_id ~than:(Group_id.form ~epoch:0))
   in
   check Alcotest.int "no minority group" 0 (List.length new_views);
   check Alcotest.bool "survivors know they are out of date" true

@@ -116,7 +116,12 @@ let test_control_msg_kinds () =
   in
   let join =
     Control_msg.Join_msg
-      { j_ts = Time.of_ms 5; j_list = set_of [ 1 ]; j_alive = set_of [ 1 ] }
+      {
+        j_ts = Time.of_ms 5;
+        j_list = set_of [ 1 ];
+        j_alive = set_of [ 1 ];
+        j_epoch = 0;
+      }
   in
   check Alcotest.bool "decision is control" true
     (Control_msg.is_control decision);
@@ -230,8 +235,8 @@ let decision ?(from = 3) ?(expected = true) ?(suspect = false) ?(member = true)
       in_new_group = member;
     }
 
-let reconfig ?(expected = true) () =
-  GC.Reconfig_received { from_expected = expected }
+let reconfig ?(expected = true) ?(member = true) () =
+  GC.Reconfig_received { from_expected = expected; from_member = member }
 
 let kind = Alcotest.testable CS.pp_kind CS.equal_kind
 
@@ -370,6 +375,20 @@ let test_ws_decision_excluded_to_join () =
 let test_ws_reconfig_to_n_failure () =
   let k, _ = step_kind ~self:0 ws (reconfig ()) in
   check kind "n-failure" CS.KN_failure k
+
+(* The chaos-17 fix: in wrong-suspicion the local failure detector is
+   suspended, so the expected-sender prediction is stale; a reconfig
+   from ANY current group member must pull the process into the
+   election, while one from an outsider is still ignored. *)
+let test_ws_reconfig_unexpected_member_joins_election () =
+  let k, _ = step_kind ~self:0 ws (reconfig ~expected:false ~member:true ()) in
+  check kind "n-failure" CS.KN_failure k
+
+let test_ws_reconfig_from_outsider_ignored () =
+  let k, _ =
+    step_kind ~self:0 ws (reconfig ~expected:false ~member:false ())
+  in
+  check kind "stays wrong-suspicion" CS.KWrong_suspicion k
 
 (* --- 1-failure-receive --- *)
 
@@ -645,6 +664,10 @@ let () =
           Alcotest.test_case "decision member" `Quick test_ws_decision_member_to_ff;
           Alcotest.test_case "decision excluded" `Quick test_ws_decision_excluded_to_join;
           Alcotest.test_case "reconfig" `Quick test_ws_reconfig_to_n_failure;
+          Alcotest.test_case "reconfig from unexpected member" `Quick
+            test_ws_reconfig_unexpected_member_joins_election;
+          Alcotest.test_case "reconfig from outsider ignored" `Quick
+            test_ws_reconfig_from_outsider_ignored;
         ] );
       ( "fig2: 1-failure-receive",
         [

@@ -53,7 +53,7 @@ let test_views_installed_ordering () =
   in
   check Alcotest.bool "time ordered" true (sorted times);
   check Alcotest.bool "two generations" true
-    (List.exists (fun (_, v) -> v.Service.group_id = 1) views)
+    (List.exists (fun (_, v) -> Group_id.seq v.Service.group_id = 1) views)
 
 let test_current_view_and_member_state () =
   let svc = make ~n:5 () in

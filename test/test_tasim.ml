@@ -861,6 +861,65 @@ let test_engine_crash_before_start () =
   check Alcotest.bool "up after recovery" true
     (Engine.is_up engine (Proc_id.of_int 0))
 
+let inc_automaton incarnations =
+  {
+    Engine.name = "inc";
+    init =
+      (fun ~self:_ ~n:_ ~clock:_ ~incarnation ->
+        incarnations := incarnation :: !incarnations;
+        ((), []));
+    on_receive = (fun () ~clock:_ ~src:_ _ -> ((), []));
+    on_timer = (fun () ~clock:_ ~key:_ -> ((), []));
+  }
+
+let test_engine_double_crash_is_noop () =
+  (* a fault plan may crash an already-down process; the second crash
+     must neither bump the incarnation again nor count as a new crash *)
+  let incarnations = ref [] in
+  let engine = Engine.create Engine.default_config ~n:1 in
+  Engine.add_process engine (Proc_id.of_int 0) (inc_automaton incarnations)
+    ~clock:Engine.ideal_clock ();
+  Engine.crash_at engine (Time.of_ms 100) (Proc_id.of_int 0);
+  Engine.crash_at engine (Time.of_ms 150) (Proc_id.of_int 0);
+  Engine.recover_at engine (Time.of_ms 200) (Proc_id.of_int 0);
+  Engine.run engine ~until:(Time.of_sec 1);
+  check Alcotest.int "one effective crash" 1
+    (Stats.count (Engine.stats engine) "crashes");
+  check (Alcotest.list Alcotest.int) "incarnation bumped once" [ 1; 0 ]
+    !incarnations;
+  check Alcotest.bool "up after recovery" true
+    (Engine.is_up engine (Proc_id.of_int 0))
+
+let test_engine_double_recover_is_noop () =
+  (* symmetrically, recovering an already-up process is idempotent:
+     init must not re-run and no recovery is counted *)
+  let incarnations = ref [] in
+  let engine = Engine.create Engine.default_config ~n:1 in
+  Engine.add_process engine (Proc_id.of_int 0) (inc_automaton incarnations)
+    ~clock:Engine.ideal_clock ();
+  Engine.crash_at engine (Time.of_ms 100) (Proc_id.of_int 0);
+  Engine.recover_at engine (Time.of_ms 200) (Proc_id.of_int 0);
+  Engine.recover_at engine (Time.of_ms 300) (Proc_id.of_int 0);
+  Engine.run engine ~until:(Time.of_sec 1);
+  check Alcotest.int "one effective recovery" 1
+    (Stats.count (Engine.stats engine) "recoveries");
+  check (Alcotest.list Alcotest.int) "init ran exactly twice" [ 1; 0 ]
+    !incarnations
+
+let test_engine_recover_never_started_rejected () =
+  (* recovering a process that was never started (registered with a
+     future start that never fired, and never crashed) is a plan bug,
+     not a no-op: it must be rejected loudly *)
+  let incarnations = ref [] in
+  let engine = Engine.create Engine.default_config ~n:1 in
+  Engine.add_process engine (Proc_id.of_int 0) (inc_automaton incarnations)
+    ~clock:Engine.ideal_clock ~start:(Time.of_sec 2) ();
+  Engine.recover_at engine (Time.of_ms 100) (Proc_id.of_int 0);
+  (match Engine.run engine ~until:(Time.of_sec 1) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "recover of a never-started process was accepted");
+  check (Alcotest.list Alcotest.int) "init never ran" [] !incarnations
+
 let test_engine_determinism () =
   let run () =
     let fired = ref [] in
@@ -960,6 +1019,12 @@ let () =
             test_engine_set_slow_validation;
           Alcotest.test_case "crash before start" `Quick
             test_engine_crash_before_start;
+          Alcotest.test_case "double crash no-op" `Quick
+            test_engine_double_crash_is_noop;
+          Alcotest.test_case "double recover no-op" `Quick
+            test_engine_double_recover_is_noop;
+          Alcotest.test_case "recover never-started rejected" `Quick
+            test_engine_recover_never_started_rejected;
         ] );
       ( "trace",
         [
