@@ -15,7 +15,9 @@
    The micro target additionally runs the engine-throughput
    macrobenchmark and writes machine-readable results to
    BENCH_engine.json in the current directory (format in DESIGN.md
-   section 5), so successive PRs leave a perf trajectory. *)
+   section 5). The M1 result is APPENDED to the file's engine_runs
+   series — successive invocations accumulate a perf trajectory
+   instead of overwriting the previous point. *)
 
 open Tasim
 open Timewheel
@@ -189,12 +191,49 @@ let engine_throughput ~quick =
       else best)
     (List.hd runs) (List.tl runs)
 
+let engine_run_record ~quick (tput : Harness.Engine_bench.result) =
+  let open Harness.Bench_json in
+  Obj
+    [
+      ("workload", String "5-process broadcast, 1ms period, fixed seed");
+      ("quick", Bool quick);
+      ("sim_seconds", Float tput.Harness.Engine_bench.sim_seconds);
+      ("wall_seconds", Float tput.wall_seconds);
+      ("events", Int tput.events);
+      ("sends", Int tput.sends);
+      ("deliveries", Int tput.deliveries);
+      ("timer_fires", Int tput.timer_fires);
+      ("observations", Int tput.observations);
+      ("events_per_sec", Float tput.events_per_sec);
+    ]
+
+(* M1 results accumulate across invocations so regressions are visible
+   as a series, not silently overwritten; schema v2 (DESIGN.md section
+   5). A v1 file's single engine_throughput object migrates to the
+   first element of the series. *)
+let prior_engine_runs () =
+  let open Harness.Bench_json in
+  match read_file bench_json_file with
+  | Error _ -> []
+  | Ok json -> (
+    match member "engine_runs" json with
+    | Some (List runs) -> runs
+    | Some _ | None -> (
+      match member "engine_throughput" json with
+      | Some (Obj fields) ->
+        let quick =
+          match member "quick" json with Some (Bool b) -> b | _ -> false
+        in
+        [ Obj (("quick", Bool quick) :: fields) ]
+      | Some _ | None -> []))
+
 let write_bench_json ~quick micro (tput : Harness.Engine_bench.result) =
   let open Harness.Bench_json in
+  let engine_runs = prior_engine_runs () @ [ engine_run_record ~quick tput ] in
   let json =
     Obj
       [
-        ("schema", String "timewheel/bench-engine/v1");
+        ("schema", String "timewheel/bench-engine/v2");
         ("quick", Bool quick);
         ("seed", Int 42);
         ( "micro",
@@ -203,24 +242,13 @@ let write_bench_json ~quick micro (tput : Harness.Engine_bench.result) =
                (fun (name, ns) ->
                  Obj [ ("name", String name); ("ns_per_op", Float ns) ])
                micro) );
-        ( "engine_throughput",
-          Obj
-            [
-              ( "workload",
-                String "5-process broadcast, 1ms period, fixed seed" );
-              ("sim_seconds", Float tput.Harness.Engine_bench.sim_seconds);
-              ("wall_seconds", Float tput.wall_seconds);
-              ("events", Int tput.events);
-              ("sends", Int tput.sends);
-              ("deliveries", Int tput.deliveries);
-              ("timer_fires", Int tput.timer_fires);
-              ("observations", Int tput.observations);
-              ("events_per_sec", Float tput.events_per_sec);
-            ] );
+        ("engine_runs", List engine_runs);
       ]
   in
   write_file bench_json_file json;
-  Fmt.pr "wrote %s@." bench_json_file
+  Fmt.pr "wrote %s (%d engine run%s recorded)@." bench_json_file
+    (List.length engine_runs)
+    (if List.length engine_runs = 1 then "" else "s")
 
 let run_micro ?(quick = false) () =
   Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";

@@ -1,0 +1,274 @@
+(* timewheel-live: the timewheel stack on real UDP sockets and the
+   wall clock.
+
+   Subcommands:
+     demo    run an N-member group in one process (N sockets on
+             localhost), optionally kill and restart a member, print
+             installed views and stats
+     member  run a single member (one-process-per-member deployment:
+             start N of these, one per id, sharing a base port) *)
+
+open Cmdliner
+open Tasim
+open Broadcast
+open Runtime
+
+let pp_view ppf (v : Live.view) =
+  Fmt.pf ppf "[%a] %a installed view #%a %a" Time.pp v.Live.at Proc_id.pp
+    v.Live.proc Group_id.pp v.Live.group_id Proc_set.pp v.Live.group
+
+let print_stats nodes =
+  List.iter
+    (fun node ->
+      let counters =
+        List.filter
+          (fun (name, _) -> String.length name >= 5 && String.sub name 0 5 = "live:")
+          (Stats.counters (Node.stats node))
+      in
+      Fmt.pr "%a:%a@." Proc_id.pp (Node.self node)
+        Fmt.(list ~sep:nop (fun ppf (k, v) -> Fmt.pf ppf " %s=%d" k v))
+        counters)
+    nodes
+
+(* ---------------------------------------------------------------- *)
+(* demo: in-process multi-instance *)
+
+let demo n base_port kill_spec kill_after restart_after duration submit
+    verbose =
+  let cfg = Live.config ~n ~base_port () in
+  let recorder = Live.recorder () in
+  let on_log =
+    if verbose then Some (fun p line -> Fmt.epr "%a| %s@." Proc_id.pp p line)
+    else None
+  in
+  let clock, cluster = Live.in_process cfg ~recorder ?on_log () in
+  let seen = ref 0 in
+  let drain_views () =
+    (* recorder lists are newest-first; print the suffix we have not
+       shown yet, oldest first *)
+    let views = recorder.Live.views in
+    let fresh = List.filteri (fun i _ -> i < List.length views - !seen) views in
+    List.iter (Fmt.pr "%a@." pp_view) (List.rev fresh);
+    seen := List.length views
+  in
+  let run_span span =
+    let deadline = Time.add (Clock.now clock) span in
+    let rec go () =
+      ignore
+        (Cluster.run_until cluster ~deadline
+           ~poll_cap:(Time.of_ms 50) (fun () ->
+             drain_views ();
+             false));
+      if Time.compare (Clock.now clock) deadline < 0 then go ()
+    in
+    go ()
+  in
+  Cluster.start cluster;
+  Fmt.pr "started %d members on 127.0.0.1:%d-%d@." n base_port
+    (base_port + n - 1);
+
+  run_span kill_after;
+  let victim =
+    match kill_spec with
+    | None -> None
+    | Some "decider" -> Live.decider cluster
+    | Some id -> (
+      match int_of_string_opt id with
+      | Some i when i >= 0 && i < n -> Some (Proc_id.of_int i)
+      | _ ->
+        Fmt.epr "timewheel-live: --kill expects a member id or 'decider'@.";
+        exit 124)
+  in
+  (match victim with
+  | None -> ()
+  | Some p ->
+    Node.kill (Cluster.node cluster p);
+    Fmt.pr "killed %a at %a@." Proc_id.pp p Time.pp (Clock.now clock);
+    run_span restart_after;
+    Node.restart (Cluster.node cluster p);
+    Fmt.pr "restarted %a at %a@." Proc_id.pp p Time.pp (Clock.now clock));
+
+  (* let the membership settle before broadcasting: an update submitted
+     mid-rejoin is legitimately not delivered by the joiner (members
+     only deliver updates ordered in views they install) *)
+  let settled () =
+    match Live.agreed_view cluster with
+    | Some (group, _) -> Proc_set.equal group (Proc_set.full ~n)
+    | None -> false
+  in
+  ignore
+    (Cluster.run_until cluster
+       ~deadline:(Time.add (Clock.now clock) duration)
+       ~poll_cap:(Time.of_ms 50)
+       (fun () ->
+         drain_views ();
+         settled ()));
+  for i = 1 to submit do
+    Live.submit
+      (Cluster.node cluster (Proc_id.of_int ((i - 1) mod n)))
+      ~semantics:Semantics.total_strong
+      (Fmt.str "update-%d" i)
+  done;
+  let deadline = Time.add (Clock.now clock) duration in
+  ignore
+    (Cluster.run_until cluster ~deadline ~poll_cap:(Time.of_ms 50) (fun () ->
+         drain_views ();
+         submit > 0 && List.length recorder.Live.delivered >= submit * n));
+  drain_views ();
+
+  let ok =
+    match Live.agreed_view cluster with
+    | Some (group, group_id) ->
+      Fmt.pr "final view: #%a %a@." Group_id.pp group_id Proc_set.pp group;
+      Proc_set.equal group (Proc_set.full ~n)
+    | None ->
+      Fmt.pr "final view: members disagree or none installed@.";
+      false
+  in
+  let delivered = List.length recorder.Live.delivered in
+  if submit > 0 then
+    Fmt.pr "deliveries: %d (of %d expected)@." delivered (submit * n);
+  print_stats (Cluster.nodes cluster);
+  if ok && (submit = 0 || delivered = submit * n) then 0 else 1
+
+(* ---------------------------------------------------------------- *)
+(* member: one process per member *)
+
+let member me n base_port state_dir duration verbose =
+  if me < 0 || me >= n then begin
+    Fmt.epr "timewheel-live: --me must be in [0, %d)@." n;
+    exit 124
+  end;
+  let store =
+    match state_dir with
+    | Some dir -> Live_store.on_disk ~dir
+    | None -> Live_store.in_memory ()
+  in
+  let cfg = Live.config ~n ~base_port ~store () in
+  let recorder = Live.recorder () in
+  let clock = Clock.create () in
+  let self = Proc_id.of_int me in
+  let on_log =
+    if verbose then Some (fun line -> Fmt.epr "%a| %s@." Proc_id.pp self line)
+    else None
+  in
+  let node = Live.mk_node cfg ~clock ~self ~recorder ?on_log () in
+  let cluster = Cluster.create ~clock ~nodes:[ node ] in
+  Cluster.start cluster;
+  Fmt.pr "member %a up on 127.0.0.1:%d (group ports %d-%d)@." Proc_id.pp self
+    (base_port + me) base_port
+    (base_port + n - 1);
+  let deadline = Time.add (Clock.now clock) duration in
+  let seen = ref 0 in
+  ignore
+    (Cluster.run_until cluster ~deadline ~poll_cap:(Time.of_ms 50) (fun () ->
+         let views = recorder.Live.views in
+         let fresh =
+           List.filteri (fun i _ -> i < List.length views - !seen) views
+         in
+         List.iter (Fmt.pr "%a@." pp_view) (List.rev fresh);
+         seen := List.length views;
+         false));
+  (match Live.member_of node with
+  | Some m ->
+    Fmt.pr "final: view #%a %a (form epoch %d)@." Group_id.pp
+      (Timewheel.Member.group_id m) Proc_set.pp (Timewheel.Member.group m)
+      (Timewheel.Member.form_epoch m)
+  | None -> Fmt.pr "final: clock never synchronized@.");
+  print_stats [ node ];
+  match Live.member_of node with
+  | Some m when Timewheel.Member.has_group m -> 0
+  | _ -> 1
+
+(* ---------------------------------------------------------------- *)
+(* cmdliner plumbing *)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Group size.")
+
+let base_port_arg =
+  Arg.(
+    value & opt int 47700
+    & info [ "base-port" ] ~docv:"PORT"
+        ~doc:"Member $(i,i) binds UDP port PORT+$(i,i) on 127.0.0.1.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print automaton log lines.")
+
+let seconds ~default names doc =
+  Arg.(
+    value
+    & opt float default
+    & info names ~docv:"SECONDS" ~doc)
+  |> Term.map (fun s -> Time.of_us (int_of_float (s *. 1e6)))
+
+let demo_cmd =
+  let kill_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill" ] ~docv:"WHO"
+          ~doc:
+            "Kill a member once the group settles: a member id, or \
+             $(b,decider) for whoever holds the decider role.")
+  in
+  let submit_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "submit" ] ~docv:"K"
+          ~doc:"Broadcast K updates after the fault schedule.")
+  in
+  let term =
+    Term.(
+      const demo $ n_arg $ base_port_arg $ kill_arg
+      $ seconds ~default:2.0 [ "kill-after" ]
+          "Settle time before the kill (and before updates when no kill)."
+      $ seconds ~default:2.0 [ "restart-after" ]
+          "Downtime before the killed member restarts."
+      $ seconds ~default:3.0 [ "duration" ]
+          "Running time after the fault schedule completes."
+      $ submit_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:
+         "Run an N-member group in one process, each member a real UDP \
+          endpoint; optionally kill and restart one.")
+    term
+
+let member_cmd =
+  let me_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "me" ] ~docv:"ID" ~doc:"This member's id, in [0, N).")
+  in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Stable-storage directory (shared by restarts of this member). \
+             Without it a restart is amnesiac.")
+  in
+  let term =
+    Term.(
+      const member $ me_arg $ n_arg $ base_port_arg $ state_dir_arg
+      $ seconds ~default:10.0 [ "duration" ] "How long to run."
+      $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "member"
+       ~doc:
+         "Run one member; start N of these (ids 0..N-1, same base port) to \
+          form a group across processes.")
+    term
+
+let () =
+  let doc = "the timewheel group membership stack on live UDP" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "timewheel-live" ~doc ~version:"%%VERSION%%")
+          [ demo_cmd; member_cmd ]))

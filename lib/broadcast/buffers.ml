@@ -114,6 +114,46 @@ let expire_marks t ~now =
       List.filter (fun (_, e) -> Time.compare now e <= 0) t.blocked_origins;
   }
 
+type 'u wire = {
+  w_proposals : 'u Proposal.t list;
+  w_delivered : (Proposal.id * int option) list;
+  w_marks : (Proposal.id * Time.t) list;
+  w_blocked : (Proc_id.t * Time.t) list;
+}
+
+let to_wire t =
+  {
+    w_proposals = stored t;
+    w_delivered = Id_map.bindings t.delivered_map;
+    w_marks = t.marks;
+    w_blocked = t.blocked_origins;
+  }
+
+let of_wire w =
+  let proposals =
+    List.fold_left
+      (fun m (p : 'u Proposal.t) -> Id_map.add p.Proposal.id p m)
+      Id_map.empty w.w_proposals
+  in
+  let delivered_map =
+    List.fold_left
+      (fun m (id, ordinal) -> Id_map.add id ordinal m)
+      Id_map.empty w.w_delivered
+  in
+  let delivered_ordinals =
+    List.fold_left
+      (fun s (_, ordinal) ->
+        match ordinal with Some o -> Int_set.add o s | None -> s)
+      Int_set.empty w.w_delivered
+  in
+  {
+    proposals;
+    delivered_map;
+    delivered_ordinals;
+    marks = w.w_marks;
+    blocked_origins = w.w_blocked;
+  }
+
 let purge_marked t ~now =
   {
     t with

@@ -71,3 +71,19 @@ val purge_marked : 'u t -> now:Time.t -> 'u t
 (** Drop marked proposals from the proposal buffer ("each group member
     purges all proposals marked as undeliverable from their pdb and
     pb"). *)
+
+(** {1 Wire view}
+
+    Concrete image of the buffers for serialization (state-transfer
+    messages cross the live runtime's UDP codec carrying the sender's
+    buffers). [of_wire (to_wire t)] reconstructs [t] exactly. *)
+
+type 'u wire = {
+  w_proposals : 'u Proposal.t list;
+  w_delivered : (Proposal.id * int option) list;
+  w_marks : (Proposal.id * Time.t) list;
+  w_blocked : (Proc_id.t * Time.t) list;
+}
+
+val to_wire : 'u t -> 'u wire
+val of_wire : 'u wire -> 'u t

@@ -126,6 +126,45 @@ let purge_stable t ~delivered =
   in
   advance t
 
+type wire = {
+  w_low : int;
+  w_next_ordinal : int;
+  w_entries : entry list;
+  w_latest : (int * Proc_set.t * Group_id.t) option;
+}
+
+let to_wire t =
+  {
+    w_low = t.low;
+    w_next_ordinal = t.next_ordinal;
+    w_entries = entries t;
+    w_latest = t.current;
+  }
+
+let of_wire w =
+  if w.w_low < 0 then Error "oal wire: negative low"
+  else if w.w_next_ordinal < w.w_low then Error "oal wire: next < low"
+  else
+    let rec build prev entries = function
+      | [] -> Ok entries
+      | e :: rest ->
+        if e.ordinal <= prev then Error "oal wire: ordinals not increasing"
+        else if e.ordinal < w.w_low then Error "oal wire: entry below low"
+        else if e.ordinal >= w.w_next_ordinal then
+          Error "oal wire: entry beyond next ordinal"
+        else build e.ordinal (Imap.add e.ordinal e entries) rest
+    in
+    match build (w.w_low - 1) Imap.empty w.w_entries with
+    | Error _ as e -> e
+    | Ok entries ->
+      Ok
+        {
+          entries;
+          low = w.w_low;
+          next_ordinal = w.w_next_ordinal;
+          current = w.w_latest;
+        }
+
 let mark_undeliverable t id =
   match find_update t id with
   | None -> t

@@ -100,6 +100,28 @@ val purge_stable : t -> delivered:(int -> bool) -> t
 val mark_undeliverable : t -> Proposal.id -> t
 val undeliverable_ids : t -> Proposal.id list
 
+(** {1 Wire view}
+
+    Concrete, loss-free image of an oal for serialization (the live
+    runtime's binary codec, {!module:Runtime} when built). The wire
+    form exposes exactly the abstract state: entries in increasing
+    ordinal order, the purge frontier, the ordinal counter, and the
+    latest-membership memo that survives purging. *)
+
+type wire = {
+  w_low : int;
+  w_next_ordinal : int;
+  w_entries : entry list;  (** increasing ordinal order *)
+  w_latest : (int * Proc_set.t * Group_id.t) option;
+}
+
+val to_wire : t -> wire
+
+val of_wire : wire -> (t, string) result
+(** Rebuild an oal; rejects unordered ordinals or entries outside
+    [\[w_low, w_next_ordinal)]. [of_wire (to_wire t)] reconstructs [t]
+    exactly. *)
+
 (** {1 Merging views} *)
 
 val merge : local:t -> incoming:t -> t

@@ -54,6 +54,15 @@ let cancel t id =
       timer.cancelled <- true;
       Hashtbl.remove t.by_id id;
       t.pending <- t.pending - 1;
+      (* purge the bucket now: under an arm/cancel/re-arm-every-cycle
+         pattern, leaving cancelled timers in place until their expiry
+         tick makes buckets accumulate garbage that every fire_bucket
+         partition then has to scan. The timer may legitimately be
+         absent (cancelled from a callback while sitting in the due
+         list fire_bucket already detached); the [cancelled] flag
+         covers that path. *)
+      let bucket = t.buckets.(timer.expiry_tick mod t.wheel_size) in
+      bucket := List.filter (fun other -> other != timer) !bucket;
       true
     end
 
@@ -87,3 +96,14 @@ let advance t ~to_ =
   !fired
 
 let pending t = t.pending
+
+let resident t =
+  Array.fold_left (fun acc bucket -> acc + List.length !bucket) 0 t.buckets
+
+let next_expiry t =
+  if t.pending = 0 then None
+  else
+    Some
+      (Hashtbl.fold
+         (fun _ timer acc -> Stdlib.min acc (timer.expiry_tick * t.tick))
+         t.by_id max_int)

@@ -30,7 +30,10 @@ val schedule : t -> at:int -> (unit -> unit) -> timer_id
 
 val cancel : t -> timer_id -> bool
 (** [true] when the timer was still pending. Cancelling an expired or
-    already-cancelled timer returns [false]. *)
+    already-cancelled timer returns [false]. The timer is purged from
+    its bucket immediately, so arm/cancel/re-arm churn never
+    accumulates dead entries ({!resident} stays equal to
+    {!pending}). *)
 
 val advance : t -> to_:int -> int
 (** Move wheel time forward to [to_], firing every timer whose expiry
@@ -39,3 +42,14 @@ val advance : t -> to_:int -> int
 
 val pending : t -> int
 (** Number of armed, not-yet-fired, not-cancelled timers. *)
+
+val resident : t -> int
+(** Number of timer records physically held in buckets. Equal to
+    {!pending} (cancellation purges its bucket); exposed so tests can
+    assert bucket load stays bounded under re-arm churn. *)
+
+val next_expiry : t -> int option
+(** Earliest pending expiry, in the same units as [tick] (the time the
+    wheel must be {!advance}d to for the next timer to fire); [None]
+    when nothing is pending. O(pending) — meant for wall-clock event
+    loops computing a poll deadline, not for hot per-event use. *)

@@ -1,0 +1,11 @@
+open Tasim
+
+type t = { origin : float; mutable last : Time.t }
+
+let create () = { origin = Unix.gettimeofday (); last = Time.zero }
+
+let now t =
+  let raw = Time.of_us (int_of_float ((Unix.gettimeofday () -. t.origin) *. 1e6)) in
+  let v = Time.max raw t.last in
+  t.last <- v;
+  v

@@ -1,0 +1,19 @@
+(** Monotonized wall clock for the live runtime.
+
+    The pure automata consume {!Tasim.Time.t} hardware-clock readings;
+    in the live runtime those readings are microseconds elapsed since
+    the clock was created. OCaml's stdlib exposes no monotonic clock,
+    so this wraps [Unix.gettimeofday] and clamps backwards jumps (NTP
+    steps): successive {!now} readings never decrease. Per-process
+    origins differ across OS processes — exactly the situation the
+    fail-aware clock synchronization protocol exists to handle. *)
+
+open Tasim
+
+type t
+
+val create : unit -> t
+(** Origin is the moment of creation: the first {!now} reads ~0. *)
+
+val now : t -> Time.t
+(** Microseconds since creation; never decreases. *)

@@ -1,0 +1,57 @@
+open Tasim
+
+type ('s, 'm, 'obs) t = {
+  clock : Clock.t;
+  nodes : ('s, 'm, 'obs) Node.t list;
+}
+
+let create ~clock ~nodes = { clock; nodes }
+let nodes t = t.nodes
+
+let node t proc =
+  List.find (fun n -> Proc_id.equal (Node.self n) proc) t.nodes
+
+let start t = List.iter Node.start t.nodes
+
+let run_until t ~deadline ?(poll_cap = Time.of_ms 100) pred =
+  let met = ref false in
+  let give_up = ref false in
+  while (not !met) && not !give_up do
+    let now = Clock.now t.clock in
+    List.iter (fun n -> Node.poll n ~now) t.nodes;
+    if pred () then met := true
+    else if Time.compare now deadline >= 0 then give_up := true
+    else begin
+      let next =
+        List.fold_left
+          (fun acc n ->
+            match Node.next_deadline n with
+            | Some d -> Time.min acc d
+            | None -> acc)
+          (Time.add now poll_cap) t.nodes
+      in
+      let next = Time.min next deadline in
+      let timeout =
+        Time.to_sec_f (Time.max Time.zero (Time.sub next now))
+      in
+      let fds =
+        List.filter_map
+          (fun n -> Option.map (fun fd -> (fd, n)) (Node.fd n))
+          t.nodes
+      in
+      match Unix.select (List.map fst fds) [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            match List.assq_opt fd fds with
+            | Some n -> Node.recv_ready n
+            | None -> ())
+          readable
+    end
+  done;
+  !met
+
+let run_for t ~span =
+  let deadline = Time.add (Clock.now t.clock) span in
+  ignore (run_until t ~deadline (fun () -> false))

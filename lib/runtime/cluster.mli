@@ -1,0 +1,41 @@
+(** The live poll loop: one or many {!Node}s multiplexed over
+    [Unix.select].
+
+    Runs the classic single-threaded event loop: poll every node
+    (advancing timer wheels to the shared monotonic clock and
+    dispatching), compute the earliest pending timer deadline across
+    nodes, sleep in [select] on every live socket until that deadline,
+    hand readable sockets back to their nodes, repeat. With one node
+    this is the per-process runtime of the one-process-per-member
+    deployment; with N nodes it is the in-process multi-instance mode
+    (N real UDP sockets on localhost, one OS process). *)
+
+open Tasim
+
+type ('s, 'm, 'obs) t
+
+val create :
+  clock:Clock.t -> nodes:('s, 'm, 'obs) Node.t list -> ('s, 'm, 'obs) t
+
+val nodes : ('s, 'm, 'obs) t -> ('s, 'm, 'obs) Node.t list
+val node : ('s, 'm, 'obs) t -> Proc_id.t -> ('s, 'm, 'obs) Node.t
+(** Raises [Not_found] on an id no node carries. *)
+
+val start : ('s, 'm, 'obs) t -> unit
+(** {!Node.start} every node. *)
+
+val run_until :
+  ('s, 'm, 'obs) t ->
+  deadline:Time.t ->
+  ?poll_cap:Time.t ->
+  (unit -> bool) ->
+  bool
+(** Drive the loop until the predicate holds (checked once per
+    iteration, after polling) or the monotonic clock passes
+    [deadline]. Returns [true] iff the predicate was met. [poll_cap]
+    (default 100 ms) bounds each select sleep so predicate changes
+    caused by external action (kill/restart from a signal handler,
+    say) are noticed promptly. *)
+
+val run_for : ('s, 'm, 'obs) t -> span:Time.t -> unit
+(** [run_until] with an always-false predicate: plain running. *)

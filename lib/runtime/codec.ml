@@ -1,0 +1,427 @@
+open Tasim
+open Broadcast
+open Timewheel
+
+let version = 1
+let max_frame = 65507
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Length_mismatch of { declared : int; actual : int }
+  | Malformed of string
+
+let pp_error ppf = function
+  | Truncated -> Fmt.string ppf "truncated frame"
+  | Bad_magic -> Fmt.string ppf "bad magic"
+  | Bad_version v -> Fmt.pf ppf "unsupported version %d" v
+  | Length_mismatch { declared; actual } ->
+    Fmt.pf ppf "length mismatch (declared %d, actual %d)" declared actual
+  | Malformed msg -> Fmt.pf ppf "malformed body: %s" msg
+
+type ('u, 'app) payload = {
+  write_u : Wire.writer -> 'u -> unit;
+  read_u : Wire.reader -> 'u;
+  write_app : Wire.writer -> 'app -> unit;
+  read_app : Wire.reader -> 'app;
+}
+
+let string_payload =
+  {
+    write_u = Wire.string;
+    read_u = Wire.r_string;
+    write_app = Wire.(list string);
+    read_app = Wire.(r_list r_string);
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Leaf encoders *)
+
+let w_proc w p = Wire.int w (Proc_id.to_int p)
+
+let r_proc r =
+  let i = Wire.r_int r in
+  if i < 0 then Wire.fail "negative proc id";
+  Proc_id.of_int i
+let w_time w (t : Time.t) = Wire.int w (Time.to_us t)
+let r_time r : Time.t = Time.of_us (Wire.r_int r)
+let w_proc_set w s = Wire.list w_proc w (Proc_set.to_list s)
+let r_proc_set r = Proc_set.of_list (Wire.r_list r_proc r)
+
+let w_group_id w (g : Group_id.t) =
+  Wire.int w (Group_id.epoch g);
+  Wire.int w (Group_id.seq g)
+
+let r_group_id r =
+  let epoch = Wire.r_int r in
+  let seq = Wire.r_int r in
+  Group_id.v ~epoch ~seq
+
+let w_ordering w (o : Semantics.ordering) =
+  Wire.byte w
+    (match o with Semantics.Unordered -> 0 | Total -> 1 | Timed -> 2)
+
+let r_ordering r : Semantics.ordering =
+  match Wire.r_byte r with
+  | 0 -> Unordered
+  | 1 -> Total
+  | 2 -> Timed
+  | b -> Wire.fail (Printf.sprintf "bad ordering tag %d" b)
+
+let w_atomicity w (a : Semantics.atomicity) =
+  Wire.byte w (match a with Semantics.Weak -> 0 | Strong -> 1 | Strict -> 2)
+
+let r_atomicity r : Semantics.atomicity =
+  match Wire.r_byte r with
+  | 0 -> Weak
+  | 1 -> Strong
+  | 2 -> Strict
+  | b -> Wire.fail (Printf.sprintf "bad atomicity tag %d" b)
+
+let w_semantics w (s : Semantics.t) =
+  w_ordering w s.Semantics.ordering;
+  w_atomicity w s.Semantics.atomicity
+
+let r_semantics r =
+  let ordering = r_ordering r in
+  let atomicity = r_atomicity r in
+  { Semantics.ordering; atomicity }
+
+let w_proposal_id w (id : Proposal.id) =
+  w_proc w id.Proposal.origin;
+  Wire.int w id.Proposal.seq
+
+let r_proposal_id r =
+  let origin = r_proc r in
+  let seq = Wire.r_int r in
+  { Proposal.origin; seq }
+
+let w_proposal pc w (p : _ Proposal.t) =
+  w_proposal_id w p.Proposal.id;
+  w_semantics w p.semantics;
+  w_time w p.send_ts;
+  Wire.int w p.hdo;
+  pc.write_u w p.payload
+
+let r_proposal pc r =
+  let id = r_proposal_id r in
+  let semantics = r_semantics r in
+  let send_ts = r_time r in
+  let hdo = Wire.r_int r in
+  let payload = pc.read_u r in
+  { Proposal.id; semantics; send_ts; hdo; payload }
+
+let w_update_info w (u : Oal.update_info) =
+  w_proposal_id w u.Oal.proposal_id;
+  w_semantics w u.semantics;
+  w_time w u.send_ts;
+  Wire.int w u.hdo
+
+let r_update_info r =
+  let proposal_id = r_proposal_id r in
+  let semantics = r_semantics r in
+  let send_ts = r_time r in
+  let hdo = Wire.r_int r in
+  { Oal.proposal_id; semantics; send_ts; hdo }
+
+let w_oal_body w (b : Oal.body) =
+  match b with
+  | Oal.Update u ->
+    Wire.byte w 0;
+    w_update_info w u
+  | Oal.Membership { group; group_id } ->
+    Wire.byte w 1;
+    w_proc_set w group;
+    w_group_id w group_id
+
+let r_oal_body r : Oal.body =
+  match Wire.r_byte r with
+  | 0 -> Oal.Update (r_update_info r)
+  | 1 ->
+    let group = r_proc_set r in
+    let group_id = r_group_id r in
+    Oal.Membership { group; group_id }
+  | b -> Wire.fail (Printf.sprintf "bad oal body tag %d" b)
+
+let w_oal_entry w (e : Oal.entry) =
+  Wire.int w e.Oal.ordinal;
+  w_oal_body w e.body;
+  w_proc_set w e.acks;
+  Wire.bool w e.undeliverable;
+  Wire.bool w e.known_stable
+
+let r_oal_entry r =
+  let ordinal = Wire.r_int r in
+  let body = r_oal_body r in
+  let acks = r_proc_set r in
+  let undeliverable = Wire.r_bool r in
+  let known_stable = Wire.r_bool r in
+  { Oal.ordinal; body; acks; undeliverable; known_stable }
+
+let w_latest w (ordinal, group, group_id) =
+  Wire.int w ordinal;
+  w_proc_set w group;
+  w_group_id w group_id
+
+let r_latest r =
+  let ordinal = Wire.r_int r in
+  let group = r_proc_set r in
+  let group_id = r_group_id r in
+  (ordinal, group, group_id)
+
+let w_oal w oal =
+  let wv = Oal.to_wire oal in
+  Wire.int w wv.Oal.w_low;
+  Wire.int w wv.w_next_ordinal;
+  Wire.list w_oal_entry w wv.w_entries;
+  Wire.option w_latest w wv.w_latest
+
+let r_oal r =
+  let w_low = Wire.r_int r in
+  let w_next_ordinal = Wire.r_int r in
+  let w_entries = Wire.r_list r_oal_entry r in
+  let w_latest = Wire.r_option r_latest r in
+  match Oal.of_wire { Oal.w_low; w_next_ordinal; w_entries; w_latest } with
+  | Ok oal -> oal
+  | Error msg -> Wire.fail msg
+
+let w_buffers pc w buffers =
+  let wv = Buffers.to_wire buffers in
+  Wire.list (w_proposal pc) w wv.Buffers.w_proposals;
+  Wire.list
+    (fun w (id, ordinal) ->
+      w_proposal_id w id;
+      Wire.option Wire.int w ordinal)
+    w wv.w_delivered;
+  Wire.list
+    (fun w (id, expires) ->
+      w_proposal_id w id;
+      w_time w expires)
+    w wv.w_marks;
+  Wire.list
+    (fun w (p, expires) ->
+      w_proc w p;
+      w_time w expires)
+    w wv.w_blocked
+
+let r_buffers pc r =
+  let w_proposals = Wire.r_list (r_proposal pc) r in
+  let w_delivered =
+    Wire.r_list
+      (fun r ->
+        let id = r_proposal_id r in
+        let ordinal = Wire.r_option Wire.r_int r in
+        (id, ordinal))
+      r
+  in
+  let w_marks =
+    Wire.r_list
+      (fun r ->
+        let id = r_proposal_id r in
+        let expires = r_time r in
+        (id, expires))
+      r
+  in
+  let w_blocked =
+    Wire.r_list
+      (fun r ->
+        let p = r_proc r in
+        let expires = r_time r in
+        (p, expires))
+      r
+  in
+  Buffers.of_wire { Buffers.w_proposals; w_delivered; w_marks; w_blocked }
+
+(* ---------------------------------------------------------------- *)
+(* Control messages *)
+
+let w_control pc w (m : _ Control_msg.t) =
+  match m with
+  | Control_msg.Submit { semantics; payload } ->
+    Wire.byte w 0;
+    w_semantics w semantics;
+    pc.write_u w payload
+  | Proposal_msg p ->
+    Wire.byte w 1;
+    w_proposal pc w p
+  | Retransmit p ->
+    Wire.byte w 2;
+    w_proposal pc w p
+  | Nack { missing } ->
+    Wire.byte w 3;
+    Wire.list w_proposal_id w missing
+  | Decision { d_ts; d_oal; d_alive } ->
+    Wire.byte w 4;
+    w_time w d_ts;
+    w_oal w d_oal;
+    w_proc_set w d_alive
+  | No_decision { nd_ts; nd_suspect; nd_since; nd_view; nd_dpd; nd_alive } ->
+    Wire.byte w 5;
+    w_time w nd_ts;
+    w_proc w nd_suspect;
+    w_time w nd_since;
+    w_oal w nd_view;
+    Wire.list w_update_info w nd_dpd;
+    w_proc_set w nd_alive
+  | Join_msg { j_ts; j_list; j_alive; j_epoch } ->
+    Wire.byte w 6;
+    w_time w j_ts;
+    w_proc_set w j_list;
+    w_proc_set w j_alive;
+    Wire.int w j_epoch
+  | Reconfig { r_ts; r_list; r_last_decision_ts; r_view; r_dpd; r_alive } ->
+    Wire.byte w 7;
+    w_time w r_ts;
+    w_proc_set w r_list;
+    w_time w r_last_decision_ts;
+    w_oal w r_view;
+    Wire.list w_update_info w r_dpd;
+    w_proc_set w r_alive
+  | State_transfer { st_ts; st_group; st_group_id; st_oal; st_app; st_buffers }
+    ->
+    Wire.byte w 8;
+    w_time w st_ts;
+    w_proc_set w st_group;
+    w_group_id w st_group_id;
+    w_oal w st_oal;
+    pc.write_app w st_app;
+    w_buffers pc w st_buffers
+
+let r_control pc r : _ Control_msg.t =
+  match Wire.r_byte r with
+  | 0 ->
+    let semantics = r_semantics r in
+    let payload = pc.read_u r in
+    Control_msg.Submit { semantics; payload }
+  | 1 -> Proposal_msg (r_proposal pc r)
+  | 2 -> Retransmit (r_proposal pc r)
+  | 3 -> Nack { missing = Wire.r_list r_proposal_id r }
+  | 4 ->
+    let d_ts = r_time r in
+    let d_oal = r_oal r in
+    let d_alive = r_proc_set r in
+    Decision { d_ts; d_oal; d_alive }
+  | 5 ->
+    let nd_ts = r_time r in
+    let nd_suspect = r_proc r in
+    let nd_since = r_time r in
+    let nd_view = r_oal r in
+    let nd_dpd = Wire.r_list r_update_info r in
+    let nd_alive = r_proc_set r in
+    No_decision { nd_ts; nd_suspect; nd_since; nd_view; nd_dpd; nd_alive }
+  | 6 ->
+    let j_ts = r_time r in
+    let j_list = r_proc_set r in
+    let j_alive = r_proc_set r in
+    let j_epoch = Wire.r_int r in
+    Join_msg { j_ts; j_list; j_alive; j_epoch }
+  | 7 ->
+    let r_ts = r_time r in
+    let r_list = r_proc_set r in
+    let r_last_decision_ts = r_time r in
+    let r_view = r_oal r in
+    let r_dpd = Wire.r_list r_update_info r in
+    let r_alive = r_proc_set r in
+    Reconfig { r_ts; r_list; r_last_decision_ts; r_view; r_dpd; r_alive }
+  | 8 ->
+    let st_ts = r_time r in
+    let st_group = r_proc_set r in
+    let st_group_id = r_group_id r in
+    let st_oal = r_oal r in
+    let st_app = pc.read_app r in
+    let st_buffers = r_buffers pc r in
+    State_transfer { st_ts; st_group; st_group_id; st_oal; st_app; st_buffers }
+  | b -> Wire.fail (Printf.sprintf "bad control tag %d" b)
+
+let w_cs w (m : Clocksync.Protocol.msg) =
+  match m with
+  | Clocksync.Protocol.Request { seq; sender_clock } ->
+    Wire.byte w 0;
+    Wire.int w seq;
+    w_time w sender_clock
+  | Reply { seq; echo_sender_clock; replier_clock } ->
+    Wire.byte w 1;
+    Wire.int w seq;
+    w_time w echo_sender_clock;
+    w_time w replier_clock
+
+let r_cs r : Clocksync.Protocol.msg =
+  match Wire.r_byte r with
+  | 0 ->
+    let seq = Wire.r_int r in
+    let sender_clock = r_time r in
+    Request { seq; sender_clock }
+  | 1 ->
+    let seq = Wire.r_int r in
+    let echo_sender_clock = r_time r in
+    let replier_clock = r_time r in
+    Reply { seq; echo_sender_clock; replier_clock }
+  | b -> Wire.fail (Printf.sprintf "bad clocksync tag %d" b)
+
+let w_msg pc w (m : _ Full_stack.msg) =
+  match m with
+  | Full_stack.Cs cs ->
+    Wire.byte w 0;
+    w_cs w cs
+  | Full_stack.Gc gc ->
+    Wire.byte w 1;
+    w_control pc w gc
+
+let r_msg pc r : _ Full_stack.msg =
+  match Wire.r_byte r with
+  | 0 -> Full_stack.Cs (r_cs r)
+  | 1 -> Full_stack.Gc (r_control pc r)
+  | b -> Wire.fail (Printf.sprintf "bad stack tag %d" b)
+
+(* ---------------------------------------------------------------- *)
+(* Framing *)
+
+let magic0 = 'T'
+let magic1 = 'W'
+
+let encode pc ~sender msg =
+  let body = Wire.writer () in
+  w_msg pc body msg;
+  let body = Wire.contents body in
+  let w = Wire.writer () in
+  Wire.byte w (Char.code magic0);
+  Wire.byte w (Char.code magic1);
+  Wire.byte w version;
+  Wire.int w (Proc_id.to_int sender);
+  Wire.int w (String.length body);
+  let frame = Wire.contents w ^ body in
+  frame
+
+let decode pc frame =
+  if String.length frame < 3 then Error Truncated
+  else if frame.[0] <> magic0 || frame.[1] <> magic1 then Error Bad_magic
+  else if Char.code frame.[2] <> version then
+    Error (Bad_version (Char.code frame.[2]))
+  else begin
+    let r = Wire.reader ~pos:3 frame in
+    match
+      let sender = Wire.r_int r in
+      let declared = Wire.r_int r in
+      (sender, declared)
+    with
+    | exception Wire.Error _ -> Error Truncated
+    | sender, _ when sender < 0 -> Error (Malformed "negative sender id")
+    | sender, declared ->
+      let actual = Wire.remaining r in
+      if declared <> actual then Error (Length_mismatch { declared; actual })
+      else begin
+        match
+          let msg = r_msg pc r in
+          if Wire.remaining r <> 0 then Wire.fail "trailing bytes after message";
+          msg
+        with
+        | exception Wire.Error msg -> Error (Malformed msg)
+        (* domain-validating constructors (Proc_id, Time, ...) raise on
+           out-of-range values a mutated frame can carry; the codec is
+           total, so those surface as Malformed too *)
+        | exception Invalid_argument msg -> Error (Malformed msg)
+        | exception Failure msg -> Error (Malformed msg)
+        | msg -> Ok (Proc_id.of_int sender, msg)
+      end
+  end

@@ -1,0 +1,77 @@
+open Tasim
+open Broadcast
+open Timewheel
+
+type backend = Memory of (int, Member.persistent) Hashtbl.t | Disk of string
+
+type t = backend
+
+let in_memory () = Memory (Hashtbl.create 8)
+let on_disk ~dir = Disk dir
+
+let record_magic = "TWST1"
+
+let wire_of_persistent (p : Member.persistent) =
+  let w = Wire.writer () in
+  Wire.string w record_magic;
+  Wire.int w (Group_id.epoch p.Member.last_group_id);
+  Wire.int w (Group_id.seq p.Member.last_group_id);
+  Wire.list
+    (fun w pid -> Wire.int w (Proc_id.to_int pid))
+    w
+    (Proc_set.to_list p.Member.last_group);
+  Wire.contents w
+
+let persistent_of_wire s =
+  match
+    let r = Wire.reader s in
+    if Wire.r_string r <> record_magic then Wire.fail "bad record magic";
+    let epoch = Wire.r_int r in
+    let seq = Wire.r_int r in
+    let group =
+      Proc_set.of_list
+        (Wire.r_list (fun r -> Proc_id.of_int (Wire.r_int r)) r)
+    in
+    if Wire.remaining r <> 0 then Wire.fail "trailing bytes";
+    { Member.last_group_id = Group_id.v ~epoch ~seq; last_group = group }
+  with
+  | record -> Some record
+  | exception Wire.Error _ -> None
+  | exception Invalid_argument _ -> None
+
+let file_of dir proc =
+  Filename.concat dir (Printf.sprintf "member-%d.tw" (Proc_id.to_int proc))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let persist t ~self record =
+  match t with
+  | Memory tbl -> Hashtbl.replace tbl (Proc_id.to_int self) record
+  | Disk dir ->
+    mkdir_p dir;
+    let path = file_of dir self in
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (wire_of_persistent record);
+    close_out oc;
+    Sys.rename tmp path
+
+let restore t ~self =
+  match t with
+  | Memory tbl -> Hashtbl.find_opt tbl (Proc_id.to_int self)
+  | Disk dir -> (
+    let path = file_of dir self in
+    match
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with
+    | s -> persistent_of_wire s
+    | exception Sys_error _ -> None)

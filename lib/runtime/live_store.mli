@@ -1,0 +1,33 @@
+(** Stable storage for live members.
+
+    The member automaton persists its {!Timewheel.Member.persistent}
+    record (last installed group id + membership) at every view
+    install and restores it at (re)initialization, which is what makes
+    a restart rejoin epoch-aware instead of amnesiac (see
+    {!Broadcast.Group_id}). Two backends:
+
+    - {!in_memory} — survives kill/restart of a member {e within} one
+      OS process (the in-process multi-instance mode's model of stable
+      storage);
+    - {!on_disk} — one small binary file per member, written
+      atomically (temp file + rename), surviving OS process restarts
+      for the one-process-per-member mode. *)
+
+open Tasim
+open Timewheel
+
+type t
+
+val in_memory : unit -> t
+
+val on_disk : dir:string -> t
+(** Creates [dir] (and parents) on first persist. Unreadable or
+    corrupt files restore as [None] — an amnesiac (epoch-0) start,
+    which the epoch machinery already tolerates. *)
+
+val persist : t -> self:Proc_id.t -> Member.persistent -> unit
+val restore : t -> self:Proc_id.t -> Member.persistent option
+
+val wire_of_persistent : Member.persistent -> string
+val persistent_of_wire : string -> Member.persistent option
+(** Exposed for tests: the on-disk record codec. *)

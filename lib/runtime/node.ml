@@ -1,0 +1,180 @@
+open Tasim
+
+(* wheel resolution: fine enough that timer slop stays well inside the
+   protocol's scheduling-delay budget sigma, coarse enough that
+   advancing over long idle stretches is cheap *)
+let wheel_tick_us = 500
+
+type 'm ev = Ev_recv of Proc_id.t * 'm | Ev_timer of { key : int; gen : int }
+
+let kind_recv = 0
+let kind_timer = 1
+
+type timer_slot = {
+  mutable wheel_id : Eventloop.Timer_wheel.timer_id option;
+  mutable gen : int;
+}
+
+type ('s, 'm, 'obs) t = {
+  automaton : ('s, 'm, 'obs) Engine.automaton;
+  clock : Clock.t;
+  mk_transport : Stats.t -> 'm Transport.t;
+  stats : Stats.t;
+  wheel : Eventloop.Timer_wheel.t;
+  dispatcher : 'm ev Eventloop.Dispatcher.t;
+  timers : (int, timer_slot) Hashtbl.t;
+  on_obs : Time.t -> 'obs -> unit;
+  on_log : string -> unit;
+  mutable transport : 'm Transport.t;
+  mutable state : 's option;
+  mutable incarnation : int;
+}
+
+let self t = Transport.self t.transport
+let stats t = t.stats
+let state t = t.state
+let is_up t = t.state <> None
+let incarnation t = t.incarnation
+
+let fd t =
+  if t.state = None || Transport.is_closed t.transport then None
+  else Some (Transport.fd t.transport)
+
+let slot_of t key =
+  match Hashtbl.find_opt t.timers key with
+  | Some slot -> slot
+  | None ->
+    let slot = { wheel_id = None; gen = 0 } in
+    Hashtbl.replace t.timers key slot;
+    slot
+
+let cancel_slot t slot =
+  (match slot.wheel_id with
+  | Some id -> ignore (Eventloop.Timer_wheel.cancel t.wheel id)
+  | None -> ());
+  slot.wheel_id <- None;
+  slot.gen <- slot.gen + 1
+
+let set_timer t ~key ~at_clock =
+  let slot = slot_of t key in
+  cancel_slot t slot;
+  let gen = slot.gen in
+  let id =
+    Eventloop.Timer_wheel.schedule t.wheel ~at:(Time.to_us at_clock)
+      (fun () ->
+        slot.wheel_id <- None;
+        Eventloop.Dispatcher.post t.dispatcher ~kind:kind_timer
+          (Ev_timer { key; gen }))
+  in
+  slot.wheel_id <- Some id
+
+let apply_effect t eff =
+  match eff with
+  | Engine.Send (dst, m) -> Transport.send t.transport ~dst m
+  | Engine.Broadcast m -> Transport.broadcast t.transport m
+  | Engine.Set_timer { key; at_clock } -> set_timer t ~key ~at_clock
+  | Engine.Cancel_timer key -> (
+    match Hashtbl.find_opt t.timers key with
+    | Some slot -> cancel_slot t slot
+    | None -> ())
+  | Engine.Observe o -> t.on_obs (Clock.now t.clock) o
+  | Engine.Log line -> t.on_log line
+
+let step t f =
+  match t.state with
+  | None -> ()
+  | Some s ->
+    let clock = Clock.now t.clock in
+    let s, effects = f s ~clock in
+    t.state <- Some s;
+    List.iter (apply_effect t) effects
+
+let handle t ev =
+  match ev with
+  | Ev_recv (src, m) ->
+    step t (fun s ~clock -> t.automaton.Engine.on_receive s ~clock ~src m)
+  | Ev_timer { key; gen } -> (
+    (* a re-arm or cancellation after this fire was posted makes it
+       stale: the engine contract is that re-arming replaces any
+       pending occurrence *)
+    match Hashtbl.find_opt t.timers key with
+    | Some slot when slot.gen = gen ->
+      step t (fun s ~clock -> t.automaton.Engine.on_timer s ~clock ~key)
+    | Some _ | None -> Stats.incr t.stats "live:timer-stale")
+
+let create ~automaton ~clock ~mk_transport ?(on_obs = fun _ _ -> ())
+    ?(on_log = fun _ -> ()) () =
+  let stats = Stats.create () in
+  let t =
+    {
+      automaton;
+      clock;
+      mk_transport;
+      stats;
+      wheel = Eventloop.Timer_wheel.create ~tick:wheel_tick_us ();
+      dispatcher = Eventloop.Dispatcher.create ();
+      timers = Hashtbl.create 16;
+      on_obs;
+      on_log;
+      transport = mk_transport stats;
+      state = None;
+      incarnation = 0;
+    }
+  in
+  Eventloop.Dispatcher.register t.dispatcher ~kind:kind_recv (handle t);
+  Eventloop.Dispatcher.register t.dispatcher ~kind:kind_timer (handle t);
+  t
+
+let run_init t =
+  let clock = Clock.now t.clock in
+  let s, effects =
+    t.automaton.Engine.init ~self:(self t) ~n:(Transport.n t.transport) ~clock
+      ~incarnation:t.incarnation
+  in
+  t.state <- Some s;
+  List.iter (apply_effect t) effects
+
+let start t = if t.state = None then run_init t
+
+let kill t =
+  if t.state <> None then begin
+    t.state <- None;
+    Hashtbl.iter (fun _ slot -> cancel_slot t slot) t.timers;
+    Hashtbl.reset t.timers;
+    (* stale queued events dispatch as no-ops (state is gone); drain
+       them so they cannot leak into the next incarnation *)
+    ignore (Eventloop.Dispatcher.run_pending t.dispatcher);
+    Transport.close t.transport;
+    Stats.incr t.stats "live:kill"
+  end
+
+let restart t =
+  if t.state = None then begin
+    if Transport.is_closed t.transport then
+      t.transport <- t.mk_transport t.stats;
+    t.incarnation <- t.incarnation + 1;
+    Stats.incr t.stats "live:restart";
+    run_init t
+  end
+
+let inject t m =
+  if t.state <> None then
+    Eventloop.Dispatcher.post t.dispatcher ~kind:kind_recv
+      (Ev_recv (self t, m))
+
+let recv_ready t =
+  ignore
+    (Transport.drain t.transport ~handler:(fun ~src m ->
+         Eventloop.Dispatcher.post t.dispatcher ~kind:kind_recv
+           (Ev_recv (src, m))))
+
+let poll t ~now =
+  if t.state <> None then begin
+    ignore (Eventloop.Timer_wheel.advance t.wheel ~to_:(Time.to_us now));
+    ignore (Eventloop.Dispatcher.run_pending t.dispatcher)
+  end
+
+let next_deadline t =
+  if t.state = None then None
+  else
+    Option.map Time.of_us (Eventloop.Timer_wheel.next_expiry t.wheel)

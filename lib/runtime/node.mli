@@ -1,0 +1,79 @@
+(** One live protocol instance: a pure {!Tasim.Engine.automaton}
+    driven by wall time over a real UDP socket.
+
+    This is the live counterpart of one process slot inside
+    {!Tasim.Engine}: the paper's event-based execution environment
+    (Section 5) realized with the repo's own building blocks —
+
+    - received datagrams and expired timers are posted as events to an
+      {!Eventloop.Dispatcher}, so at most one handler runs at a time
+      and the automaton needs no synchronization;
+    - [Set_timer]/[Cancel_timer] effects are backed by an
+      {!Eventloop.Timer_wheel} keyed by the automaton's timer keys,
+      with per-key generations so a re-arm replaces any pending
+      occurrence (the engine's timer contract);
+    - [Send]/[Broadcast] effects go out through a {!Transport};
+    - the automaton's hardware-clock readings come from a monotonic
+      {!Clock}.
+
+    A node can be {!kill}ed (socket closed, timers cancelled, state
+    dropped — a crash-stop) and {!restart}ed (fresh socket, [init]
+    rerun with an incremented incarnation), which is how the live
+    binary exercises the failure/recovery paths for real. *)
+
+open Tasim
+
+type ('s, 'm, 'obs) t
+
+val create :
+  automaton:('s, 'm, 'obs) Engine.automaton ->
+  clock:Clock.t ->
+  mk_transport:(Stats.t -> 'm Transport.t) ->
+  ?on_obs:(Time.t -> 'obs -> unit) ->
+  ?on_log:(string -> unit) ->
+  unit ->
+  ('s, 'm, 'obs) t
+(** The node opens its transport (via [mk_transport], so a restart can
+    open a fresh socket) but does not run [init] until {!start}. *)
+
+val self : ('s, 'm, 'obs) t -> Proc_id.t
+val stats : ('s, 'm, 'obs) t -> Stats.t
+val state : ('s, 'm, 'obs) t -> 's option
+(** [None] before {!start} and while killed. *)
+
+val is_up : ('s, 'm, 'obs) t -> bool
+val incarnation : ('s, 'm, 'obs) t -> int
+
+val fd : ('s, 'm, 'obs) t -> Unix.file_descr option
+(** The socket to select on; [None] while killed. *)
+
+val start : ('s, 'm, 'obs) t -> unit
+(** Run [init] at the current clock reading (incarnation 0). *)
+
+val kill : ('s, 'm, 'obs) t -> unit
+(** Crash-stop: drop state, cancel timers, close the socket. In-flight
+    datagrams addressed to the node are lost (real UDP drops them on
+    the floor once the port closes). Idempotent. *)
+
+val restart : ('s, 'm, 'obs) t -> unit
+(** Reopen the socket and rerun [init] with an incremented
+    incarnation. No-op when the node is up. *)
+
+val inject : ('s, 'm, 'obs) t -> 'm -> unit
+(** Deliver a message from the node to itself, bypassing the network —
+    the local client call path ({!Tasim.Engine.inject}'s live
+    counterpart). Dropped while killed. Processed at the next
+    {!poll}. *)
+
+val recv_ready : ('s, 'm, 'obs) t -> unit
+(** Drain the socket, posting received messages as dispatcher events
+    (called by the poll loop when the fd is readable). Events are not
+    processed until {!poll}. *)
+
+val poll : ('s, 'm, 'obs) t -> now:Time.t -> unit
+(** Advance the timer wheel to [now] and dispatch every pending event
+    (timer fires and received messages) through the automaton. *)
+
+val next_deadline : ('s, 'm, 'obs) t -> Time.t option
+(** Earliest pending timer, for the select timeout; [None] when down
+    or no timer is armed. *)

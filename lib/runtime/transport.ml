@@ -1,0 +1,110 @@
+open Tasim
+
+type 'm t = {
+  encode : sender:Proc_id.t -> 'm -> string;
+  decode : string -> (Proc_id.t * 'm, Codec.error) result;
+  self : Proc_id.t;
+  n : int;
+  addr_of : Proc_id.t -> Unix.sockaddr;
+  socket : Unix.file_descr;
+  recv_buf : Bytes.t;
+  stats : Stats.t;
+  mutable closed : bool;
+}
+
+let create ~encode ~decode ~self ~n ~port_of ~stats () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (match
+     Unix.set_nonblock socket;
+     Unix.setsockopt socket Unix.SO_REUSEADDR true;
+     Unix.bind socket
+       (Unix.ADDR_INET (Unix.inet_addr_loopback, port_of self))
+   with
+  | () -> ()
+  | exception e ->
+    Unix.close socket;
+    raise e);
+  let addr_of p = Unix.ADDR_INET (Unix.inet_addr_loopback, port_of p) in
+  {
+    encode;
+    decode;
+    self;
+    n;
+    addr_of;
+    socket;
+    recv_buf = Bytes.create 65536;
+    stats;
+    closed = false;
+  }
+
+let self t = t.self
+let n t = t.n
+let fd t = t.socket
+let is_closed t = t.closed
+
+let send t ~dst msg =
+  if not t.closed then begin
+    let frame = t.encode ~sender:t.self msg in
+    let len = String.length frame in
+    if len > Codec.max_frame then Stats.incr t.stats "live:drop:oversize"
+    else begin
+      match
+        Unix.sendto t.socket (Bytes.unsafe_of_string frame) 0 len []
+          (t.addr_of dst)
+      with
+      | _ -> Stats.incr t.stats "live:sent"
+      | exception
+          Unix.Unix_error
+            ((EWOULDBLOCK | EAGAIN | ECONNREFUSED | ENOBUFS | EINTR), _, _) ->
+        (* an unreliable datagram service may drop; the stack copes *)
+        Stats.incr t.stats "live:drop:send"
+    end
+  end
+
+let broadcast t msg =
+  List.iter
+    (fun dst -> if not (Proc_id.equal dst t.self) then send t ~dst msg)
+    (Proc_id.all ~n:t.n)
+
+let error_kind (err : Codec.error) =
+  match err with
+  | Codec.Truncated -> "truncated"
+  | Bad_magic -> "bad-magic"
+  | Bad_version _ -> "bad-version"
+  | Length_mismatch _ -> "length-mismatch"
+  | Malformed _ -> "malformed"
+
+let drain t ~handler =
+  if t.closed then 0
+  else begin
+    let handled = ref 0 in
+    let continue = ref true in
+    while !continue do
+      match Unix.recvfrom t.socket t.recv_buf 0 (Bytes.length t.recv_buf) []
+      with
+      | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN), _, _) ->
+        continue := false
+      | exception Unix.Unix_error ((ECONNREFUSED | EINTR), _, _) ->
+        (* ICMP port-unreachable bounce from a dead peer: ignore *)
+        ()
+      | len, _src_addr -> (
+        let frame = Bytes.sub_string t.recv_buf 0 len in
+        match t.decode frame with
+        | Ok (src, msg) ->
+          if Proc_id.to_int src < t.n && not (Proc_id.equal src t.self) then begin
+            Stats.incr t.stats "live:recv";
+            incr handled;
+            handler ~src msg
+          end
+          else Stats.incr t.stats "live:drop:foreign-sender"
+        | Error err ->
+          Stats.incr t.stats ("live:drop:" ^ error_kind err))
+    done;
+    !handled
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.socket with Unix.Unix_error _ -> ())
+  end

@@ -1,0 +1,48 @@
+(** Nonblocking UDP transport: one socket per process, a peer address
+    book mapping process ids to localhost ports.
+
+    The transport is deliberately dumb — it moves frames, nothing
+    more. Loss, reordering and duplication are the datagram service's
+    prerogative (the protocol stack is built for exactly that), so
+    every send-side failure (would-block, oversized frame, transient
+    ICMP-driven errors) is counted and dropped, never retried or
+    surfaced as an exception. Decode failures on receive are counted
+    per {!Codec.error} kind in the stats and the frame discarded:
+    fail-aware rejection of garbage from the network. *)
+
+open Tasim
+
+type 'm t
+
+val create :
+  encode:(sender:Proc_id.t -> 'm -> string) ->
+  decode:(string -> (Proc_id.t * 'm, Codec.error) result) ->
+  self:Proc_id.t ->
+  n:int ->
+  port_of:(Proc_id.t -> int) ->
+  stats:Stats.t ->
+  unit ->
+  'm t
+(** Open and bind a nonblocking UDP socket on
+    [127.0.0.1:port_of self]. Raises [Unix.Unix_error] when the port
+    is taken. [stats] receives [sent:*]/[recv:*]/drop counters. *)
+
+val self : 'm t -> Proc_id.t
+val n : 'm t -> int
+val fd : 'm t -> Unix.file_descr
+(** For [select]/poll loops. *)
+
+val send : 'm t -> dst:Proc_id.t -> 'm -> unit
+val broadcast : 'm t -> 'm -> unit
+(** To every team member except [self]. *)
+
+val drain : 'm t -> handler:(src:Proc_id.t -> 'm -> unit) -> int
+(** Receive and decode every datagram currently queued on the socket,
+    calling [handler] per well-formed frame; returns the number
+    handled. Frames from out-of-range senders or that fail to decode
+    are dropped (and counted). Never blocks. *)
+
+val close : 'm t -> unit
+(** Close the socket. Further sends/drains are no-ops. *)
+
+val is_closed : 'm t -> bool

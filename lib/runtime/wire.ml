@@ -1,0 +1,93 @@
+exception Error of string
+
+let fail msg = raise (Error msg)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let contents w = Buffer.contents w
+let byte w v = Buffer.add_char w (Char.chr (v land 0xff))
+
+(* zigzag so small negative sentinels (-1 ordinals, Group_id.none) stay
+   one byte; OCaml ints are 63-bit, hence the [asr 62] sign smear *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+
+let int w n =
+  let rec go z =
+    if z land lnot 0x7f = 0 then byte w z
+    else begin
+      byte w (0x80 lor (z land 0x7f));
+      go (z lsr 7)
+    end
+  in
+  go (zigzag n)
+
+let bool w b = byte w (if b then 1 else 0)
+
+let string w s =
+  int w (String.length s);
+  Buffer.add_string w s
+
+let option f w = function
+  | None -> byte w 0
+  | Some v ->
+    byte w 1;
+    f w v
+
+let list f w items =
+  int w (List.length items);
+  List.iter (f w) items
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    invalid_arg "Wire.reader: window out of bounds";
+  { data; pos; limit = pos + len }
+
+let remaining r = r.limit - r.pos
+
+let r_byte r =
+  if r.pos >= r.limit then fail "truncated: expected byte";
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_int r =
+  let rec go shift acc =
+    if shift > 62 then fail "varint too long";
+    let b = r_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  unzigzag (go 0 0)
+
+let r_bool r =
+  match r_byte r with
+  | 0 -> false
+  | 1 -> true
+  | b -> fail (Printf.sprintf "bad bool tag %d" b)
+
+let r_string r =
+  let len = r_int r in
+  if len < 0 then fail "negative string length";
+  if len > remaining r then fail "truncated: string overruns frame";
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let r_option f r =
+  match r_byte r with
+  | 0 -> None
+  | 1 -> Some (f r)
+  | b -> fail (Printf.sprintf "bad option tag %d" b)
+
+let r_list f r =
+  let count = r_int r in
+  if count < 0 then fail "negative list count";
+  (* every element costs at least one byte: reject counts no
+     well-formed remainder of the frame could satisfy *)
+  if count > remaining r then fail "list count overruns frame";
+  List.init count (fun _ -> f r)

@@ -1,0 +1,48 @@
+(** Binary wire primitives for the live runtime's codec.
+
+    A tiny self-contained serialization layer: integers are zigzag
+    LEB128 varints (compact for the small non-negative values that
+    dominate protocol messages, correct for the occasional [-1]
+    sentinel), strings and lists are count-prefixed, options are
+    tag-prefixed. Writers append to a [Buffer]; readers consume a
+    string slice with hard bounds checks — a malformed or truncated
+    frame raises {!Error}, which {!Codec} turns into a typed decode
+    error, never an out-of-bounds read. *)
+
+exception Error of string
+(** Raised by every reader on malformed input. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val byte : writer -> int -> unit
+(** Low 8 bits. *)
+
+val int : writer -> int -> unit
+val bool : writer -> bool -> unit
+val string : writer -> string -> unit
+val option : (writer -> 'a -> unit) -> writer -> 'a option -> unit
+val list : (writer -> 'a -> unit) -> writer -> 'a list -> unit
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> string -> reader
+(** Read window [\[pos, pos+len)] of the string (default: all of
+    it). *)
+
+val remaining : reader -> int
+val r_byte : reader -> int
+val r_int : reader -> int
+val r_bool : reader -> bool
+val r_string : reader -> string
+val r_option : (reader -> 'a) -> reader -> 'a option
+val r_list : (reader -> 'a) -> reader -> 'a list
+
+val fail : string -> 'a
+(** [raise (Error msg)], for decoders layering their own checks. *)

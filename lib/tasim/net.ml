@@ -110,14 +110,19 @@ let matching_filter t ~src ~dst msg =
   | None -> None
 
 let fate t ~src ~dst msg =
-  match matching_filter t ~src ~dst msg with
-  | Some f -> Dropped ("filter:" ^ f.name)
-  | None ->
-    if not (same_block t src dst) then Dropped "partition"
-    else if Rng.bool t.rng t.cfg.omission_prob then Dropped "omission"
-    else if Rng.bool t.rng t.cfg.late_prob then
-      (* performance failure: delay strictly greater than delta *)
-      let lo = Time.add t.cfg.delta (Time.of_us 1) in
-      Deliver_after (Rng.uniform_time t.rng lo t.cfg.late_delay_max)
-    else
-      Deliver_after (Rng.uniform_time t.rng t.cfg.delay_min t.cfg.delay_max)
+  (* the partition verdict comes first: a message a partition would
+     drop anyway must not consume a bounded filter's [max_drops]
+     budget (and [matching_filter] mutates that budget as it
+     matches) *)
+  if not (same_block t src dst) then Dropped "partition"
+  else
+    match matching_filter t ~src ~dst msg with
+    | Some f -> Dropped ("filter:" ^ f.name)
+    | None ->
+      if Rng.bool t.rng t.cfg.omission_prob then Dropped "omission"
+      else if Rng.bool t.rng t.cfg.late_prob then
+        (* performance failure: delay strictly greater than delta *)
+        let lo = Time.add t.cfg.delta (Time.of_us 1) in
+        Deliver_after (Rng.uniform_time t.rng lo t.cfg.late_delay_max)
+      else
+        Deliver_after (Rng.uniform_time t.rng t.cfg.delay_min t.cfg.delay_max)

@@ -41,9 +41,10 @@ type fate =
   | Dropped of string  (** reason, for traces and statistics *)
 
 val fate : 'm t -> src:Proc_id.t -> dst:Proc_id.t -> 'm -> fate
-(** Decide the fate of one datagram, consuming randomness. Filters are
-    consulted first, then partitions, then stochastic omission, then
-    delay sampling. *)
+(** Decide the fate of one datagram, consuming randomness. The
+    partition check comes first (a partitioned datagram never consumes
+    a bounded filter's [max_drops] budget), then filters, then
+    stochastic omission, then delay sampling. *)
 
 (** {1 Fault injection} *)
 

@@ -1,0 +1,148 @@
+(* Live-runtime smoke: the acceptance scenario of the UDP runtime, run
+   for real on localhost sockets and the wall clock.
+
+   Five members form a group over UDP; the current decider is killed
+   (socket closed, state dropped) and the survivors must install a
+   4-member view via the single-failure election; the killed member is
+   then restarted and must rejoin — announcing its bumped formation
+   epoch from stable storage — ending in a 5-member view with a
+   strictly later group id. Every phase has a hard wall-clock bound so
+   a hung run fails rather than wedging CI. *)
+
+open Tasim
+open Broadcast
+open Timewheel
+open Runtime
+
+let phase_timeout = Time.of_sec 30
+
+let fail_with fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "live smoke: FAIL: %s@." msg;
+      exit 1)
+    fmt
+
+let pp_view ppf (v : Live.view) =
+  Fmt.pf ppf "%a %a installed %a #%a" Time.pp v.Live.at Proc_id.pp v.Live.proc
+    Proc_set.pp v.Live.group Group_id.pp v.Live.group_id
+
+let () =
+  let n = 5 in
+  let cfg = Live.config ~n ~base_port:47800 () in
+  let recorder = Live.recorder () in
+  let clock, cluster =
+    try Live.in_process cfg ~recorder ()
+    with Unix.Unix_error (e, _, _) ->
+      Fmt.epr "live smoke: SKIP: cannot open UDP sockets (%s)@."
+        (Unix.error_message e);
+      exit 0
+  in
+  Cluster.start cluster;
+  let until pred = Cluster.run_until cluster
+      ~deadline:(Time.add (Clock.now clock) phase_timeout) pred
+  in
+
+  (* phase 1: the five members form the initial group over real UDP *)
+  let full = Proc_set.full ~n in
+  let formed () =
+    match Live.agreed_view cluster with
+    | Some (group, _) -> Proc_set.equal group full
+    | None -> false
+  in
+  if not (until formed) then
+    fail_with "initial 5-member group did not form within %a (views: %a)"
+      Time.pp phase_timeout
+      Fmt.(list ~sep:comma pp_view)
+      recorder.Live.views;
+  let _, gid5 = Option.get (Live.agreed_view cluster) in
+  Fmt.pr "live smoke: formed %a #%a at %a@." Proc_set.pp full Group_id.pp gid5
+    Time.pp (Clock.now clock);
+
+  (* phase 2: kill the decider *)
+  let victim =
+    match Live.decider cluster with
+    | Some p -> p
+    | None -> fail_with "no member holds the decider role"
+  in
+  Node.kill (Cluster.node cluster victim);
+  Fmt.pr "live smoke: killed decider %a at %a@." Proc_id.pp victim Time.pp
+    (Clock.now clock);
+
+  (* phase 3: the survivors elect and install the 4-member view *)
+  let survivors = Proc_set.remove victim full in
+  let excluded () =
+    match Live.agreed_view cluster with
+    | Some (group, _) -> Proc_set.equal group survivors
+    | None -> false
+  in
+  if not (until excluded) then
+    fail_with "survivors did not install %a within %a (views: %a)"
+      Proc_set.pp survivors Time.pp phase_timeout
+      Fmt.(list ~sep:comma pp_view)
+      recorder.Live.views;
+  let _, gid4 = Option.get (Live.agreed_view cluster) in
+  if not (Group_id.later gid4 ~than:gid5) then
+    fail_with "4-member view id %a not later than %a" Group_id.pp gid4
+      Group_id.pp gid5;
+  Fmt.pr "live smoke: survivors installed %a #%a at %a@." Proc_set.pp
+    survivors Group_id.pp gid4 Time.pp (Clock.now clock);
+
+  (* phase 4: restart the victim; stable storage makes it announce a
+     bumped formation epoch and rejoin *)
+  Node.restart (Cluster.node cluster victim);
+  let rejoined () =
+    match Live.agreed_view cluster with
+    | Some (group, gid) ->
+      Proc_set.equal group full && Group_id.later gid ~than:gid4
+    | None -> false
+  in
+  if not (until rejoined) then
+    fail_with "killed member did not rejoin within %a (views: %a)" Time.pp
+      phase_timeout
+      Fmt.(list ~sep:comma pp_view)
+      recorder.Live.views;
+  let _, gid_final = Option.get (Live.agreed_view cluster) in
+  let victim_node = Cluster.node cluster victim in
+  (match Live.member_of victim_node with
+  | None -> fail_with "restarted member has no member state"
+  | Some m ->
+    if Member.form_epoch m < 1 then
+      fail_with
+        "restarted member forgot its epoch (form_epoch %d, expected >= 1)"
+        (Member.form_epoch m));
+  if Node.incarnation victim_node <> 1 then
+    fail_with "expected incarnation 1, got %d" (Node.incarnation victim_node);
+  Fmt.pr
+    "live smoke: %a rejoined (form epoch %d); full group %a #%a at %a@."
+    Proc_id.pp victim
+    (Option.fold ~none:(-1) ~some:Member.form_epoch
+       (Live.member_of victim_node))
+    Proc_set.pp full Group_id.pp gid_final Time.pp (Clock.now clock);
+
+  (* a quick end-to-end broadcast sanity check on the rejoined group *)
+  Live.submit (Cluster.node cluster (Proc_id.of_int 0))
+    ~semantics:Semantics.total_strong "live-hello";
+  let delivered_everywhere () =
+    List.length
+      (List.filter
+         (fun (_, payload) -> payload = "live-hello")
+         recorder.Live.delivered)
+    = n
+  in
+  if not (until delivered_everywhere) then
+    fail_with "update not delivered by all %d members" n;
+  Fmt.pr "live smoke: update delivered by all %d members@." n;
+
+  let total name =
+    List.fold_left
+      (fun acc node -> acc + Stats.count (Node.stats node) name)
+      0 (Cluster.nodes cluster)
+  in
+  Fmt.pr
+    "live smoke: PASS (%d datagrams sent, %d received, %d decode drops)@."
+    (total "live:sent") (total "live:recv")
+    (total "live:drop:truncated" + total "live:drop:bad-magic"
+   + total "live:drop:bad-version"
+    + total "live:drop:length-mismatch"
+    + total "live:drop:malformed")

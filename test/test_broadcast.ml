@@ -245,6 +245,80 @@ let gen_small_oal =
 
 let arb_oal = QCheck.make ~print:(fun o -> Fmt.str "%a" Oal.pp o) gen_small_oal
 
+(* wire view: the serialization image used by the live runtime's codec
+   must reconstruct the oal exactly, and reject inconsistent images *)
+
+let prop_oal_wire_round_trip =
+  QCheck.Test.make ~name:"of_wire (to_wire o) reconstructs o exactly" arb_oal
+    (fun oal ->
+      (* exercise the purge path too, so w_low > 0 and the
+         latest-membership memo cross the wire *)
+      let oal, _ =
+        Oal.append_membership oal ~group:(set_of [ 0; 1 ])
+          ~group_id:{ Group_id.epoch = 1; seq = 2 }
+      in
+      match Oal.of_wire (Oal.to_wire oal) with
+      | Error e -> QCheck.Test.fail_reportf "of_wire rejected to_wire: %s" e
+      | Ok back ->
+        Oal.low back = Oal.low oal
+        && Oal.next_ordinal back = Oal.next_ordinal oal
+        && Oal.entries back = Oal.entries oal
+        && Oal.latest_membership back = Oal.latest_membership oal)
+
+let test_oal_of_wire_rejects () =
+  let entry ordinal =
+    {
+      Oal.ordinal;
+      body = Oal.Update (info ~origin:0 ~seq:ordinal ());
+      acks = set_of [ 0 ];
+      undeliverable = false;
+      known_stable = false;
+    }
+  in
+  let reject name wire =
+    match Oal.of_wire wire with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  reject "unordered ordinals"
+    { Oal.w_low = 0; w_next_ordinal = 2; w_entries = [ entry 1; entry 0 ];
+      w_latest = None };
+  reject "duplicate ordinals"
+    { Oal.w_low = 0; w_next_ordinal = 2; w_entries = [ entry 0; entry 0 ];
+      w_latest = None };
+  reject "entry below the frontier"
+    { Oal.w_low = 3; w_next_ordinal = 5; w_entries = [ entry 2 ];
+      w_latest = None };
+  reject "entry beyond the counter"
+    { Oal.w_low = 0; w_next_ordinal = 1; w_entries = [ entry 1 ];
+      w_latest = None };
+  match
+    Oal.of_wire
+      { Oal.w_low = 1; w_next_ordinal = 3; w_entries = [ entry 1; entry 2 ];
+        w_latest = None }
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid purged image rejected: %s" e
+
+let test_buffers_wire_round_trip () =
+  let p origin seq =
+    Proposal.make ~origin:(pid origin) ~seq ~semantics:Semantics.total_strong
+      ~send_ts:(Time.of_ms 3) ~hdo:1 ("u" ^ string_of_int seq)
+  in
+  let b = Buffers.empty in
+  let b = fst (Buffers.store b (p 0 1)) in
+  let b = fst (Buffers.store b (p 1 2)) in
+  let b = Buffers.note_delivered b (p 0 1).Proposal.id ~ordinal:(Some 4) in
+  let back = Buffers.of_wire (Buffers.to_wire b) in
+  let wire = Buffers.to_wire b and wire' = Buffers.to_wire back in
+  Alcotest.(check int) "proposals survive" 2
+    (List.length wire'.Buffers.w_proposals);
+  Alcotest.(check bool) "wire image is a fixed point" true (wire = wire');
+  Alcotest.(check bool) "delivered ordinal survives" true
+    (Buffers.delivered back (p 0 1).Proposal.id);
+  Alcotest.(check bool) "undelivered stays undelivered" false
+    (Buffers.delivered back (p 1 2).Proposal.id)
+
 let prop_oal_merge_idempotent =
   QCheck.Test.make ~name:"merge(o, o) preserves bodies and ordinals" arb_oal
     (fun oal ->
@@ -705,6 +779,9 @@ let () =
           Alcotest.test_case "latest membership" `Quick test_oal_latest_membership;
           Alcotest.test_case "is_prefix" `Quick test_oal_is_prefix;
           qcheck prop_oal_merge_preserves_prefix;
+          qcheck prop_oal_wire_round_trip;
+          Alcotest.test_case "of_wire rejects bad images" `Quick
+            test_oal_of_wire_rejects;
           qcheck prop_oal_merge_idempotent;
           qcheck prop_oal_merge_next_ordinal_monotone;
           qcheck prop_oal_purge_only_advances;
@@ -717,6 +794,8 @@ let () =
           Alcotest.test_case "marks expire" `Quick test_buffers_marks_and_expiry;
           Alcotest.test_case "block origin" `Quick test_buffers_block_origin;
           Alcotest.test_case "purge marked" `Quick test_buffers_purge_marked;
+          Alcotest.test_case "wire round trip" `Quick
+            test_buffers_wire_round_trip;
         ] );
       ( "delivery",
         [

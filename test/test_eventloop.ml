@@ -104,6 +104,32 @@ let test_wheel_cancel () =
   ignore (Eventloop.Timer_wheel.advance w ~to_:100);
   check Alcotest.int "never fired" 0 !fired
 
+let test_wheel_rearm_churn () =
+  (* regression: cancel used to leave cancelled timers resident in
+     their buckets until the wheel swept past the slot. A live node
+     re-arms its failure-detector timers on every received message —
+     thousands of cancel/schedule cycles with time barely advancing —
+     so stale residents made bucket scans (and memory) grow without
+     bound. After the fix, cancellation purges the bucket: residency
+     must stay bounded by the number of genuinely pending timers. *)
+  let w = Eventloop.Timer_wheel.create ~wheel_size:64 ~tick:10 () in
+  let fired = ref 0 in
+  let id = ref (Eventloop.Timer_wheel.schedule w ~at:500 (fun () -> incr fired)) in
+  for _ = 1 to 10_000 do
+    check Alcotest.bool "cancelled" true (Eventloop.Timer_wheel.cancel w !id);
+    (* same slot every time: the worst case for bucket growth *)
+    id := Eventloop.Timer_wheel.schedule w ~at:500 (fun () -> incr fired)
+  done;
+  check Alcotest.int "one pending timer" 1 (Eventloop.Timer_wheel.pending w);
+  check Alcotest.int "one resident timer" 1 (Eventloop.Timer_wheel.resident w);
+  check (Alcotest.option Alcotest.int) "next expiry visible" (Some 500)
+    (Eventloop.Timer_wheel.next_expiry w);
+  ignore (Eventloop.Timer_wheel.advance w ~to_:600);
+  check Alcotest.int "survivor fires once" 1 !fired;
+  check Alcotest.int "empty after firing" 0 (Eventloop.Timer_wheel.resident w);
+  check (Alcotest.option Alcotest.int) "no expiry when idle" None
+    (Eventloop.Timer_wheel.next_expiry w)
+
 let test_wheel_wraps_rounds () =
   (* expiry far beyond one wheel revolution must still fire exactly once
      at the right tick *)
@@ -320,6 +346,8 @@ let () =
         [
           Alcotest.test_case "fires in order" `Quick test_wheel_fires_in_order;
           Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "re-arm churn stays bounded" `Quick
+            test_wheel_rearm_churn;
           Alcotest.test_case "wraps rounds" `Quick test_wheel_wraps_rounds;
           Alcotest.test_case "past deadline" `Quick
             test_wheel_past_deadline_fires_next_tick;

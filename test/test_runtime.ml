@@ -1,0 +1,425 @@
+(* Live-runtime unit tests: the wire codec and stable storage.
+
+   The codec is the trust boundary of the live runtime — every byte a
+   member acts on crossed it — so it gets the property treatment:
+   round-trips over all nine Control_msg variants (with epoch-qualified
+   group ids) plus both clocksync messages, and rejection of truncated,
+   over-length, wrong-version and junk frames without ever raising.
+
+   Structural equality of decoded messages is checked through the
+   canonical-bytes trick: [encode] is deterministic, so
+   [encode (decode (encode m)) = encode m] holds iff decoding loses
+   nothing the codec can represent. *)
+
+open Tasim
+open Broadcast
+open Timewheel
+open Runtime
+
+let qcheck = QCheck_alcotest.to_alcotest
+let pid = Proc_id.of_int
+let n = 8
+
+(* ------------------------------------------------------------------ *)
+(* generators *)
+
+let gen_proc = QCheck.Gen.map pid (QCheck.Gen.int_bound (n - 1))
+
+let gen_set =
+  QCheck.Gen.map
+    (fun ids -> Proc_set.of_list (List.map pid ids))
+    QCheck.Gen.(list_size (int_bound n) (int_bound (n - 1)))
+
+let gen_time = QCheck.Gen.map Time.of_us (QCheck.Gen.int_bound 10_000_000)
+
+(* spans several epochs: the codec must carry recovery-bumped ids *)
+let gen_group_id =
+  QCheck.Gen.map2
+    (fun epoch seq -> { Group_id.epoch; seq })
+    (QCheck.Gen.int_bound 3) (QCheck.Gen.int_bound 50)
+
+let gen_semantics = QCheck.Gen.oneofl Semantics.all
+
+let gen_proposal_id =
+  QCheck.Gen.map2
+    (fun origin seq -> { Proposal.origin; seq })
+    gen_proc (QCheck.Gen.int_bound 200)
+
+let gen_payload = QCheck.Gen.(string_size (int_bound 40))
+
+let gen_proposal =
+  QCheck.Gen.(
+    gen_proposal_id >>= fun id ->
+    gen_semantics >>= fun semantics ->
+    gen_time >>= fun send_ts ->
+    int_range (-1) 30 >>= fun hdo ->
+    gen_payload >>= fun payload ->
+    return
+      (Proposal.make ~origin:id.Proposal.origin ~seq:id.Proposal.seq
+         ~semantics ~send_ts ~hdo payload))
+
+let gen_update_info =
+  QCheck.Gen.(
+    gen_proposal_id >>= fun proposal_id ->
+    gen_semantics >>= fun semantics ->
+    gen_time >>= fun send_ts ->
+    int_range (-1) 30 >>= fun hdo ->
+    return { Oal.proposal_id; semantics; send_ts; hdo })
+
+let gen_body =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun u -> Oal.Update u) gen_update_info);
+        ( 1,
+          map2
+            (fun group group_id -> Oal.Membership { group; group_id })
+            gen_set gen_group_id );
+      ])
+
+let gen_oal =
+  QCheck.Gen.(
+    int_bound 5 >>= fun low ->
+    int_bound 6 >>= fun len ->
+    list_repeat len (triple gen_body gen_set (pair bool bool))
+    >>= fun raw ->
+    (* consecutive ordinals from the frontier keep the image valid *)
+    let w_entries =
+      List.mapi
+        (fun i (body, acks, (undeliverable, known_stable)) ->
+          { Oal.ordinal = low + i; body; acks; undeliverable; known_stable })
+        raw
+    in
+    option (triple (int_bound 5) gen_set gen_group_id) >>= fun latest ->
+    let w_latest =
+      (* the latest-membership memo records an already-purged ordinal,
+         so keep it below the frontier *)
+      Option.map (fun (o, g, gid) -> (min o low, g, gid)) latest
+    in
+    let wire =
+      { Oal.w_low = low; w_next_ordinal = low + len; w_entries; w_latest }
+    in
+    match Oal.of_wire wire with
+    | Ok oal -> return oal
+    | Error e -> failwith ("generator built an invalid oal image: " ^ e))
+
+let gen_buffers =
+  QCheck.Gen.(
+    list_size (int_bound 5) gen_proposal >>= fun w_proposals ->
+    list_size (int_bound 5) (pair gen_proposal_id (option (int_bound 30)))
+    >>= fun w_delivered ->
+    list_size (int_bound 3) (pair gen_proposal_id gen_time)
+    >>= fun w_marks ->
+    list_size (int_bound 3) (pair gen_proc gen_time) >>= fun w_blocked ->
+    return (Buffers.of_wire { Buffers.w_proposals; w_delivered; w_marks; w_blocked }))
+
+let gen_control : (string, string list) Control_msg.t QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 1,
+          map2
+            (fun semantics payload -> Control_msg.Submit { semantics; payload })
+            gen_semantics gen_payload );
+        (2, map (fun p -> Control_msg.Proposal_msg p) gen_proposal);
+        (1, map (fun p -> Control_msg.Retransmit p) gen_proposal);
+        ( 1,
+          map
+            (fun missing -> Control_msg.Nack { missing })
+            (list_size (int_bound 6) gen_proposal_id) );
+        ( 2,
+          map3
+            (fun d_ts d_oal d_alive ->
+              Control_msg.Decision { d_ts; d_oal; d_alive })
+            gen_time gen_oal gen_set );
+        ( 1,
+          gen_time >>= fun nd_ts ->
+          gen_proc >>= fun nd_suspect ->
+          gen_time >>= fun nd_since ->
+          gen_oal >>= fun nd_view ->
+          list_size (int_bound 4) gen_update_info >>= fun nd_dpd ->
+          gen_set >>= fun nd_alive ->
+          return
+            (Control_msg.No_decision
+               { nd_ts; nd_suspect; nd_since; nd_view; nd_dpd; nd_alive }) );
+        ( 2,
+          map3
+            (fun j_ts (j_list, j_alive) j_epoch ->
+              Control_msg.Join_msg { j_ts; j_list; j_alive; j_epoch })
+            gen_time (pair gen_set gen_set) (int_bound 3) );
+        ( 1,
+          gen_time >>= fun r_ts ->
+          gen_set >>= fun r_list ->
+          gen_time >>= fun r_last_decision_ts ->
+          gen_oal >>= fun r_view ->
+          list_size (int_bound 4) gen_update_info >>= fun r_dpd ->
+          gen_set >>= fun r_alive ->
+          return
+            (Control_msg.Reconfig
+               { r_ts; r_list; r_last_decision_ts; r_view; r_dpd; r_alive }) );
+        ( 1,
+          gen_time >>= fun st_ts ->
+          gen_set >>= fun st_group ->
+          gen_group_id >>= fun st_group_id ->
+          gen_oal >>= fun st_oal ->
+          list_size (int_bound 4) gen_payload >>= fun st_app ->
+          gen_buffers >>= fun st_buffers ->
+          return
+            (Control_msg.State_transfer
+               { st_ts; st_group; st_group_id; st_oal; st_app; st_buffers }) );
+      ])
+
+let gen_cs =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 1,
+          map2
+            (fun seq sender_clock ->
+              Clocksync.Protocol.Request { seq; sender_clock })
+            (int_bound 1000) gen_time );
+        ( 1,
+          map3
+            (fun seq echo_sender_clock replier_clock ->
+              Clocksync.Protocol.Reply { seq; echo_sender_clock; replier_clock })
+            (int_bound 1000) gen_time gen_time );
+      ])
+
+let gen_msg : (string, string list) Full_stack.msg QCheck.Gen.t =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, map (fun m -> Full_stack.Cs m) gen_cs);
+        (4, map (fun m -> Full_stack.Gc m) gen_control);
+      ])
+
+let arb_frame =
+  QCheck.make
+    ~print:(fun (sender, msg) ->
+      Fmt.str "from %a: %a" Proc_id.pp sender
+        (Fmt.of_to_string (function
+          | Full_stack.Cs m -> Fmt.str "cs %a" Clocksync.Protocol.pp_msg m
+          | Full_stack.Gc m -> Fmt.str "gc %a" Control_msg.pp m))
+        msg)
+    QCheck.Gen.(pair gen_proc gen_msg)
+
+let pc = Codec.string_payload
+
+(* ------------------------------------------------------------------ *)
+(* round trips *)
+
+let round_trip =
+  QCheck.Test.make ~count:500
+    ~name:"encode/decode round-trips every message (canonical bytes)"
+    arb_frame (fun (sender, msg) ->
+      let bytes = Codec.encode pc ~sender msg in
+      match Codec.decode pc bytes with
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %a" Codec.pp_error e
+      | Ok (sender', msg') ->
+        Proc_id.equal sender' sender
+        && String.equal (Codec.encode pc ~sender:sender' msg') bytes)
+
+let round_trip_structural () =
+  (* spot structural checks on hand-built messages, so a canonical-bytes
+     fixed point that somehow lost data would still be caught *)
+  let gid = { Group_id.epoch = 2; seq = 7 } in
+  let group = Proc_set.of_list [ pid 0; pid 2; pid 3 ] in
+  let join =
+    Full_stack.Gc
+      (Control_msg.Join_msg
+         {
+           j_ts = Time.of_ms 1234;
+           j_list = group;
+           j_alive = Proc_set.of_list [ pid 0 ];
+           j_epoch = 3;
+         })
+  in
+  (match Codec.decode pc (Codec.encode pc ~sender:(pid 2) join) with
+  | Ok (s, Full_stack.Gc (Control_msg.Join_msg j)) ->
+    Alcotest.(check int) "sender" 2 (Proc_id.to_int s);
+    Alcotest.(check int) "epoch" 3 j.Control_msg.j_epoch;
+    Alcotest.(check bool) "list" true (Proc_set.equal j.Control_msg.j_list group);
+    Alcotest.(check bool) "ts" true (Time.equal j.Control_msg.j_ts (Time.of_ms 1234))
+  | Ok _ -> Alcotest.fail "decoded to a different constructor"
+  | Error e -> Alcotest.failf "decode failed: %a" Codec.pp_error e);
+  let oal, _ = Oal.append_membership Oal.empty ~group ~group_id:gid in
+  let decision =
+    Full_stack.Gc
+      (Control_msg.Decision { d_ts = Time.of_us 5; d_oal = oal; d_alive = group })
+  in
+  match Codec.decode pc (Codec.encode pc ~sender:(pid 0) decision) with
+  | Ok (_, Full_stack.Gc (Control_msg.Decision d)) ->
+    (match Oal.latest_membership d.Control_msg.d_oal with
+    | Some (_, g, id) ->
+      Alcotest.(check bool) "group survives" true (Proc_set.equal g group);
+      Alcotest.(check bool) "epoch-qualified id survives" true
+        (Group_id.equal id gid)
+    | None -> Alcotest.fail "membership entry lost in transit")
+  | Ok _ -> Alcotest.fail "decoded to a different constructor"
+  | Error e -> Alcotest.failf "decode failed: %a" Codec.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* rejection *)
+
+let sample_frame () =
+  let msg =
+    Full_stack.Gc
+      (Control_msg.Submit
+         { semantics = Semantics.total_strong; payload = "payload" })
+  in
+  Codec.encode pc ~sender:(pid 1) msg
+
+let check_error name expected = function
+  | Error e when e = expected -> ()
+  | Error e ->
+    Alcotest.failf "%s: expected %a, got %a" name Codec.pp_error expected
+      Codec.pp_error e
+  | Ok _ -> Alcotest.failf "%s: decode accepted a bad frame" name
+
+let rejects_truncated () =
+  let frame = sample_frame () in
+  (* every proper prefix must be rejected, and prefixes that cut the
+     header must say Truncated *)
+  for cut = 0 to String.length frame - 1 do
+    match Codec.decode pc (String.sub frame 0 cut) with
+    | Ok _ -> Alcotest.failf "accepted %d-byte prefix" cut
+    | Error (Codec.Truncated | Codec.Length_mismatch _) -> ()
+    | Error e ->
+      Alcotest.failf "prefix %d: unexpected error %a" cut Codec.pp_error e
+  done;
+  check_error "empty" Codec.Truncated (Codec.decode pc "");
+  check_error "header cut" Codec.Truncated
+    (Codec.decode pc (String.sub frame 0 2))
+
+let rejects_over_length () =
+  let frame = sample_frame () in
+  let declared = String.length frame in
+  (match Codec.decode pc (frame ^ "x") with
+  | Error (Codec.Length_mismatch { actual; _ }) ->
+    Alcotest.(check bool) "actual exceeds declared" true (actual > 0)
+  | Error e -> Alcotest.failf "unexpected error %a" Codec.pp_error e
+  | Ok _ -> Alcotest.failf "accepted over-length frame (%d+1 bytes)" declared);
+  match Codec.decode pc (frame ^ String.make 40 '\x00') with
+  | Error (Codec.Length_mismatch _) -> ()
+  | Error e -> Alcotest.failf "unexpected error %a" Codec.pp_error e
+  | Ok _ -> Alcotest.fail "accepted padded frame"
+
+let rejects_wrong_version () =
+  let frame = Bytes.of_string (sample_frame ()) in
+  Bytes.set frame 2 (Char.chr 99);
+  check_error "version 99" (Codec.Bad_version 99)
+    (Codec.decode pc (Bytes.to_string frame))
+
+let rejects_bad_magic () =
+  let frame = Bytes.of_string (sample_frame ()) in
+  Bytes.set frame 0 'X';
+  check_error "magic" Codec.Bad_magic (Codec.decode pc (Bytes.to_string frame))
+
+let decode_total =
+  QCheck.Test.make ~count:1000 ~name:"decode never raises on junk"
+    QCheck.(string_of_size (QCheck.Gen.int_bound 200))
+    (fun junk ->
+      match Codec.decode pc junk with Ok _ | Error _ -> true)
+
+let mutation_total =
+  (* flip one byte of a valid frame: decode must return, and any
+     accepted result must still canonically re-encode *)
+  QCheck.Test.make ~count:500 ~name:"decode total under single-byte mutation"
+    QCheck.(pair arb_frame (pair small_nat (int_bound 255)))
+    (fun ((sender, msg), (pos, byte)) ->
+      let frame = Bytes.of_string (Codec.encode pc ~sender msg) in
+      let pos = pos mod Bytes.length frame in
+      Bytes.set frame pos (Char.chr byte);
+      match Codec.decode pc (Bytes.to_string frame) with
+      | Error _ -> true
+      | Ok (sender', msg') ->
+        String.length (Codec.encode pc ~sender:sender' msg') > 0)
+
+(* ------------------------------------------------------------------ *)
+(* stable storage *)
+
+let store_round_trip () =
+  let record =
+    {
+      Member.last_group_id = { Group_id.epoch = 4; seq = 17 };
+      last_group = Proc_set.of_list [ pid 0; pid 3; pid 4 ];
+    }
+  in
+  (match Live_store.persistent_of_wire (Live_store.wire_of_persistent record) with
+  | Some r ->
+    Alcotest.(check bool) "id" true
+      (Group_id.equal r.Member.last_group_id record.Member.last_group_id);
+    Alcotest.(check bool) "group" true
+      (Proc_set.equal r.Member.last_group record.Member.last_group)
+  | None -> Alcotest.fail "record codec rejected its own output");
+  Alcotest.(check bool) "corrupt record restores as None" true
+    (Live_store.persistent_of_wire "garbage" = None);
+  Alcotest.(check bool) "truncated record restores as None" true
+    (Live_store.persistent_of_wire
+       (String.sub (Live_store.wire_of_persistent record) 0 6)
+    = None)
+
+let store_memory () =
+  let store = Live_store.in_memory () in
+  Alcotest.(check bool) "fresh store is empty" true
+    (Live_store.restore store ~self:(pid 1) = None);
+  let record =
+    { Member.last_group_id = { Group_id.epoch = 1; seq = 2 };
+      last_group = Proc_set.of_list [ pid 1 ] }
+  in
+  Live_store.persist store ~self:(pid 1) record;
+  (match Live_store.restore store ~self:(pid 1) with
+  | Some r ->
+    Alcotest.(check bool) "persisted id" true
+      (Group_id.equal r.Member.last_group_id record.Member.last_group_id)
+  | None -> Alcotest.fail "persisted record not restored");
+  Alcotest.(check bool) "per-member isolation" true
+    (Live_store.restore store ~self:(pid 2) = None)
+
+let store_disk () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "timewheel-store-%d" (Unix.getpid ()))
+  in
+  let store = Live_store.on_disk ~dir in
+  let record =
+    { Member.last_group_id = { Group_id.epoch = 2; seq = 9 };
+      last_group = Proc_set.of_list [ pid 0; pid 2 ] }
+  in
+  Live_store.persist store ~self:(pid 0) record;
+  (* a second handle on the same directory models a process restart *)
+  (match Live_store.restore (Live_store.on_disk ~dir) ~self:(pid 0) with
+  | Some r ->
+    Alcotest.(check bool) "record survives reopen" true
+      (Group_id.equal r.Member.last_group_id record.Member.last_group_id
+      && Proc_set.equal r.Member.last_group record.Member.last_group)
+  | None -> Alcotest.fail "on-disk record not restored");
+  Alcotest.(check bool) "absent member restores as None" true
+    (Live_store.restore store ~self:(pid 7) = None)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "codec",
+        [
+          qcheck round_trip;
+          Alcotest.test_case "structural round trip" `Quick
+            round_trip_structural;
+          Alcotest.test_case "rejects truncated frames" `Quick rejects_truncated;
+          Alcotest.test_case "rejects over-length frames" `Quick
+            rejects_over_length;
+          Alcotest.test_case "rejects wrong version" `Quick
+            rejects_wrong_version;
+          Alcotest.test_case "rejects bad magic" `Quick rejects_bad_magic;
+          qcheck decode_total;
+          qcheck mutation_total;
+        ] );
+      ( "live store",
+        [
+          Alcotest.test_case "record codec round trip" `Quick store_round_trip;
+          Alcotest.test_case "in-memory backend" `Quick store_memory;
+          Alcotest.test_case "on-disk backend" `Quick store_disk;
+        ] );
+    ]

@@ -478,6 +478,39 @@ let test_net_partition () =
   | Net.Deliver_after _ -> ()
   | Net.Dropped _ -> Alcotest.fail "heal did not restore"
 
+let test_net_filter_partition_overlap () =
+  (* regression: fate used to consult drop filters before the partition
+     check, so a datagram that the partition was going to kill anyway
+     burned a bounded filter's max_drops budget — a chaos plan arming
+     "drop the next decision" during a partition found its filter
+     already exhausted by the time the partition healed. Partitioned
+     traffic must not touch filter budgets. *)
+  let net = Net.create Net.default_config (Rng.create 7) in
+  Net.add_filter net ~max_drops:1 ~name:"bounded" (fun ~src:_ ~dst:_ v ->
+      v = 1);
+  Net.set_partition net [ set_of [ 0 ]; set_of [ 1 ] ];
+  let fate v =
+    Net.fate net ~src:(Proc_id.of_int 0) ~dst:(Proc_id.of_int 1) v
+  in
+  (* matches the filter AND crosses the cut: the partition must claim it *)
+  (match fate 1 with
+  | Net.Dropped "partition" -> ()
+  | Net.Dropped r -> Alcotest.failf "expected partition drop, got %s" r
+  | Net.Deliver_after _ -> Alcotest.fail "cross-cut message delivered");
+  check (Alcotest.list Alcotest.string) "budget untouched" [ "bounded" ]
+    (Net.active_filters net);
+  Net.heal net;
+  (* healed: now the filter gets its shot, and spends its one drop *)
+  (match fate 1 with
+  | Net.Dropped "filter:bounded" -> ()
+  | Net.Dropped r -> Alcotest.failf "expected filter drop, got %s" r
+  | Net.Deliver_after _ -> Alcotest.fail "armed filter did not fire");
+  check (Alcotest.list Alcotest.string) "budget now spent" []
+    (Net.active_filters net);
+  match fate 1 with
+  | Net.Deliver_after _ -> ()
+  | Net.Dropped _ -> Alcotest.fail "exhausted filter still matching"
+
 let test_net_filter_exhausted_pruned () =
   let net = Net.create Net.default_config (Rng.create 6) in
   Net.add_filter net ~max_drops:1 ~name:"once" (fun ~src:_ ~dst:_ v -> v = 1);
@@ -997,6 +1030,8 @@ let () =
           Alcotest.test_case "omission rate" `Quick test_net_omission_rate;
           Alcotest.test_case "late > delta" `Quick test_net_late_messages_exceed_delta;
           Alcotest.test_case "partitions" `Quick test_net_partition;
+          Alcotest.test_case "partition shields filter budgets" `Quick
+            test_net_filter_partition_overlap;
           Alcotest.test_case "filters" `Quick test_net_filters;
           Alcotest.test_case "exhausted filter pruned" `Quick
             test_net_filter_exhausted_pruned;
