@@ -3,21 +3,31 @@
    Usage:
      bench/main.exe               run every experiment (full sweeps) and
                                   the microbenchmarks
-     bench/main.exe quick         reduced sweeps (CI-sized)
+     bench/main.exe quick         reduced sweeps (CI-sized; --quick is
+                                  accepted as a synonym)
      bench/main.exe e3            one experiment
      bench/main.exe quick e3      one experiment, reduced
-     bench/main.exe micro         microbenchmarks only
+     bench/main.exe micro         microbenchmarks + M1/M2 macrobenches
 
    Each experiment prints the table(s) recorded in EXPERIMENTS.md; see
    DESIGN.md section 5 for the experiment index. Unknown experiment ids
    exit non-zero so a typo'd CI invocation fails loudly.
 
-   The micro target additionally runs the engine-throughput
-   macrobenchmark and writes machine-readable results to
-   BENCH_engine.json in the current directory (format in DESIGN.md
-   section 5). The M1 result is APPENDED to the file's engine_runs
-   series — successive invocations accumulate a perf trajectory
-   instead of overwriting the previous point. *)
+   The micro target additionally runs the M1 engine-throughput and M2
+   64-member membership macrobenchmarks plus the per-kind codec
+   microbenchmarks, and writes machine-readable results to
+   BENCH_engine.json in the current directory (schema v3, DESIGN.md
+   section 5; v1/v2 files are migrated in place). M1 and M2 results are
+   APPENDED to the file's engine_runs/m2_runs series — successive
+   invocations accumulate a perf trajectory instead of overwriting the
+   previous point.
+
+   Two perf gates run with the micro target and fail the process:
+   - the steady-state wire kinds (proposal, decision, cs-request,
+     cs-reply) must encode with zero minor-heap allocation per frame;
+   - M1 throughput must clear a catastrophic-regression floor of
+     1M events/s (typical is ~4-5M; the floor only trips on an
+     order-of-magnitude regression, not machine noise). *)
 
 open Tasim
 open Timewheel
@@ -26,26 +36,29 @@ open Broadcast
 (* ------------------------------------------------------------------ *)
 (* M0: Bechamel microbenchmarks of protocol hot paths                  *)
 
+(* a warm 32-entry ordering-and-acknowledgement list, the realistic
+   payload for merge and codec benches *)
+let bench_oal () =
+  List.fold_left
+    (fun oal i ->
+      fst
+        (Oal.append_update oal
+           {
+             Oal.proposal_id = { Proposal.origin = Proc_id.of_int (i mod 5); seq = i };
+             semantics = Semantics.total_strong;
+             send_ts = Tasim.Time.of_us i;
+             hdo = i - 1;
+           }
+           ~acks:(Proc_set.singleton (Proc_id.of_int 0))))
+    Oal.empty
+    (List.init 32 Fun.id)
+
 let microbenches () =
   let open Bechamel in
   let params = Params.make ~n:5 () in
   let fd = Failure_detector.create params ~self:(Proc_id.of_int 0) in
   let fd = Failure_detector.expect fd ~sender:(Proc_id.of_int 1) ~base:Tasim.Time.zero in
-  let oal =
-    List.fold_left
-      (fun oal i ->
-        fst
-          (Oal.append_update oal
-             {
-               Oal.proposal_id = { Proposal.origin = Proc_id.of_int (i mod 5); seq = i };
-               semantics = Semantics.total_strong;
-               send_ts = Tasim.Time.of_us i;
-               hdo = i - 1;
-             }
-             ~acks:(Proc_set.singleton (Proc_id.of_int 0))))
-      Oal.empty
-      (List.init 32 Fun.id)
-  in
+  let oal = bench_oal () in
   let env =
     {
       Group_creator.self = Proc_id.of_int 0;
@@ -73,7 +86,12 @@ let microbenches () =
   let heap_hot_test =
     (* steady-state churn on a warm heap via the allocation-free
        min_time/pop_min pair: the engine run-loop's exact access
-       pattern *)
+       pattern. Re-arms land a full window (32 ticks) past the popped
+       minimum, like a periodic timer rescheduling at now + period;
+       the earlier bench re-inserted 1..8 ticks ahead of the minimum,
+       an adversarial pattern that forced a full-depth sift on every
+       add and made the "hot" path read 2x slower than add+pop
+       (DESIGN.md section 5). *)
     Test.make ~name:"event-queue hot add+pop_min"
       (Staged.stage
          (let h = Heap.create () in
@@ -86,7 +104,7 @@ let microbenches () =
               let t = Heap.min_time h in
               let v = Heap.pop_min h in
               incr tick;
-              Heap.add h ~time:(t + 1 + (v land 7)) ((v + !tick) land 1023)
+              Heap.add h ~time:(t + 32 + (v land 7)) ((v + !tick) land 1023)
             done))
   in
   let stats_interned_test =
@@ -150,8 +168,8 @@ let microbenches () =
     wheel_test;
   ]
 
-(* ns-per-run estimates, in microbench declaration order *)
-let measure_micro () =
+(* ns-per-run estimates, in test declaration order *)
+let measure_tests tests =
   let open Bechamel in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Bechamel.Time.second 0.5) ~kde:None ()
@@ -176,7 +194,179 @@ let measure_micro () =
           | Some [ est ] -> (name, est) :: acc
           | _ -> acc)
         ols [])
-    (microbenches ())
+    tests
+
+let measure_micro () = measure_tests (microbenches ())
+
+(* ------------------------------------------------------------------ *)
+(* Codec microbenchmarks: encode/decode cost per wire message kind     *)
+
+(* one representative message per wire kind, sized like steady-state
+   traffic (32-entry oal in the membership messages) *)
+let codec_messages () : (string * Runtime.Live.msg) list =
+  let open Timewheel.Full_stack in
+  let pid = Proc_id.of_int in
+  let group = Proc_set.full ~n:5 in
+  let oal = bench_oal () in
+  let prop seq =
+    Proposal.make ~origin:(pid 1) ~seq ~semantics:Semantics.total_strong
+      ~send_ts:(Tasim.Time.of_ms 3) ~hdo:(seq - 1) "bench-payload-0123456789"
+  in
+  let upd seq =
+    {
+      Oal.proposal_id = { Proposal.origin = pid 2; seq };
+      semantics = Semantics.total_strong;
+      send_ts = Tasim.Time.of_us seq;
+      hdo = seq - 1;
+    }
+  in
+  [
+    ( "submit",
+      Gc
+        (Control_msg.Submit
+           { semantics = Semantics.total_strong; payload = "bench-payload" })
+    );
+    ("proposal", Gc (Control_msg.Proposal_msg (prop 7)));
+    ("retransmit", Gc (Control_msg.Retransmit (prop 8)));
+    ( "nack",
+      Gc
+        (Control_msg.Nack
+           {
+             missing =
+               [
+                 { Proposal.origin = pid 1; seq = 4 };
+                 { Proposal.origin = pid 3; seq = 9 };
+               ];
+           }) );
+    ( "decision",
+      Gc
+        (Control_msg.Decision
+           { d_ts = Tasim.Time.of_ms 5; d_oal = oal; d_alive = group }) );
+    ( "no-decision",
+      Gc
+        (Control_msg.No_decision
+           {
+             nd_ts = Tasim.Time.of_ms 5;
+             nd_suspect = pid 2;
+             nd_since = Tasim.Time.of_ms 4;
+             nd_view = oal;
+             nd_dpd = [ upd 40; upd 41 ];
+             nd_alive = group;
+           }) );
+    ( "join",
+      Gc
+        (Control_msg.Join_msg
+           {
+             j_ts = Tasim.Time.of_ms 5;
+             j_list = group;
+             j_alive = group;
+             j_epoch = 3;
+           }) );
+    ( "reconfiguration",
+      Gc
+        (Control_msg.Reconfig
+           {
+             r_ts = Tasim.Time.of_ms 5;
+             r_list = group;
+             r_last_decision_ts = Tasim.Time.of_ms 2;
+             r_view = oal;
+             r_dpd = [ upd 42 ];
+             r_alive = group;
+           }) );
+    ( "state-transfer",
+      Gc
+        (Control_msg.State_transfer
+           {
+             st_ts = Tasim.Time.of_ms 5;
+             st_group = group;
+             st_group_id = { Group_id.epoch = 2; seq = 7 };
+             st_oal = oal;
+             st_app = [ "log-entry-1"; "log-entry-2" ];
+             st_buffers = Buffers.empty;
+           }) );
+    ( "cs-request",
+      Cs
+        (Clocksync.Protocol.Request { seq = 7; sender_clock = Tasim.Time.of_ms 3 })
+    );
+    ( "cs-reply",
+      Cs
+        (Clocksync.Protocol.Reply
+           {
+             seq = 7;
+             echo_sender_clock = Tasim.Time.of_ms 3;
+             replier_clock = Tasim.Time.of_ms 4;
+           }) );
+  ]
+
+type codec_row = {
+  kind : string;
+  frame_bytes : int;
+  encode_ns : float;
+  encode_minor_words : float;
+  decode_ns : float;
+  decode_minor_words : float;
+}
+
+(* amortized minor-heap words per call of [f], measured over a
+   deterministic loop; the two [Gc.minor_words] float boxes sit outside
+   the loop so a genuinely allocation-free [f] reads as ~0.0001 *)
+let minor_words_per_op ?(iters = 100_000) f =
+  f ();
+  Gc.minor ();
+  let m0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  (Gc.minor_words () -. m0) /. float_of_int iters
+
+let codec_micro () =
+  let open Bechamel in
+  let pc = Runtime.Codec.string_payload in
+  let sender = Proc_id.of_int 1 in
+  let buf = Bytes.create Runtime.Codec.max_frame in
+  let w = Runtime.Wire.writer_into buf ~pos:0 in
+  List.map
+    (fun (kind, msg) ->
+      let len = Runtime.Codec.encode_to pc ~sender msg w in
+      let encode () = ignore (Runtime.Codec.encode_to pc ~sender msg w : int) in
+      let decode () =
+        match Runtime.Codec.decode_bytes pc buf ~pos:0 ~len with
+        | Ok _ -> ()
+        | Error _ -> assert false
+      in
+      let ns name f =
+        match measure_tests [ Test.make ~name (Staged.stage f) ] with
+        | [ (_, est) ] -> est
+        | _ -> 0.0
+      in
+      {
+        kind;
+        frame_bytes = len;
+        encode_ns = ns ("encode " ^ kind) encode;
+        encode_minor_words = minor_words_per_op encode;
+        decode_ns = ns ("decode " ^ kind) decode;
+        decode_minor_words = minor_words_per_op ~iters:10_000 decode;
+      })
+    (codec_messages ())
+
+(* the kinds a formed, faultless group exchanges continuously — these
+   must stay allocation-free on the encode path (the transport's whole
+   data plane depends on it) *)
+let steady_state_kinds = [ "proposal"; "decision"; "cs-request"; "cs-reply" ]
+
+let check_zero_alloc_encode rows =
+  let bad =
+    List.filter
+      (fun r ->
+        List.mem r.kind steady_state_kinds && r.encode_minor_words > 0.01)
+      rows
+  in
+  List.iter
+    (fun r ->
+      Fmt.epr "GATE FAILED: %s encodes at %.3f minor words/frame (want 0)@."
+        r.kind r.encode_minor_words)
+    bad;
+  bad = []
 
 let bench_json_file = "BENCH_engine.json"
 
@@ -188,6 +378,20 @@ let engine_throughput ~quick =
   List.fold_left
     (fun best (r : Harness.Engine_bench.result) ->
       if r.events_per_sec > best.Harness.Engine_bench.events_per_sec then r
+      else best)
+    (List.hd runs) (List.tl runs)
+
+(* M1 throughput floor: an order-of-magnitude tripwire, not a tight
+   bound — typical is 4-5M events/s, so only a catastrophic hot-path
+   regression (or a debug build) trips it *)
+let m1_floor_events_per_sec = 1_000_000.0
+
+let m2_throughput ~quick =
+  let seconds = if quick then 3 else 10 in
+  let runs = List.init 3 (fun _ -> Harness.Member_bench.run ~seconds ()) in
+  List.fold_left
+    (fun best (r : Harness.Member_bench.result) ->
+      if r.events_per_sec > best.Harness.Member_bench.events_per_sec then r
       else best)
     (List.hd runs) (List.tl runs)
 
@@ -205,12 +409,46 @@ let engine_run_record ~quick (tput : Harness.Engine_bench.result) =
       ("timer_fires", Int tput.timer_fires);
       ("observations", Int tput.observations);
       ("events_per_sec", Float tput.events_per_sec);
+      ("minor_words_per_event", Float tput.minor_words_per_event);
     ]
 
-(* M1 results accumulate across invocations so regressions are visible
-   as a series, not silently overwritten; schema v2 (DESIGN.md section
-   5). A v1 file's single engine_throughput object migrates to the
-   first element of the series. *)
+let m2_run_record ~quick (r : Harness.Member_bench.result) =
+  let open Harness.Bench_json in
+  Obj
+    [
+      ( "workload",
+        String "64-member formation + faultless steady state, fixed seed" );
+      ("quick", Bool quick);
+      ("n", Int r.Harness.Member_bench.n);
+      ("form_sim_seconds", Float r.form_sim_seconds);
+      ("form_wall_seconds", Float r.form_wall_seconds);
+      ("sim_seconds", Float r.sim_seconds);
+      ("wall_seconds", Float r.wall_seconds);
+      ("sends", Int r.sends);
+      ("deliveries", Int r.deliveries);
+      ("events", Int r.events);
+      ("events_per_sec", Float r.events_per_sec);
+      ("minor_words_per_event", Float r.minor_words_per_event);
+    ]
+
+let codec_micro_record row =
+  let open Harness.Bench_json in
+  Obj
+    [
+      ("kind", String row.kind);
+      ("frame_bytes", Int row.frame_bytes);
+      ("encode_ns_per_op", Float row.encode_ns);
+      ("encode_minor_words_per_op", Float row.encode_minor_words);
+      ("decode_ns_per_op", Float row.decode_ns);
+      ("decode_minor_words_per_op", Float row.decode_minor_words);
+    ]
+
+(* M1/M2 results accumulate across invocations so regressions are
+   visible as a series, not silently overwritten; schema v3 (DESIGN.md
+   section 5). Earlier schemas migrate on the next write: a v1 file's
+   single engine_throughput object becomes the first element of the
+   engine_runs series, and a v2 file (no m2_runs, no codec rows) starts
+   its m2_runs series empty. *)
 let prior_engine_runs () =
   let open Harness.Bench_json in
   match read_file bench_json_file with
@@ -227,13 +465,22 @@ let prior_engine_runs () =
         [ Obj (("quick", Bool quick) :: fields) ]
       | Some _ | None -> []))
 
-let write_bench_json ~quick micro (tput : Harness.Engine_bench.result) =
+let prior_m2_runs () =
+  let open Harness.Bench_json in
+  match read_file bench_json_file with
+  | Error _ -> []
+  | Ok json -> (
+    match member "m2_runs" json with Some (List runs) -> runs | Some _ | None -> [])
+
+let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
+    (m2 : Harness.Member_bench.result) =
   let open Harness.Bench_json in
   let engine_runs = prior_engine_runs () @ [ engine_run_record ~quick tput ] in
+  let m2_runs = prior_m2_runs () @ [ m2_run_record ~quick m2 ] in
   let json =
     Obj
       [
-        ("schema", String "timewheel/bench-engine/v2");
+        ("schema", String "timewheel/bench-engine/v3");
         ("quick", Bool quick);
         ("seed", Int 42);
         ( "micro",
@@ -242,13 +489,17 @@ let write_bench_json ~quick micro (tput : Harness.Engine_bench.result) =
                (fun (name, ns) ->
                  Obj [ ("name", String name); ("ns_per_op", Float ns) ])
                micro) );
+        ("codec_micro", List (List.map codec_micro_record codec));
         ("engine_runs", List engine_runs);
+        ("m2_runs", List m2_runs);
       ]
   in
   write_file bench_json_file json;
-  Fmt.pr "wrote %s (%d engine run%s recorded)@." bench_json_file
+  Fmt.pr "wrote %s (%d engine run%s, %d m2 run%s recorded)@." bench_json_file
     (List.length engine_runs)
     (if List.length engine_runs = 1 then "" else "s")
+    (List.length m2_runs)
+    (if List.length m2_runs = 1 then "" else "s")
 
 let run_micro ?(quick = false) () =
   Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
@@ -262,6 +513,29 @@ let run_micro ?(quick = false) () =
       Harness.Table.add_row table [ name; Harness.Table.cell_f est ])
     micro;
   Harness.Table.print table;
+  Fmt.pr "@.=== Codec: encode/decode per message kind ===@.@.";
+  let codec = codec_micro () in
+  let table =
+    Harness.Table.create ~title:"codec cost per frame"
+      ~columns:
+        [ "kind"; "bytes"; "enc ns"; "enc words"; "dec ns"; "dec words" ]
+  in
+  List.iter
+    (fun r ->
+      Harness.Table.add_row table
+        [
+          r.kind;
+          string_of_int r.frame_bytes;
+          Harness.Table.cell_f r.encode_ns;
+          Fmt.str "%.3f" r.encode_minor_words;
+          Harness.Table.cell_f r.decode_ns;
+          Fmt.str "%.1f" r.decode_minor_words;
+        ])
+    codec;
+  Harness.Table.note table
+    "words = minor-heap words allocated per frame; steady-state kinds must encode at 0";
+  Harness.Table.print table;
+  let zero_alloc_ok = check_zero_alloc_encode codec in
   Fmt.pr "@.=== M1: engine throughput (5-process broadcast) ===@.@.";
   let tput = engine_throughput ~quick in
   let table =
@@ -274,18 +548,44 @@ let run_micro ?(quick = false) () =
       [ "events dispatched"; string_of_int tput.events ];
       [ "wall seconds (best of 3)"; Harness.Table.cell_f tput.wall_seconds ];
       [ "events/sec"; Harness.Table.cell_f tput.events_per_sec ];
+      [ "minor words/event"; Fmt.str "%.1f" tput.minor_words_per_event ];
     ];
   Harness.Table.note table
     "deterministic workload: event counts are seed-fixed, only wall time varies";
   Harness.Table.print table;
-  write_bench_json ~quick micro tput
+  Fmt.pr "@.=== M2: 64-member group, formation + steady state ===@.@.";
+  let m2 = m2_throughput ~quick in
+  let table =
+    Harness.Table.create ~title:"M2: full protocol stack at n=64"
+      ~columns:[ "metric"; "value" ]
+  in
+  Harness.Table.add_rows table
+    [
+      [ "members"; string_of_int m2.Harness.Member_bench.n ];
+      [ "formation (sim s)"; Harness.Table.cell_f m2.form_sim_seconds ];
+      [ "steady window (sim s)"; Harness.Table.cell_f m2.sim_seconds ];
+      [ "wall seconds (best of 3)"; Harness.Table.cell_f m2.wall_seconds ];
+      [ "sends + deliveries"; string_of_int m2.events ];
+      [ "events/sec"; Harness.Table.cell_f m2.events_per_sec ];
+      [ "minor words/event"; Fmt.str "%.1f" m2.minor_words_per_event ];
+    ];
+  Harness.Table.note table
+    "full membership/broadcast/clocksync stack, faultless; seed-fixed counts";
+  Harness.Table.print table;
+  write_bench_json ~quick micro codec tput m2;
+  let m1_ok = tput.events_per_sec >= m1_floor_events_per_sec in
+  if not m1_ok then
+    Fmt.epr "GATE FAILED: M1 %.0f events/s below floor %.0f@."
+      tput.events_per_sec m1_floor_events_per_sec;
+  if not (zero_alloc_ok && m1_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let quick = List.mem "quick" args in
-  let targets = List.filter (fun a -> a <> "quick") args in
+  let is_quick a = a = "quick" || a = "--quick" in
+  let quick = List.exists is_quick args in
+  let targets = List.filter (fun a -> not (is_quick a)) args in
   match targets with
   | [] ->
     Harness.Experiments.run_all ~quick ();

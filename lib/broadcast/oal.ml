@@ -21,6 +21,15 @@ type entry = {
 
 module Imap = Map.Make (Int)
 
+module Idmap = Map.Make (struct
+  type t = Proposal.id
+
+  let compare (a : Proposal.id) (b : Proposal.id) =
+    match Proc_id.compare a.Proposal.origin b.Proposal.origin with
+    | 0 -> Int.compare a.Proposal.seq b.Proposal.seq
+    | c -> c
+end)
+
 type t = {
   entries : entry Imap.t;
   low : int;
@@ -29,22 +38,50 @@ type t = {
       (* newest membership: (ordinal, group, group id) — kept as a
          field so the descriptor entry itself can be purged once
          stable *)
+  index : int Idmap.t;
+      (* proposal id -> ordinal of its update descriptor, so
+         [find_update]/[mem_update]/[ack_update] — the retransmission
+         and acknowledgement hot paths — do one map lookup instead of
+         a full scan of the list. Lookups verify the target entry still
+         carries the id (merges of adversarial wire data could shadow a
+         mapping) and fall back to the scan, so the index is purely an
+         accelerator and never changes observable behavior. *)
 }
 
-let empty = { entries = Imap.empty; low = 0; next_ordinal = 0; current = None }
+let empty =
+  {
+    entries = Imap.empty;
+    low = 0;
+    next_ordinal = 0;
+    current = None;
+    index = Idmap.empty;
+  }
+
 let low t = t.low
 let next_ordinal t = t.next_ordinal
 let entries t = List.map snd (Imap.bindings t.entries)
+let iter_entries t f = Imap.iter (fun _ e -> f e) t.entries
+
+(* the callback goes to the map unwrapped, so a statically allocated
+   callback makes the traversal allocation-free (codec send path) *)
+let iter_entries_ord t f = Imap.iter f t.entries
 let cardinal t = Imap.cardinal t.entries
 let is_empty t = Imap.is_empty t.entries
+
+let index_body index ordinal = function
+  | Update info -> Idmap.add info.proposal_id ordinal index
+  | Membership _ -> index
 
 let append t body ~acks =
   let ordinal = t.next_ordinal in
   let entry =
     { ordinal; body; acks; undeliverable = false; known_stable = false }
   in
-  ( { t with entries = Imap.add ordinal entry t.entries;
-      next_ordinal = ordinal + 1 },
+  ( { t with
+      entries = Imap.add ordinal entry t.entries;
+      next_ordinal = ordinal + 1;
+      index = index_body t.index ordinal body;
+    },
     ordinal )
 
 let append_update t info ~acks = append t (Update info) ~acks
@@ -56,7 +93,7 @@ let append_membership t ~group ~group_id =
 
 let entry_at t ordinal = Imap.find_opt ordinal t.entries
 
-let find_update t id =
+let scan_update t id =
   Imap.fold
     (fun _ e acc ->
       match acc with
@@ -66,6 +103,23 @@ let find_update t id =
         | Update info when Proposal.id_equal info.proposal_id id -> Some e
         | Update _ | Membership _ -> None))
     t.entries None
+
+let find_update t id =
+  match Idmap.find_opt id t.index with
+  | Some ordinal -> (
+    match Imap.find_opt ordinal t.entries with
+    | Some ({ body = Update info; _ } as e)
+      when Proposal.id_equal info.proposal_id id ->
+      Some e
+    | Some _ | None ->
+      (* stale or shadowed mapping (only reachable through merges of
+         ill-formed wire lists) — answer exactly as the scan would *)
+      scan_update t id)
+  | None ->
+    (* the index maps every update id present in the entries (append,
+       merge and of_wire all maintain it; purge removes exactly the
+       purged entry's mapping), so a miss means the id is absent *)
+    None
 
 let mem_update t id = Option.is_some (find_update t id)
 
@@ -118,10 +172,24 @@ let purge_stable t ~delivered =
     | Update _ -> delivered e.ordinal || e.undeliverable
     | Membership _ -> true
   in
+  let unindex index (e : entry) =
+    match e.body with
+    | Update info -> (
+      match Idmap.find_opt info.proposal_id index with
+      | Some o when o = e.ordinal -> Idmap.remove info.proposal_id index
+      | Some _ | None -> index)
+    | Membership _ -> index
+  in
   let rec advance t =
     match Imap.find_opt t.low t.entries with
     | Some e when purgeable e ->
-      advance { t with entries = Imap.remove t.low t.entries; low = t.low + 1 }
+      advance
+        {
+          t with
+          entries = Imap.remove t.low t.entries;
+          low = t.low + 1;
+          index = unindex t.index e;
+        }
     | Some _ | None -> t
   in
   advance t
@@ -157,12 +225,17 @@ let of_wire w =
     match build (w.w_low - 1) Imap.empty w.w_entries with
     | Error _ as e -> e
     | Ok entries ->
+      let index =
+        Imap.fold (fun ordinal e acc -> index_body acc ordinal e.body) entries
+          Idmap.empty
+      in
       Ok
         {
           entries;
           low = w.w_low;
           next_ordinal = w.w_next_ordinal;
           current = w.w_latest;
+          index;
         }
 
 let mark_undeliverable t id =
@@ -181,31 +254,50 @@ let undeliverable_ids t =
   |> List.rev
 
 let merge ~local ~incoming =
-  (* local entries below the incoming purge frontier are known stable *)
+  (* local entries below the incoming purge frontier are known stable.
+     Local entries all have ordinal >= local.low (purging drops them),
+     so when the incoming frontier is not ahead of ours no local entry
+     qualifies and the rebuild is skipped — the common steady-state
+     case where decider and receiver purge in lockstep. *)
   let entries =
-    Imap.mapi
-      (fun ordinal e ->
-        if ordinal < incoming.low then { e with known_stable = true } else e)
-      local.entries
+    if incoming.low <= local.low then local.entries
+    else
+      Imap.mapi
+        (fun ordinal e ->
+          if ordinal < incoming.low then { e with known_stable = true } else e)
+        local.entries
+  in
+  (* merge-path indexing: in steady state the incoming entries repeat
+     what local already holds, so check before rebuilding O(log k) of
+     index spine per entry; the add still runs whenever the merged
+     entry's id is new or moved, keeping the index complete *)
+  let index_merged index ordinal = function
+    | Update info -> (
+      match Idmap.find_opt info.proposal_id index with
+      | Some o when o = ordinal -> index
+      | Some _ | None -> Idmap.add info.proposal_id ordinal index)
+    | Membership _ -> index
   in
   (* incoming entries are authoritative from incoming.low upwards *)
-  let entries =
+  let entries, index =
     Imap.fold
-      (fun ordinal inc acc ->
-        if ordinal < local.low then acc
+      (fun ordinal inc (acc, index) ->
+        if ordinal < local.low then (acc, index)
         else
+          let index = index_merged index ordinal inc.body in
           match Imap.find_opt ordinal acc with
-          | None -> Imap.add ordinal inc acc
+          | None -> (Imap.add ordinal inc acc, index)
           | Some mine ->
-            Imap.add ordinal
-              {
-                inc with
-                acks = Proc_set.union mine.acks inc.acks;
-                undeliverable = mine.undeliverable || inc.undeliverable;
-                known_stable = mine.known_stable || inc.known_stable;
-              }
-              acc)
-      incoming.entries entries
+            ( Imap.add ordinal
+                {
+                  inc with
+                  acks = Proc_set.union mine.acks inc.acks;
+                  undeliverable = mine.undeliverable || inc.undeliverable;
+                  known_stable = mine.known_stable || inc.known_stable;
+                }
+                acc,
+              index ))
+      incoming.entries (entries, local.index)
   in
   let current =
     match (local.current, incoming.current) with
@@ -220,6 +312,7 @@ let merge ~local ~incoming =
     low = local.low;
     next_ordinal = max local.next_ordinal incoming.next_ordinal;
     current;
+    index;
   }
 
 let body_equal a b =

@@ -50,6 +50,17 @@ val next_ordinal : t -> int
 val entries : t -> entry list
 (** In increasing ordinal order. *)
 
+val iter_entries : t -> (entry -> unit) -> unit
+(** Apply a function to every entry in increasing ordinal order,
+    without materializing the list — the serialization and recovery
+    hot paths' allocation-free traversal. *)
+
+val iter_entries_ord : t -> (int -> entry -> unit) -> unit
+(** Like {!iter_entries} with the ordinal passed first. The callback
+    reaches the underlying map unwrapped, so passing a statically
+    allocated function costs zero heap words per call — the live
+    codec's per-datagram encode depends on this. *)
+
 val cardinal : t -> int
 val is_empty : t -> bool
 

@@ -44,6 +44,14 @@ let pp_obs pp_payload ppf = function
   | Stable { proposal_id; ordinal } ->
     Fmt.pf ppf "stable(%a ord=%d)" Proposal.pp_id proposal_id ordinal
 
+(* Reused per-call working storage for [recover_missing]; indexed by
+   holder proc id, always left empty between calls. Shared by every
+   functional copy of the state — it carries no state across calls. *)
+type scratch = {
+  sc_ids : Proposal.id list array; (* per holder, newest first *)
+  mutable sc_holders : int list; (* dirty slots, reverse touch order *)
+}
+
 type 'u state = {
   cfg : config;
   self : Proc_id.t;
@@ -54,6 +62,7 @@ type 'u state = {
   next_seq : int;
   decider : bool;
   stable_seen : int; (* ordinals < stable_seen already reported stable *)
+  scratch : scratch;
 }
 
 let timer_decide = 10
@@ -121,6 +130,7 @@ let init cfg ~self ~n ~clock ~incarnation:_ =
       next_seq = 0;
       decider = Proc_id.equal self (Proc_id.of_int 0);
       stable_seen = 0;
+      scratch = { sc_ids = Array.make n []; sc_holders = [] };
     }
   in
   let effects =
@@ -184,32 +194,29 @@ let send_decision s ~clock =
 (* Find, for each missing proposal, a holder proven by the oal acks and
    ask it to retransmit. *)
 let recover_missing s =
-  let missing =
-    List.filter_map
-      (fun e ->
-        match e.Oal.body with
-        | Oal.Update info
-          when (not (Buffers.received s.buffers info.Oal.proposal_id))
-               && not e.Oal.undeliverable ->
-          Some (info.Oal.proposal_id, e.Oal.acks)
-        | Oal.Update _ | Oal.Membership _ -> None)
-      (Oal.entries s.oal)
+  let sc = s.scratch in
+  Oal.iter_entries s.oal (fun e ->
+      match e.Oal.body with
+      | Oal.Update info
+        when (not (Buffers.received s.buffers info.Oal.proposal_id))
+             && not e.Oal.undeliverable -> (
+        match Proc_set.successor_in e.Oal.acks s.self ~n:s.n with
+        | Some holder ->
+          let hi = Proc_id.to_int holder in
+          if sc.sc_ids.(hi) = [] then sc.sc_holders <- hi :: sc.sc_holders;
+          sc.sc_ids.(hi) <- info.Oal.proposal_id :: sc.sc_ids.(hi)
+        | None -> ())
+      | Oal.Update _ | Oal.Membership _ -> ());
+  let effs =
+    List.fold_left
+      (fun acc hi ->
+        let ids = sc.sc_ids.(hi) in
+        sc.sc_ids.(hi) <- [];
+        Engine.Send (Proc_id.of_int hi, Nack { missing = List.rev ids }) :: acc)
+      [] sc.sc_holders
   in
-  let by_holder = Hashtbl.create 4 in
-  List.iter
-    (fun (id, acks) ->
-      match Proc_set.successor_in acks s.self ~n:s.n with
-      | Some holder ->
-        let prev =
-          try Hashtbl.find by_holder holder with Not_found -> []
-        in
-        Hashtbl.replace by_holder holder (id :: prev)
-      | None -> ())
-    missing;
-  Hashtbl.fold
-    (fun holder ids acc ->
-      Engine.Send (holder, Nack { missing = List.rev ids }) :: acc)
-    by_holder []
+  sc.sc_holders <- [];
+  effs
 
 let on_receive_decision s ~clock ~src ~ts:_ ~oal =
   let s = { s with oal = Oal.merge ~local:s.oal ~incoming:oal } in

@@ -75,6 +75,17 @@ type reconfig_info = {
 
 type alive_info = { ai_ts : Time.t; ai_alive : Proc_set.t }
 
+(* Per-call working storage for [recover_missing], hoisted so the
+   surveillance-driven recovery path allocates no fresh table per call.
+   The arrays are indexed by holder proc id; [sc_holders] lists the
+   dirty slots in reverse touch order. Always left empty between calls.
+   The scratch is shared by every functional copy of the state — it
+   carries no state across calls, so sharing is safe. *)
+type scratch = {
+  sc_ids : Proposal.id list array; (* per holder, newest first *)
+  mutable sc_holders : int list;
+}
+
 type ('u, 'app) state = {
   cfg : ('u, 'app) config;
   self : Proc_id.t;
@@ -100,6 +111,7 @@ type ('u, 'app) state = {
   alive_views : alive_info Pmap.t;
   pending_new_group : (Group_id.t * Proc_set.t * Proc_set.t) option;
       (* excluded while in n-failure: (group_id, group, members heard) *)
+  scratch : scratch;
 }
 
 type ('u, 'app) eff = (('u, 'app) C.t, 'u obs) Engine.effect
@@ -202,38 +214,41 @@ let deliver s ~clock : ('u, 'app) state * ('u, 'app) eff list =
   end
 
 (* Negative acknowledgements for updates the oal proves exist but we
-   never received: ask the ring-wise closest acknowledged holder. *)
+   never received: ask the ring-wise closest acknowledged holder.
+   Missing updates are batched per holder in the reused scratch arrays
+   (one slot per process) instead of a per-call hash table, and the
+   oal is walked directly instead of materializing a missing-list. *)
 let recover_missing s : ('u, 'app) eff list =
-  let missing =
-    List.filter_map
-      (fun e ->
-        match e.Oal.body with
-        | Oal.Update info
-          when (not (Buffers.received s.buffers info.Oal.proposal_id))
-               && not e.Oal.undeliverable ->
-          Some (info.Oal.proposal_id, e.Oal.acks)
-        | Oal.Update _ | Oal.Membership _ -> None)
-      (Oal.entries s.oal)
+  let sc = s.scratch in
+  Oal.iter_entries s.oal (fun e ->
+      match e.Oal.body with
+      | Oal.Update info
+        when (not (Buffers.received s.buffers info.Oal.proposal_id))
+             && not e.Oal.undeliverable -> (
+        (* ask a holder that is still a group member; an acknowledged
+           departed process can no longer retransmit *)
+        let holders =
+          let members = Proc_set.inter e.Oal.acks s.group in
+          if Proc_set.is_empty members then e.Oal.acks else members
+        in
+        match Proc_set.successor_in holders s.self ~n:s.n with
+        | Some holder ->
+          let hi = Proc_id.to_int holder in
+          if sc.sc_ids.(hi) = [] then sc.sc_holders <- hi :: sc.sc_holders;
+          sc.sc_ids.(hi) <- info.Oal.proposal_id :: sc.sc_ids.(hi)
+        | None -> ())
+      | Oal.Update _ | Oal.Membership _ -> ());
+  let effs =
+    List.fold_left
+      (fun acc hi ->
+        let ids = sc.sc_ids.(hi) in
+        sc.sc_ids.(hi) <- [];
+        Engine.Send (Proc_id.of_int hi, C.Nack { missing = List.rev ids })
+        :: acc)
+      [] sc.sc_holders
   in
-  let by_holder = Hashtbl.create 4 in
-  List.iter
-    (fun (id, acks) ->
-      (* ask a holder that is still a group member; an acknowledged
-         departed process can no longer retransmit *)
-      let holders =
-        let members = Proc_set.inter acks s.group in
-        if Proc_set.is_empty members then acks else members
-      in
-      match Proc_set.successor_in holders s.self ~n:s.n with
-      | Some holder ->
-        let prev = try Hashtbl.find by_holder holder with Not_found -> [] in
-        Hashtbl.replace by_holder holder (id :: prev)
-      | None -> ())
-    missing;
-  Hashtbl.fold
-    (fun holder ids acc ->
-      Engine.Send (holder, C.Nack { missing = List.rev ids }) :: acc)
-    by_holder []
+  sc.sc_holders <- [];
+  effs
 
 let housekeeping_oal s =
   let oal = Oal.refresh_stability s.oal ~group:s.group in
@@ -1223,6 +1238,7 @@ let init cfg ~self ~n ~clock ~incarnation:_ =
       peer_views = Pmap.empty;
       alive_views = Pmap.empty;
       pending_new_group = None;
+      scratch = { sc_ids = Array.make n []; sc_holders = [] };
     }
   in
   (* act in the current slot if it is ours, and arm the next one *)

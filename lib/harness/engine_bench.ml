@@ -9,6 +9,7 @@ type result = {
   observations : int;
   events : int;
   events_per_sec : float;
+  minor_words_per_event : float;
 }
 
 let n = 5
@@ -53,9 +54,12 @@ let run ?(seconds = 10) ?(seed = 42) () =
   List.iter
     (fun id -> Engine.add_process engine id a ~clock:Engine.ideal_clock ())
     (Proc_id.all ~n);
+  Gc.minor ();
+  let m0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   Engine.run engine ~until:(Time.of_sec seconds);
   let wall = Unix.gettimeofday () -. t0 in
+  let m1 = Gc.minor_words () in
   let stats = Engine.stats engine in
   let total prefix =
     let lp = String.length prefix in
@@ -78,4 +82,6 @@ let run ?(seconds = 10) ?(seed = 42) () =
     observations = !observations;
     events;
     events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    minor_words_per_event =
+      (if events > 0 then (m1 -. m0) /. float_of_int events else 0.0);
   }

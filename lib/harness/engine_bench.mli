@@ -19,6 +19,8 @@ type result = {
   observations : int;
   events : int;  (** sends + deliveries + timer fires *)
   events_per_sec : float;  (** events / wall_seconds *)
+  minor_words_per_event : float;
+      (** minor-heap allocation per event over the run *)
 }
 
 val run : ?seconds:int -> ?seed:int -> unit -> result

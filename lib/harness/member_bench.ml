@@ -1,0 +1,58 @@
+open Tasim
+
+type result = {
+  n : int;
+  form_sim_seconds : float;
+  form_wall_seconds : float;
+  sim_seconds : float;
+  wall_seconds : float;
+  sends : int;
+  deliveries : int;
+  events : int;
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+let total counters prefix =
+  let lp = String.length prefix in
+  List.fold_left
+    (fun acc (name, v) ->
+      if String.length name >= lp && String.sub name 0 lp = prefix then acc + v
+      else acc)
+    0 counters
+
+let run ?(n = 64) ?(seconds = 3) ?(seed = 42) () =
+  let svc = Run.service ~seed ~n () in
+  let w0 = Unix.gettimeofday () in
+  let svc = Run.settle svc in
+  let form_wall = Unix.gettimeofday () -. w0 in
+  let form_sim = Time.to_sec_f (Timewheel.Service.now svc) in
+  (* steady state: the formed group rotating deciders, syncing clocks,
+     exchanging proposals/decisions — no faults, no membership churn *)
+  let before = Run.counters_snapshot svc in
+  let until =
+    Time.add (Timewheel.Service.now svc) (Time.of_sec seconds)
+  in
+  Gc.minor ();
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Timewheel.Service.run svc ~until;
+  let wall = Unix.gettimeofday () -. t0 in
+  let m1 = Gc.minor_words () in
+  let diff = Run.counters_diff ~before ~after:(Run.counters_snapshot svc) in
+  let sends = total diff "sent:" in
+  let deliveries = total diff "delivered:" in
+  let events = sends + deliveries in
+  {
+    n;
+    form_sim_seconds = form_sim;
+    form_wall_seconds = form_wall;
+    sim_seconds = float_of_int seconds;
+    wall_seconds = wall;
+    sends;
+    deliveries;
+    events;
+    events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    minor_words_per_event =
+      (if events > 0 then (m1 -. m0) /. float_of_int events else 0.0);
+  }

@@ -1,0 +1,27 @@
+(** M2 macrobenchmark: large-group membership steady state.
+
+    Forms an [n]-member group (default 64) under the full simulated
+    stack — membership, broadcast, clock sync — then runs [seconds] of
+    faultless steady state and reports simulator throughput
+    (sends + deliveries per wall second) and GC pressure
+    ({!Gc.minor_words} per event) over that window.
+
+    Where {!Engine_bench} (M1) measures the bare event loop with a
+    trivial automaton, this measures the protocol itself at a group
+    size where any O(n) scan per message or per-call allocation in the
+    membership hot paths dominates the profile. *)
+
+type result = {
+  n : int;
+  form_sim_seconds : float;  (** simulated time until the full view *)
+  form_wall_seconds : float;
+  sim_seconds : float;  (** steady-state window, simulated *)
+  wall_seconds : float;  (** steady-state window, wall clock *)
+  sends : int;
+  deliveries : int;
+  events : int;  (** sends + deliveries *)
+  events_per_sec : float;
+  minor_words_per_event : float;
+}
+
+val run : ?n:int -> ?seconds:int -> ?seed:int -> unit -> result

@@ -46,7 +46,24 @@ let r_proc r =
   Proc_id.of_int i
 let w_time w (t : Time.t) = Wire.int w (Time.to_us t)
 let r_time r : Time.t = Time.of_us (Wire.r_int r)
-let w_proc_set w s = Wire.list w_proc w (Proc_set.to_list s)
+(* The writer a frame is currently being encoded into. Iterating sets
+   and oal entries through statically allocated callbacks that read
+   this cell — instead of closures capturing the writer — keeps the
+   per-datagram encode at zero heap allocation. Encoding is not
+   re-entrant (one frame at a time per domain), which the runtime's
+   single-threaded node loop guarantees; [write_frame] and the encode
+   entry points set the cell. *)
+let cur_writer = ref (Wire.writer ())
+
+let iter_proc p = w_proc !cur_writer p
+
+(* count + ascending members — the same bytes [Wire.list] over
+   [Proc_set.to_list] produced, without materializing the list or
+   building a per-call closure *)
+let w_proc_set w s =
+  Wire.int w (Proc_set.cardinal s);
+  Proc_set.iter iter_proc s
+
 let r_proc_set r = Proc_set.of_list (Wire.r_list r_proc r)
 
 let w_group_id w (g : Group_id.t) =
@@ -170,12 +187,17 @@ let r_latest r =
   let group_id = r_group_id r in
   (ordinal, group, group_id)
 
+let iter_oal_entry _ordinal e = w_oal_entry !cur_writer e
+
+(* field-for-field the bytes of the [Oal.to_wire] view, but walking the
+   live structure directly: the oal rides in every decision message, so
+   its encoder is the steady-state hot path and must not allocate *)
 let w_oal w oal =
-  let wv = Oal.to_wire oal in
-  Wire.int w wv.Oal.w_low;
-  Wire.int w wv.w_next_ordinal;
-  Wire.list w_oal_entry w wv.w_entries;
-  Wire.option w_latest w wv.w_latest
+  Wire.int w (Oal.low oal);
+  Wire.int w (Oal.next_ordinal oal);
+  Wire.int w (Oal.cardinal oal);
+  Oal.iter_entries_ord oal iter_oal_entry;
+  Wire.option w_latest w (Oal.latest_membership oal)
 
 let r_oal r =
   let w_low = Wire.r_int r in
@@ -380,26 +402,41 @@ let r_msg pc r : _ Full_stack.msg =
 let magic0 = 'T'
 let magic1 = 'W'
 
-let encode pc ~sender msg =
-  let body = Wire.writer () in
-  w_msg pc body msg;
-  let body = Wire.contents body in
-  let w = Wire.writer () in
+(* header, then the body inside a length frame: single pass, no body
+   staging buffer, and byte-for-byte the format documented in the mli
+   (the length varint is never padded) *)
+let write_frame pc ~sender msg w =
+  cur_writer := w;
   Wire.byte w (Char.code magic0);
   Wire.byte w (Char.code magic1);
   Wire.byte w version;
   Wire.int w (Proc_id.to_int sender);
-  Wire.int w (String.length body);
-  let frame = Wire.contents w ^ body in
-  frame
+  let mark = Wire.begin_frame w in
+  w_msg pc w msg;
+  Wire.end_frame w mark
 
-let decode pc frame =
-  if String.length frame < 3 then Error Truncated
-  else if frame.[0] <> magic0 || frame.[1] <> magic1 then Error Bad_magic
-  else if Char.code frame.[2] <> version then
-    Error (Bad_version (Char.code frame.[2]))
+let encode pc ~sender msg =
+  let w = Wire.writer () in
+  write_frame pc ~sender msg w;
+  Wire.contents w
+
+let encode_to pc ~sender msg w =
+  Wire.reset w;
+  write_frame pc ~sender msg w;
+  Wire.pos w
+
+let encode_into pc ~sender msg buf ~pos =
+  let w = Wire.writer_into buf ~pos in
+  write_frame pc ~sender msg w;
+  Wire.pos w
+
+let decode_window pc data ~pos ~len =
+  if len < 3 then Error Truncated
+  else if data.[pos] <> magic0 || data.[pos + 1] <> magic1 then Error Bad_magic
+  else if Char.code data.[pos + 2] <> version then
+    Error (Bad_version (Char.code data.[pos + 2]))
   else begin
-    let r = Wire.reader ~pos:3 frame in
+    let r = Wire.reader ~pos:(pos + 3) ~len:(len - 3) data in
     match
       let sender = Wire.r_int r in
       let declared = Wire.r_int r in
@@ -425,3 +462,11 @@ let decode pc frame =
         | msg -> Ok (Proc_id.of_int sender, msg)
       end
   end
+
+let decode pc frame = decode_window pc frame ~pos:0 ~len:(String.length frame)
+
+let decode_bytes pc buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.decode_bytes: window out of bounds";
+  (* zero-copy: the window is only read, never kept past the call *)
+  decode_window pc (Bytes.unsafe_to_string buf) ~pos ~len

@@ -57,6 +57,33 @@ val encode :
   ('u, 'app) Timewheel.Full_stack.msg ->
   string
 
+val encode_to :
+  ('u, 'app) payload ->
+  sender:Proc_id.t ->
+  ('u, 'app) Timewheel.Full_stack.msg ->
+  Wire.writer ->
+  int
+(** Encode one frame into the writer, discarding anything written to
+    it before ([Wire.reset]), and return the frame length. With a
+    long-lived fixed writer over a scratch buffer this is the
+    zero-allocation send path: no writer record, no staging buffer, no
+    closures — steady-state messages cost 0 minor words to encode.
+    Raises [Wire.Error] when a fixed writer overflows. Not re-entrant:
+    one encode at a time per domain. *)
+
+val encode_into :
+  ('u, 'app) payload ->
+  sender:Proc_id.t ->
+  ('u, 'app) Timewheel.Full_stack.msg ->
+  Bytes.t ->
+  pos:int ->
+  int
+(** Encode one frame into a caller-owned buffer starting at [pos] and
+    return the frame length. Produces bytes identical to {!encode},
+    allocating nothing when the message's own encoders don't (the
+    transport sends every datagram through one reused scratch buffer
+    this way). Raises [Wire.Error] when the frame does not fit. *)
+
 val decode :
   ('u, 'app) payload ->
   string ->
@@ -64,3 +91,13 @@ val decode :
 (** Decode one frame occupying the whole string (a UDP datagram is
     self-delimiting). Total function: malformed input yields [Error],
     never an exception. *)
+
+val decode_bytes :
+  ('u, 'app) payload ->
+  Bytes.t ->
+  pos:int ->
+  len:int ->
+  (Proc_id.t * ('u, 'app) Timewheel.Full_stack.msg, error) result
+(** [decode] over the window [\[pos, pos+len)] of a receive buffer,
+    without copying the datagram out first. The window must not be
+    mutated during the call. *)

@@ -74,9 +74,9 @@ let mk_node cfg ~clock ~self ?recorder ?on_log () =
   let port_of p = cfg.base_port + Proc_id.to_int p in
   let mk_transport stats =
     Transport.create
-      ~encode:(Codec.encode Codec.string_payload)
-      ~decode:(Codec.decode Codec.string_payload)
-      ~self ~n:cfg.n ~port_of ~stats ()
+      ~encode_to:(Codec.encode_to Codec.string_payload)
+      ~decode:(Codec.decode_bytes Codec.string_payload)
+      ~kind_of:Full_stack.kind_of_msg ~self ~n:cfg.n ~port_of ~stats ()
   in
   let on_obs =
     match recorder with

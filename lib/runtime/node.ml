@@ -162,9 +162,14 @@ let inject t m =
     Eventloop.Dispatcher.post t.dispatcher ~kind:kind_recv
       (Ev_recv (self t, m))
 
+(* bounded batch per readiness wake-up: a peer flooding the socket can
+   delay our timers by at most one batch before the loop services the
+   wheel again; leftovers re-trigger readiness immediately *)
+let drain_budget = 64
+
 let recv_ready t =
   ignore
-    (Transport.drain t.transport ~handler:(fun ~src m ->
+    (Transport.drain ~budget:drain_budget t.transport ~handler:(fun ~src m ->
          Eventloop.Dispatcher.post t.dispatcher ~kind:kind_recv
            (Ev_recv (src, m))))
 

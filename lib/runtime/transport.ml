@@ -1,18 +1,43 @@
 open Tasim
 
+(* interned counter handles for one message kind — resolved once per
+   kind, then every datagram is a couple of [Stats.bump]s *)
+type kind_counters = {
+  kc_sent : Stats.counter;
+  kc_sent_bytes : Stats.counter;
+  kc_recv : Stats.counter;
+  kc_recv_bytes : Stats.counter;
+}
+
 type 'm t = {
-  encode : sender:Proc_id.t -> 'm -> string;
-  decode : string -> (Proc_id.t * 'm, Codec.error) result;
+  encode_to : sender:Proc_id.t -> 'm -> Wire.writer -> int;
+  decode :
+    Bytes.t -> pos:int -> len:int -> (Proc_id.t * 'm, Codec.error) result;
+  kind_of : 'm -> string;
   self : Proc_id.t;
   n : int;
-  addr_of : Proc_id.t -> Unix.sockaddr;
+  addrs : Unix.sockaddr array; (* indexed by proc id; built once *)
   socket : Unix.file_descr;
+  send_buf : Bytes.t; (* every outgoing frame is built here in place *)
+  send_writer : Wire.writer; (* long-lived fixed writer over send_buf *)
   recv_buf : Bytes.t;
   stats : Stats.t;
+  kinds : (string, kind_counters) Hashtbl.t;
+  sent_total : Stats.counter;
+  recv_total : Stats.counter;
+  drop_send : Stats.counter;
+  drop_oversize : Stats.counter;
+  drop_foreign : Stats.counter;
+  drop_truncated : Stats.counter;
+  drop_bad_magic : Stats.counter;
+  drop_bad_version : Stats.counter;
+  drop_length_mismatch : Stats.counter;
+  drop_malformed : Stats.counter;
   mutable closed : bool;
 }
 
-let create ~encode ~decode ~self ~n ~port_of ~stats () =
+let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
+    ~stats () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   (match
      Unix.set_nonblock socket;
@@ -24,16 +49,34 @@ let create ~encode ~decode ~self ~n ~port_of ~stats () =
   | exception e ->
     Unix.close socket;
     raise e);
-  let addr_of p = Unix.ADDR_INET (Unix.inet_addr_loopback, port_of p) in
+  let addrs =
+    Array.init n (fun p ->
+        Unix.ADDR_INET (Unix.inet_addr_loopback, port_of (Proc_id.of_int p)))
+  in
+  let send_buf = Bytes.create 65536 in
   {
-    encode;
+    encode_to;
     decode;
+    kind_of;
     self;
     n;
-    addr_of;
+    addrs;
     socket;
+    send_buf;
+    send_writer = Wire.writer_into send_buf ~pos:0;
     recv_buf = Bytes.create 65536;
     stats;
+    kinds = Hashtbl.create 16;
+    sent_total = Stats.counter stats "live:sent";
+    recv_total = Stats.counter stats "live:recv";
+    drop_send = Stats.counter stats "live:drop:send";
+    drop_oversize = Stats.counter stats "live:drop:oversize";
+    drop_foreign = Stats.counter stats "live:drop:foreign-sender";
+    drop_truncated = Stats.counter stats "live:drop:truncated";
+    drop_bad_magic = Stats.counter stats "live:drop:bad-magic";
+    drop_bad_version = Stats.counter stats "live:drop:bad-version";
+    drop_length_mismatch = Stats.counter stats "live:drop:length-mismatch";
+    drop_malformed = Stats.counter stats "live:drop:malformed";
     closed = false;
   }
 
@@ -42,23 +85,50 @@ let n t = t.n
 let fd t = t.socket
 let is_closed t = t.closed
 
+let slow_kind_counters t kind =
+  let kc =
+    {
+      kc_sent = Stats.counter t.stats ("live:sent:" ^ kind);
+      kc_sent_bytes = Stats.counter t.stats ("live:sent-bytes:" ^ kind);
+      kc_recv = Stats.counter t.stats ("live:recv:" ^ kind);
+      kc_recv_bytes = Stats.counter t.stats ("live:recv-bytes:" ^ kind);
+    }
+  in
+  Hashtbl.add t.kinds kind kc;
+  kc
+
+(* [Hashtbl.find], not [find_opt]: no [Some] box on the per-datagram
+   path (kinds are a handful of static strings, so after warm-up the
+   exception branch never runs) *)
+let kind_counters t kind =
+  try Hashtbl.find t.kinds kind with Not_found -> slow_kind_counters t kind
+
 let send t ~dst msg =
   if not t.closed then begin
-    let frame = t.encode ~sender:t.self msg in
-    let len = String.length frame in
-    if len > Codec.max_frame then Stats.incr t.stats "live:drop:oversize"
-    else begin
-      match
-        Unix.sendto t.socket (Bytes.unsafe_of_string frame) 0 len []
-          (t.addr_of dst)
-      with
-      | _ -> Stats.incr t.stats "live:sent"
-      | exception
-          Unix.Unix_error
-            ((EWOULDBLOCK | EAGAIN | ECONNREFUSED | ENOBUFS | EINTR), _, _) ->
-        (* an unreliable datagram service may drop; the stack copes *)
-        Stats.incr t.stats "live:drop:send"
-    end
+    match t.encode_to ~sender:t.self msg t.send_writer with
+    | exception Wire.Error _ ->
+      (* does not fit the scratch buffer: necessarily over the
+         datagram limit as well *)
+      Stats.bump t.drop_oversize
+    | len ->
+      if len > Codec.max_frame then Stats.bump t.drop_oversize
+      else begin
+        match
+          Unix.sendto t.socket t.send_buf 0 len []
+            t.addrs.(Proc_id.to_int dst)
+        with
+        | _ ->
+          Stats.bump t.sent_total;
+          let kc = kind_counters t (t.kind_of msg) in
+          Stats.bump kc.kc_sent;
+          Stats.bump_by kc.kc_sent_bytes len
+        | exception
+            Unix.Unix_error
+              ((EWOULDBLOCK | EAGAIN | ECONNREFUSED | ENOBUFS | EINTR), _, _)
+          ->
+          (* an unreliable datagram service may drop; the stack copes *)
+          Stats.bump t.drop_send
+      end
   end
 
 let broadcast t msg =
@@ -66,20 +136,22 @@ let broadcast t msg =
     (fun dst -> if not (Proc_id.equal dst t.self) then send t ~dst msg)
     (Proc_id.all ~n:t.n)
 
-let error_kind (err : Codec.error) =
+let drop_counter t (err : Codec.error) =
   match err with
-  | Codec.Truncated -> "truncated"
-  | Bad_magic -> "bad-magic"
-  | Bad_version _ -> "bad-version"
-  | Length_mismatch _ -> "length-mismatch"
-  | Malformed _ -> "malformed"
+  | Codec.Truncated -> t.drop_truncated
+  | Bad_magic -> t.drop_bad_magic
+  | Bad_version _ -> t.drop_bad_version
+  | Length_mismatch _ -> t.drop_length_mismatch
+  | Malformed _ -> t.drop_malformed
 
-let drain t ~handler =
+let drain ?budget t ~handler =
   if t.closed then 0
   else begin
+    let budget = match budget with Some b -> b | None -> max_int in
     let handled = ref 0 in
+    let seen = ref 0 in
     let continue = ref true in
-    while !continue do
+    while !continue && !seen < budget do
       match Unix.recvfrom t.socket t.recv_buf 0 (Bytes.length t.recv_buf) []
       with
       | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN), _, _) ->
@@ -88,17 +160,23 @@ let drain t ~handler =
         (* ICMP port-unreachable bounce from a dead peer: ignore *)
         ()
       | len, _src_addr -> (
-        let frame = Bytes.sub_string t.recv_buf 0 len in
-        match t.decode frame with
+        incr seen;
+        (* decode straight out of the receive buffer — the datagram is
+           fully consumed by [handler] before the next [recvfrom]
+           overwrites the window *)
+        match t.decode t.recv_buf ~pos:0 ~len with
         | Ok (src, msg) ->
-          if Proc_id.to_int src < t.n && not (Proc_id.equal src t.self) then begin
-            Stats.incr t.stats "live:recv";
+          if Proc_id.to_int src < t.n && not (Proc_id.equal src t.self)
+          then begin
+            Stats.bump t.recv_total;
+            let kc = kind_counters t (t.kind_of msg) in
+            Stats.bump kc.kc_recv;
+            Stats.bump_by kc.kc_recv_bytes len;
             incr handled;
             handler ~src msg
           end
-          else Stats.incr t.stats "live:drop:foreign-sender"
-        | Error err ->
-          Stats.incr t.stats ("live:drop:" ^ error_kind err))
+          else Stats.bump t.drop_foreign
+        | Error err -> Stats.bump (drop_counter t err))
     done;
     !handled
   end

@@ -8,15 +8,23 @@
     ICMP-driven errors) is counted and dropped, never retried or
     surfaced as an exception. Decode failures on receive are counted
     per {!Codec.error} kind in the stats and the frame discarded:
-    fail-aware rejection of garbage from the network. *)
+    fail-aware rejection of garbage from the network.
+
+    The data plane is allocation-free per datagram: sends encode
+    through one long-lived writer over a reused scratch buffer
+    ({!Codec.encode_to}) to precomputed peer addresses, and receives
+    decode straight out of the receive buffer ({!Codec.decode_bytes}),
+    so steady-state cost per datagram is flat in group size. *)
 
 open Tasim
 
 type 'm t
 
 val create :
-  encode:(sender:Proc_id.t -> 'm -> string) ->
-  decode:(string -> (Proc_id.t * 'm, Codec.error) result) ->
+  encode_to:(sender:Proc_id.t -> 'm -> Wire.writer -> int) ->
+  decode:
+    (Bytes.t -> pos:int -> len:int -> (Proc_id.t * 'm, Codec.error) result) ->
+  ?kind_of:('m -> string) ->
   self:Proc_id.t ->
   n:int ->
   port_of:(Proc_id.t -> int) ->
@@ -25,7 +33,11 @@ val create :
   'm t
 (** Open and bind a nonblocking UDP socket on
     [127.0.0.1:port_of self]. Raises [Unix.Unix_error] when the port
-    is taken. [stats] receives [sent:*]/[recv:*]/drop counters. *)
+    is taken. [stats] receives [live:sent]/[live:recv] totals,
+    [live:drop:*] counters, and — keyed by [kind_of msg], default
+    ["msg"] — per-kind [live:sent:<kind>]/[live:sent-bytes:<kind>]
+    and [live:recv:<kind>]/[live:recv-bytes:<kind>] counters. All are
+    interned once, so counting costs no allocation per datagram. *)
 
 val self : 'm t -> Proc_id.t
 val n : 'm t -> int
@@ -36,11 +48,13 @@ val send : 'm t -> dst:Proc_id.t -> 'm -> unit
 val broadcast : 'm t -> 'm -> unit
 (** To every team member except [self]. *)
 
-val drain : 'm t -> handler:(src:Proc_id.t -> 'm -> unit) -> int
-(** Receive and decode every datagram currently queued on the socket,
-    calling [handler] per well-formed frame; returns the number
-    handled. Frames from out-of-range senders or that fail to decode
-    are dropped (and counted). Never blocks. *)
+val drain : ?budget:int -> 'm t -> handler:(src:Proc_id.t -> 'm -> unit) -> int
+(** Receive and decode datagrams queued on the socket until it would
+    block, calling [handler] per well-formed frame; returns the number
+    handled. [budget] bounds the datagrams consumed in one call
+    (default: unbounded) so one drain cannot starve timers when a peer
+    floods the socket. Frames from out-of-range senders or that fail
+    to decode are dropped (and counted). Never blocks. *)
 
 val close : 'm t -> unit
 (** Close the socket. Further sends/drains are no-ops. *)

@@ -35,17 +35,6 @@ let lt t i j =
   t.times.(i) < t.times.(j)
   || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let swap t i j =
-  let tm = t.times.(i) in
-  t.times.(i) <- t.times.(j);
-  t.times.(j) <- tm;
-  let sq = t.seqs.(i) in
-  t.seqs.(i) <- t.seqs.(j);
-  t.seqs.(j) <- sq;
-  let v = t.values.(i) in
-  t.values.(i) <- t.values.(j);
-  t.values.(j) <- v
-
 let grow t =
   let cap = 2 * Array.length t.times in
   let times = Array.make cap 0 in
@@ -59,36 +48,67 @@ let grow t =
   Array.blit t.values 0 values 0 t.len;
   t.values <- values
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t i parent then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
+(* Hole-based sifting: carry the moving entry in locals and shift
+   blocking entries into the hole, writing the carried entry once at
+   its final slot. Versus swap-based sifting this does one 3-array
+   store per level instead of three, and the carried entry's fields
+   stay in registers for the comparisons. The resulting array layout is
+   identical to the swap-based version's, so pop order and seq
+   assignment are unchanged. *)
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.len && lt t l !smallest then smallest := l;
-  if r < t.len && lt t r !smallest then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+let sift_up t i ~time ~seq value =
+  let i = ref i in
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if
+      time < t.times.(parent)
+      || (time = t.times.(parent) && seq < t.seqs.(parent))
+    then begin
+      t.times.(!i) <- t.times.(parent);
+      t.seqs.(!i) <- t.seqs.(parent);
+      t.values.(!i) <- t.values.(parent);
+      i := parent
+    end
+    else stop := true
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- value
+
+let sift_down t i ~time ~seq value =
+  let i = ref i in
+  let stop = ref false in
+  while not !stop do
+    let l = (2 * !i) + 1 in
+    if l >= t.len then stop := true
+    else begin
+      let r = l + 1 in
+      let c = if r < t.len && lt t r l then r else l in
+      if
+        t.times.(c) < time || (t.times.(c) = time && t.seqs.(c) < seq)
+      then begin
+        t.times.(!i) <- t.times.(c);
+        t.seqs.(!i) <- t.seqs.(c);
+        t.values.(!i) <- t.values.(c);
+        i := c
+      end
+      else stop := true
+    end
+  done;
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.values.(!i) <- value
 
 let add t ~time value =
   if t.len = Array.length t.times then grow t;
   if Array.length t.values = 0 then
     t.values <- Array.make (Array.length t.times) value;
   let i = t.len in
-  t.times.(i) <- time;
-  t.seqs.(i) <- t.next_seq;
-  t.values.(i) <- value;
-  t.next_seq <- t.next_seq + 1;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
   t.len <- i + 1;
-  sift_up t i
+  sift_up t i ~time ~seq value
 
 let is_empty t = t.len = 0
 let size t = t.len
@@ -102,12 +122,8 @@ let pop_min t =
   let v = t.values.(0) in
   let last = t.len - 1 in
   t.len <- last;
-  if last > 0 then begin
-    t.times.(0) <- t.times.(last);
-    t.seqs.(0) <- t.seqs.(last);
-    t.values.(0) <- t.values.(last);
-    sift_down t 0
-  end;
+  if last > 0 then
+    sift_down t 0 ~time:t.times.(last) ~seq:t.seqs.(last) t.values.(last);
   v
 
 let pop t =

@@ -219,6 +219,7 @@ let drive inputs =
   (try
      List.iter
        (fun input ->
+         let epoch_before = Group_id.epoch (Member.group_id !state) in
          let state', effs =
            match input with
            | Recv (src, msg, dt) ->
@@ -230,10 +231,18 @@ let drive inputs =
          in
          check_effects effs;
          state := state';
-         (* a state transfer replaces the replica's oal history
-            wholesale: the monotonicity baseline restarts there *)
+         (* a state transfer — or a decision carrying a strictly later
+            formation epoch — replaces the replica's oal history
+            wholesale (the stale history must not be merged under a new
+            formation): the monotonicity baseline restarts there *)
          (match input with
          | Recv (_, Control_msg.State_transfer _, _) ->
+           last_low := Oal.low (Member.oal_of state');
+           last_next := Oal.next_ordinal (Member.oal_of state')
+         | Recv (_, Control_msg.Decision { d_oal; _ }, _)
+           when (match Oal.latest_membership d_oal with
+                | Some (_, _, gid) -> Group_id.epoch gid > epoch_before
+                | None -> false) ->
            last_low := Oal.low (Member.oal_of state');
            last_next := Oal.next_ordinal (Member.oal_of state')
          | _ -> ());

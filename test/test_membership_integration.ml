@@ -57,6 +57,30 @@ let test_formation_under_loss () =
   let svc = Harness.Run.settle svc in
   check_agreed svc (Proc_set.full ~n:5) "forms despite loss"
 
+let test_large_group_forms () =
+  (* the n=32 group spans more than half the bitset's first word and
+     exercises the array/bitset membership hot paths at a size where a
+     leftover O(n) scan or per-call table build would dominate; the
+     full invariant sweep then checks the formed state, not just the
+     agreed view *)
+  let n = 32 in
+  let svc = make ~n () in
+  let svc = Harness.Run.settle svc in
+  check_agreed svc (Proc_set.full ~n) "full 32-member group";
+  (* a little workload so ordinal consistency has content *)
+  let t0 = Service.now svc in
+  for i = 0 to 19 do
+    Service.submit_at svc
+      (Time.add t0 (Time.of_ms (40 * i)))
+      (pid (i mod n))
+      ~semantics:Semantics.total_strong i
+  done;
+  Service.run svc ~until:(Time.add t0 (Time.of_sec 2));
+  check_agreed svc (Proc_set.full ~n) "view stable under workload";
+  match Invariant.check_all ~n (Invariant.take (Service.engine svc)) with
+  | [] -> ()
+  | v :: _ -> Alcotest.failf "invariant violated: %a" Invariant.pp_violation v
+
 (* ------------------------------------------------------------------ *)
 (* single failures *)
 
@@ -693,6 +717,7 @@ let () =
           Alcotest.test_case "initial group" `Quick test_initial_group_forms;
           Alcotest.test_case "bounded time" `Quick test_formation_time_bounded;
           Alcotest.test_case "under loss" `Quick test_formation_under_loss;
+          Alcotest.test_case "32 members" `Quick test_large_group_forms;
         ] );
       ( "single failure",
         [

@@ -219,6 +219,91 @@ let round_trip =
         Proc_id.equal sender' sender
         && String.equal (Codec.encode pc ~sender:sender' msg') bytes)
 
+let scratch_writer = Wire.writer ()
+
+let encode_into_identical =
+  QCheck.Test.make ~count:500
+    ~name:"encode_into/encode_to produce encode's exact bytes"
+    QCheck.(pair arb_frame (QCheck.make (QCheck.Gen.int_bound 64)))
+    (fun ((sender, msg), pos) ->
+      let reference = Codec.encode pc ~sender msg in
+      let len = String.length reference in
+      (* encode_into at an arbitrary offset; slack after the frame is
+         scratch (the length varint is staged wide then blitted down),
+         but bytes before [pos] must never be touched *)
+      let buf = Bytes.make (pos + len + 64) '\xAA' in
+      let written = Codec.encode_into pc ~sender msg buf ~pos in
+      let into_ok =
+        written = len
+        && String.equal (Bytes.sub_string buf pos len) reference
+        && Bytes.for_all (fun c -> c = '\xAA') (Bytes.sub buf 0 pos)
+      in
+      (* encode_to on a shared, reused writer *)
+      let written' = Codec.encode_to pc ~sender msg scratch_writer in
+      into_ok && written' = len
+      && String.equal (Wire.contents scratch_writer) reference)
+
+let encode_to_zero_alloc () =
+  (* the transport's steady-state kinds must encode without touching
+     the minor heap: one long-lived fixed writer, no per-frame garbage *)
+  let gid = { Group_id.epoch = 1; seq = 3 } in
+  let group = Proc_set.of_list [ pid 0; pid 1; pid 2; pid 3 ] in
+  let oal, _ = Oal.append_membership Oal.empty ~group ~group_id:gid in
+  let oal =
+    fst
+      (Oal.append_update oal
+         {
+           Oal.proposal_id = { Proposal.origin = pid 1; seq = 5 };
+           semantics = Semantics.total_strong;
+           send_ts = Time.of_ms 2;
+           hdo = -1;
+         }
+         ~acks:group)
+  in
+  let msgs =
+    [
+      ( "decision",
+        Full_stack.Gc
+          (Control_msg.Decision
+             { d_ts = Time.of_ms 5; d_oal = oal; d_alive = group }) );
+      ( "proposal",
+        Full_stack.Gc
+          (Control_msg.Proposal_msg
+             (Proposal.make ~origin:(pid 1) ~seq:6
+                ~semantics:Semantics.total_strong ~send_ts:(Time.of_ms 3)
+                ~hdo:0 "payload")) );
+      ( "cs-request",
+        Full_stack.Cs
+          (Clocksync.Protocol.Request { seq = 9; sender_clock = Time.of_ms 1 })
+      );
+      ( "cs-reply",
+        Full_stack.Cs
+          (Clocksync.Protocol.Reply
+             {
+               seq = 9;
+               echo_sender_clock = Time.of_ms 1;
+               replier_clock = Time.of_ms 2;
+             }) );
+    ]
+  in
+  let buf = Bytes.create 65536 in
+  let w = Wire.writer_into buf ~pos:0 in
+  List.iter
+    (fun (kind, msg) ->
+      for _ = 1 to 100 do
+        ignore (Codec.encode_to pc ~sender:(pid 1) msg w : int)
+      done;
+      Gc.minor ();
+      let m0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        ignore (Codec.encode_to pc ~sender:(pid 1) msg w : int)
+      done;
+      let per_op = (Gc.minor_words () -. m0) /. 10_000.0 in
+      if per_op > 0.01 then
+        Alcotest.failf "%s encode allocates %.3f minor words/frame" kind
+          per_op)
+    msgs
+
 let round_trip_structural () =
   (* spot structural checks on hand-built messages, so a canonical-bytes
      fixed point that somehow lost data would still be caught *)
@@ -275,6 +360,18 @@ let check_error name expected = function
     Alcotest.failf "%s: expected %a, got %a" name Codec.pp_error expected
       Codec.pp_error e
   | Ok _ -> Alcotest.failf "%s: decode accepted a bad frame" name
+
+let decode_bytes_window () =
+  let frame = sample_frame () in
+  let len = String.length frame in
+  let buf = Bytes.make (len + 16) '\xFF' in
+  Bytes.blit_string frame 0 buf 7 len;
+  match Codec.decode_bytes pc buf ~pos:7 ~len with
+  | Ok (sender, msg) ->
+    Alcotest.(check int) "sender" 1 (Proc_id.to_int sender);
+    Alcotest.(check string) "canonical bytes" frame
+      (Codec.encode pc ~sender msg)
+  | Error e -> Alcotest.failf "window decode failed: %a" Codec.pp_error e
 
 let rejects_truncated () =
   let frame = sample_frame () in
@@ -405,6 +502,11 @@ let () =
       ( "codec",
         [
           qcheck round_trip;
+          qcheck encode_into_identical;
+          Alcotest.test_case "encode_to allocates nothing (steady kinds)"
+            `Quick encode_to_zero_alloc;
+          Alcotest.test_case "decode_bytes reads a window in place" `Quick
+            decode_bytes_window;
           Alcotest.test_case "structural round trip" `Quick
             round_trip_structural;
           Alcotest.test_case "rejects truncated frames" `Quick rejects_truncated;
