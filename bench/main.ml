@@ -7,27 +7,36 @@
                                   accepted as a synonym)
      bench/main.exe e3            one experiment
      bench/main.exe quick e3      one experiment, reduced
-     bench/main.exe micro         microbenchmarks + M1/M2 macrobenches
+     bench/main.exe micro         microbenchmarks + M1/M2/M3 macrobenches
+     bench/main.exe m3            the M3 large-N dissemination bench alone
 
    Each experiment prints the table(s) recorded in EXPERIMENTS.md; see
    DESIGN.md section 5 for the experiment index. Unknown experiment ids
    exit non-zero so a typo'd CI invocation fails loudly.
 
-   The micro target additionally runs the M1 engine-throughput and M2
-   64-member membership macrobenchmarks plus the per-kind codec
-   microbenchmarks, and writes machine-readable results to
-   BENCH_engine.json in the current directory (schema v3, DESIGN.md
-   section 5; v1/v2 files are migrated in place). M1 and M2 results are
-   APPENDED to the file's engine_runs/m2_runs series — successive
-   invocations accumulate a perf trajectory instead of overwriting the
-   previous point.
+   The micro target additionally runs the M1 engine-throughput, M2
+   64-member and M3 large-N (256/1024) membership macrobenchmarks plus
+   the per-kind codec microbenchmarks, and writes machine-readable
+   results to BENCH_engine.json in the current directory (schema v4,
+   DESIGN.md section 5; v1/v2/v3 files are migrated in place). M1, M2
+   and M3 results are APPENDED to the file's
+   engine_runs/m2_runs/m3_runs series — successive invocations
+   accumulate a perf trajectory instead of overwriting the previous
+   point.
 
-   Two perf gates run with the micro target and fail the process:
-   - the steady-state wire kinds (proposal, decision, cs-request,
-     cs-reply) must encode with zero minor-heap allocation per frame;
+   Perf gates run with the micro target and fail the process:
+   - every fixed-shape wire kind must encode with zero minor-heap
+     allocation per frame (the variable payload kinds submit, proposal
+     and retransmit are also held to zero: their payload writers are
+     allocation-free for string payloads);
    - M1 throughput must clear a catastrophic-regression floor of
      1M events/s (typical is ~4-5M; the floor only trips on an
-     order-of-magnitude regression, not machine noise). *)
+     order-of-magnitude regression, not machine noise);
+   - M3 under gossip at N=256 must form the full view with zero false
+     suspicions (fixed seed, faultless run, adaptive suspicion on),
+     and its per-member receive rate must stay within 1.5x the N=64
+     gossip rate — the sublinearity probe. The N=1024 gossip point and
+     the all-to-all baselines are recorded but not gated. *)
 
 open Tasim
 open Timewheel
@@ -349,16 +358,21 @@ let codec_micro () =
       })
     (codec_messages ())
 
-(* the kinds a formed, faultless group exchanges continuously — these
-   must stay allocation-free on the encode path (the transport's whole
-   data plane depends on it) *)
-let steady_state_kinds = [ "proposal"; "decision"; "cs-request"; "cs-reply" ]
+(* every wire kind must encode allocation-free: the steady-state kinds
+   because the transport's data plane depends on it, the recovery and
+   election kinds because an allocating encoder under churn is exactly
+   when GC pressure hurts most *)
+let zero_alloc_kinds =
+  [
+    "submit"; "proposal"; "retransmit"; "nack"; "decision"; "no-decision";
+    "join"; "reconfiguration"; "state-transfer"; "cs-request"; "cs-reply";
+  ]
 
 let check_zero_alloc_encode rows =
   let bad =
     List.filter
       (fun r ->
-        List.mem r.kind steady_state_kinds && r.encode_minor_words > 0.01)
+        List.mem r.kind zero_alloc_kinds && r.encode_minor_words > 0.01)
       rows
   in
   List.iter
@@ -394,6 +408,93 @@ let m2_throughput ~quick =
       if r.events_per_sec > best.Harness.Member_bench.events_per_sec then r
       else best)
     (List.hd runs) (List.tl runs)
+
+(* M3: one run per (mode, n) point — the receive-rate and
+   false-suspicion numbers are seed-deterministic, so repetition buys
+   nothing. N=1024 only in full mode (its formation alone simulates
+   minutes of protocol time). *)
+let m3_points ~quick =
+  let base =
+    [
+      (Harness.M3_bench.Gossip, 64);
+      (Harness.M3_bench.Gossip, 256);
+      (Harness.M3_bench.All_to_all, 64);
+      (Harness.M3_bench.All_to_all, 256);
+    ]
+  in
+  if quick then base else base @ [ (Harness.M3_bench.Gossip, 1024) ]
+
+let m3_runs ~quick =
+  let seconds = if quick then 3 else 10 in
+  List.map
+    (fun (mode, n) -> Harness.M3_bench.run ~n ~seconds ~mode ())
+    (m3_points ~quick)
+
+(* The gated sublinearity bound: under gossip the per-member receive
+   rate is set by the probe period and fanout, not by N, so the N=256
+   rate may exceed the N=64 rate only by slack (ring-successor decision
+   deliveries and rotation effects), not by anything resembling the 4x
+   of all-to-all. *)
+let m3_rate_slack = 1.5
+
+let find_m3 rows mode n =
+  List.find_opt
+    (fun (r : Harness.M3_bench.result) -> r.mode = mode && r.n = n)
+    rows
+
+let check_m3_gates rows =
+  let fail = ref false in
+  let gate msg ok = if not ok then (Fmt.epr "GATE FAILED: %s@." msg; fail := true) in
+  (match find_m3 rows Harness.M3_bench.Gossip 256 with
+  | None -> gate "M3 gossip N=256 run missing" false
+  | Some r ->
+    gate "M3 gossip N=256 did not form the full view" r.formed;
+    gate
+      (Fmt.str "M3 gossip N=256 saw %d false suspicions (want 0)"
+         r.false_suspicions)
+      (r.false_suspicions = 0));
+  (match
+     ( find_m3 rows Harness.M3_bench.Gossip 64,
+       find_m3 rows Harness.M3_bench.Gossip 256 )
+   with
+  | Some r64, Some r256 when r64.formed && r256.formed ->
+    gate
+      (Fmt.str
+         "M3 receive rate not sublinear: gossip N=256 %.1f/member/s vs \
+          N=64 %.1f/member/s (bound %.1fx)"
+         r256.receives_per_member_per_sec r64.receives_per_member_per_sec
+         m3_rate_slack)
+      (r256.receives_per_member_per_sec
+      <= m3_rate_slack *. r64.receives_per_member_per_sec)
+  | _ -> gate "M3 gossip N=64 run missing or unformed" false);
+  not !fail
+
+let m3_table rows =
+  let table =
+    Harness.Table.create ~title:"M3: per-member receive rate vs N"
+      ~columns:
+        [
+          "mode"; "members"; "formed"; "form (sim s)"; "recv/member/s";
+          "false susp."; "events/sec";
+        ]
+  in
+  List.iter
+    (fun (r : Harness.M3_bench.result) ->
+      Harness.Table.add_row table
+        [
+          Harness.M3_bench.mode_name r.mode;
+          string_of_int r.n;
+          (if r.formed then "yes" else "NO");
+          Harness.Table.cell_f r.form_sim_seconds;
+          Harness.Table.cell_f r.receives_per_member_per_sec;
+          string_of_int r.false_suspicions;
+          Harness.Table.cell_f r.events_per_sec;
+        ])
+    rows;
+  Harness.Table.note table
+    "faultless steady state, fixed seed; gossip recv/member/s must stay \
+     ~flat in N (gated at 256 <= 1.5x 64), all-to-all grows linearly";
+  table
 
 let engine_run_record ~quick (tput : Harness.Engine_bench.result) =
   let open Harness.Bench_json in
@@ -431,6 +532,27 @@ let m2_run_record ~quick (r : Harness.Member_bench.result) =
       ("minor_words_per_event", Float r.minor_words_per_event);
     ]
 
+let m3_run_record ~quick (r : Harness.M3_bench.result) =
+  let open Harness.Bench_json in
+  Obj
+    [
+      ( "workload",
+        String "large-N formation + faultless steady state, fixed seed" );
+      ("quick", Bool quick);
+      ("mode", String (Harness.M3_bench.mode_name r.mode));
+      ("n", Int r.n);
+      ("formed", Bool r.formed);
+      ("form_sim_seconds", Float r.form_sim_seconds);
+      ("form_wall_seconds", Float r.form_wall_seconds);
+      ("sim_seconds", Float r.sim_seconds);
+      ("wall_seconds", Float r.wall_seconds);
+      ("receives", Int r.receives);
+      ("receives_per_member_per_sec", Float r.receives_per_member_per_sec);
+      ("false_suspicions", Int r.false_suspicions);
+      ("events", Int r.events);
+      ("events_per_sec", Float r.events_per_sec);
+    ]
+
 let codec_micro_record row =
   let open Harness.Bench_json in
   Obj
@@ -443,12 +565,13 @@ let codec_micro_record row =
       ("decode_minor_words_per_op", Float row.decode_minor_words);
     ]
 
-(* M1/M2 results accumulate across invocations so regressions are
-   visible as a series, not silently overwritten; schema v3 (DESIGN.md
+(* M1/M2/M3 results accumulate across invocations so regressions are
+   visible as a series, not silently overwritten; schema v4 (DESIGN.md
    section 5). Earlier schemas migrate on the next write: a v1 file's
    single engine_throughput object becomes the first element of the
-   engine_runs series, and a v2 file (no m2_runs, no codec rows) starts
-   its m2_runs series empty. *)
+   engine_runs series, a v2 file (no m2_runs, no codec rows) starts its
+   m2_runs series empty, and a v3 file (no m3_runs) starts its m3_runs
+   series empty. *)
 let prior_engine_runs () =
   let open Harness.Bench_json in
   match read_file bench_json_file with
@@ -472,15 +595,23 @@ let prior_m2_runs () =
   | Ok json -> (
     match member "m2_runs" json with Some (List runs) -> runs | Some _ | None -> [])
 
+let prior_m3_runs () =
+  let open Harness.Bench_json in
+  match read_file bench_json_file with
+  | Error _ -> []
+  | Ok json -> (
+    match member "m3_runs" json with Some (List runs) -> runs | Some _ | None -> [])
+
 let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
-    (m2 : Harness.Member_bench.result) =
+    (m2 : Harness.Member_bench.result) (m3 : Harness.M3_bench.result list) =
   let open Harness.Bench_json in
   let engine_runs = prior_engine_runs () @ [ engine_run_record ~quick tput ] in
   let m2_runs = prior_m2_runs () @ [ m2_run_record ~quick m2 ] in
+  let m3_runs = prior_m3_runs () @ List.map (m3_run_record ~quick) m3 in
   let json =
     Obj
       [
-        ("schema", String "timewheel/bench-engine/v3");
+        ("schema", String "timewheel/bench-engine/v4");
         ("quick", Bool quick);
         ("seed", Int 42);
         ( "micro",
@@ -492,14 +623,18 @@ let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
         ("codec_micro", List (List.map codec_micro_record codec));
         ("engine_runs", List engine_runs);
         ("m2_runs", List m2_runs);
+        ("m3_runs", List m3_runs);
       ]
   in
   write_file bench_json_file json;
-  Fmt.pr "wrote %s (%d engine run%s, %d m2 run%s recorded)@." bench_json_file
+  Fmt.pr "wrote %s (%d engine run%s, %d m2 run%s, %d m3 run%s recorded)@."
+    bench_json_file
     (List.length engine_runs)
     (if List.length engine_runs = 1 then "" else "s")
     (List.length m2_runs)
     (if List.length m2_runs = 1 then "" else "s")
+    (List.length m3_runs)
+    (if List.length m3_runs = 1 then "" else "s")
 
 let run_micro ?(quick = false) () =
   Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
@@ -572,12 +707,16 @@ let run_micro ?(quick = false) () =
   Harness.Table.note table
     "full membership/broadcast/clocksync stack, faultless; seed-fixed counts";
   Harness.Table.print table;
-  write_bench_json ~quick micro codec tput m2;
+  Fmt.pr "@.=== M3: large-N dissemination (gossip vs all-to-all) ===@.@.";
+  let m3 = m3_runs ~quick in
+  Harness.Table.print (m3_table m3);
+  let m3_ok = check_m3_gates m3 in
+  write_bench_json ~quick micro codec tput m2 m3;
   let m1_ok = tput.events_per_sec >= m1_floor_events_per_sec in
   if not m1_ok then
     Fmt.epr "GATE FAILED: M1 %.0f events/s below floor %.0f@."
       tput.events_per_sec m1_floor_events_per_sec;
-  if not (zero_alloc_ok && m1_ok) then exit 1
+  if not (zero_alloc_ok && m1_ok && m3_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -586,11 +725,18 @@ let () =
   let is_quick a = a = "quick" || a = "--quick" in
   let quick = List.exists is_quick args in
   let targets = List.filter (fun a -> not (is_quick a)) args in
+  let run_m3_alone () =
+    Fmt.pr "@.=== M3: large-N dissemination (gossip vs all-to-all) ===@.@.";
+    let m3 = m3_runs ~quick in
+    Harness.Table.print (m3_table m3);
+    if not (check_m3_gates m3) then exit 1
+  in
   match targets with
   | [] ->
     Harness.Experiments.run_all ~quick ();
     run_micro ~quick ()
   | [ "micro" ] -> run_micro ~quick ()
+  | [ "m3" ] -> run_m3_alone ()
   | ids ->
     let unknown = ref false in
     List.iter
@@ -601,12 +747,13 @@ let () =
             e.Harness.Experiments.title;
           List.iter Harness.Table.print (e.Harness.Experiments.run ~quick ())
         | None when id = "micro" -> run_micro ~quick ()
+        | None when id = "m3" -> run_m3_alone ()
         | None ->
           Fmt.epr "unknown experiment %S@." id;
           unknown := true)
       ids;
     if !unknown then begin
-      Fmt.epr "known ids: %s, micro@."
+      Fmt.epr "known ids: %s, micro, m3@."
         (String.concat ", "
            (List.map
               (fun e -> e.Harness.Experiments.id)

@@ -114,6 +114,18 @@ let expire_marks t ~now =
       List.filter (fun (_, e) -> Time.compare now e <= 0) t.blocked_origins;
   }
 
+(* Direct walking accessors for the serializer: iterate the live maps
+   (ascending id order, same as the {!wire} lists) without
+   materializing them. The fold signatures thread the caller's
+   accumulator so a statically allocated callback suffices — the
+   state-transfer encode path counts on this being allocation-free. *)
+let proposal_count t = Id_map.cardinal t.proposals
+let fold_proposals f t acc = Id_map.fold f t.proposals acc
+let delivered_count t = Id_map.cardinal t.delivered_map
+let fold_delivered f t acc = Id_map.fold f t.delivered_map acc
+let marks_of t = t.marks
+let blocked_of t = t.blocked_origins
+
 type 'u wire = {
   w_proposals : 'u Proposal.t list;
   w_delivered : (Proposal.id * int option) list;

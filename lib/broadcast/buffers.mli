@@ -72,6 +72,26 @@ val purge_marked : 'u t -> now:Time.t -> 'u t
     purges all proposals marked as undeliverable from their pdb and
     pb"). *)
 
+(** {1 Direct serialization walks}
+
+    Counted folds over the live maps in ascending id order — the same
+    elements and order as the {!wire} lists, without materializing
+    them. The accumulator threading lets an encoder use a statically
+    allocated callback, keeping the state-transfer encode path free of
+    per-frame allocation. *)
+
+val proposal_count : 'u t -> int
+val fold_proposals : (Proposal.id -> 'u Proposal.t -> 'a -> 'a) -> 'u t -> 'a -> 'a
+val delivered_count : 'u t -> int
+val fold_delivered : (Proposal.id -> int option -> 'a -> 'a) -> 'u t -> 'a -> 'a
+
+val marks_of : 'u t -> (Proposal.id * Time.t) list
+(** The live marks list (newest first), shared, not copied. *)
+
+val blocked_of : 'u t -> (Proc_id.t * Time.t) list
+(** The live blocked-origins list (newest first), shared, not
+    copied. *)
+
 (** {1 Wire view}
 
     Concrete image of the buffers for serialization (state-transfer

@@ -1,0 +1,144 @@
+(* Pluggable steady-state dissemination: routing policy + the
+   epoch-aware piggyback queue shared by the member and broadcast
+   protocol gossip instances. See the .mli for the design rationale. *)
+
+open Tasim
+
+type policy =
+  | All_to_all
+  | Gossip of {
+      fanout : int;
+      piggyback_budget : int;
+      probe_period : Time.t;
+      max_forwards : int;
+    }
+
+let default_gossip =
+  Gossip
+    {
+      fanout = 2;
+      piggyback_budget = 4;
+      probe_period = Time.of_ms 30;
+      max_forwards = 3;
+    }
+
+let validate = function
+  | All_to_all -> Ok ()
+  | Gossip { fanout; piggyback_budget; probe_period; max_forwards } ->
+    if fanout < 1 then Error "gossip fanout must be >= 1"
+    else if piggyback_budget < 1 then Error "gossip piggyback budget must be >= 1"
+    else if Time.compare probe_period Time.zero <= 0 then
+      Error "gossip probe period must be positive"
+    else if max_forwards < 1 then Error "gossip max forwards must be >= 1"
+    else Ok ()
+
+let pp_policy ppf = function
+  | All_to_all -> Fmt.string ppf "all-to-all"
+  | Gossip { fanout; piggyback_budget; probe_period; max_forwards } ->
+    Fmt.pf ppf "gossip(fanout=%d budget=%d period=%a forwards=%d)" fanout
+      piggyback_budget Time.pp probe_period max_forwards
+
+module Queue = struct
+  (* Items sorted by descending (epoch, stamp); the list is short in
+     practice (a fresh decision supersedes what its predecessor decided
+     plus merged, so steady state queues at most a handful) and every
+     operation walks it once. [seen_*] is the high-water mark over all
+     accepted pushes — it survives drains, which is what makes "never
+     deliver a lower epoch after a higher one" hold across the queue
+     emptying and refilling. *)
+  type 'a item = {
+    it_epoch : int;
+    it_stamp : int;
+    it_forwards : int;
+    it_payload : 'a;
+  }
+
+  type 'a t = { items : 'a item list; seen_epoch : int; seen_stamp : int }
+
+  let empty = { items = []; seen_epoch = min_int; seen_stamp = min_int }
+
+  let rank_above ~epoch ~stamp ~than_epoch ~than_stamp =
+    epoch > than_epoch || (epoch = than_epoch && stamp > than_stamp)
+
+  let push q ~epoch ~stamp ~forwards x =
+    if
+      not
+        (rank_above ~epoch ~stamp ~than_epoch:q.seen_epoch
+           ~than_stamp:q.seen_stamp)
+    then (q, false)
+    else begin
+      (* fresh: ranks above everything queued, so it goes in front;
+         queued lower-epoch items are invalidated *)
+      let keep = List.filter (fun it -> it.it_epoch >= epoch) q.items in
+      let item =
+        { it_epoch = epoch; it_stamp = stamp; it_forwards = forwards; it_payload = x }
+      in
+      ( { items = item :: keep; seen_epoch = epoch; seen_stamp = stamp },
+        true )
+    end
+
+  let drain q ~budget =
+    if budget <= 0 || q.items = [] then ([], q)
+    else begin
+      let rec go n taken kept = function
+        | [] -> (List.rev taken, List.rev kept)
+        | it :: rest when n > 0 ->
+          let kept =
+            if it.it_forwards <= 1 then kept
+            else { it with it_forwards = it.it_forwards - 1 } :: kept
+          in
+          go (n - 1) (it.it_payload :: taken) kept rest
+        | rest -> (List.rev taken, List.rev_append kept rest)
+      in
+      let taken, items = go budget [] [] q.items in
+      (taken, { q with items })
+    end
+
+  let length q = List.length q.items
+  let is_empty q = q.items = []
+
+  let seen q =
+    if q.seen_epoch = min_int then None else Some (q.seen_epoch, q.seen_stamp)
+end
+
+(* One probe round's targets: the ring successor always (its
+   surveillance watches us, and it is the next decider, so it must see
+   our freshest state first), plus [fanout - 1] members picked by
+   striding over the remaining ring with the round number so
+   consecutive rounds cover the whole group. Deterministic — no RNG —
+   so simulation runs stay reproducible. *)
+let probe_targets ~group ~self ~n ~fanout ~round =
+  match Proc_set.successor_in group self ~n with
+  | None -> []
+  | Some succ when Proc_id.equal succ self -> []
+  | Some succ ->
+    let m = Proc_set.cardinal group in
+    (* others = group members that are neither self nor succ, in ring
+       order starting after succ *)
+    let others = m - 2 in
+    if fanout <= 1 || others <= 0 then [ succ ]
+    else begin
+      let want = Stdlib.min (fanout - 1) others in
+      (* walk the ring collecting the [others] candidates once, then
+         select [want] of them by a round-rotating stride *)
+      let candidates = Array.make others self in
+      let rec collect i p =
+        if i < others then begin
+          match Proc_set.successor_in group p ~n with
+          | Some q when not (Proc_id.equal q self) ->
+            candidates.(i) <- q;
+            collect (i + 1) q
+          | Some q -> collect i q (* skip self, keep walking *)
+          | None -> ()
+        end
+      in
+      collect 0 succ;
+      let picked = ref [] in
+      for k = want - 1 downto 0 do
+        let idx = (round * want + k) mod others in
+        let c = candidates.(idx) in
+        if not (List.exists (Proc_id.equal c) !picked) then
+          picked := c :: !picked
+      done;
+      succ :: !picked
+    end

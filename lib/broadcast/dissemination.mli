@@ -1,0 +1,97 @@
+(** Pluggable steady-state dissemination.
+
+    The paper's protocol broadcasts every decision to every member, so
+    the group-wide message count per decider rotation is O(N) and each
+    member processes every O(N)-sized decision frame. This module
+    factors the {e routing} of steady-state dissemination out of the
+    protocol automata so the broadcast instance (the paper's behavior,
+    and the default) and a gossip instance (SWIM/Lifeguard-style
+    piggybacking, for large N) are interchangeable:
+
+    - {!All_to_all}: one [Engine.Broadcast] per decision — the exact
+      message pattern of the paper. With this policy the automata are
+      byte-identical to the pre-dissemination-layer code (E1-E10 and
+      the ablation tables do not change).
+    - {!Gossip}: decisions travel point-to-point to the ring successor
+      (preserving decider rotation and surveillance), and to everyone
+      else by riding periodic probe messages: each member probes
+      [fanout] rotating targets every [probe_period], piggybacking at
+      most [piggyback_budget] queued updates per probe, and forwards a
+      given update in at most [max_forwards] probe rounds.
+
+    The piggyback queue is {e epoch-aware}: accepting an update of a
+    higher formation epoch invalidates every queued lower-epoch update,
+    and once a higher-epoch update has been accepted a lower-epoch one
+    is never accepted (nor therefore ever drained) again — a member
+    that has seen the new incarnation's history never re-gossips the
+    dead one's. *)
+
+open Tasim
+
+type policy =
+  | All_to_all
+  | Gossip of {
+      fanout : int;  (** probe targets per round (>= 1) *)
+      piggyback_budget : int;
+          (** max updates piggybacked on one probe (>= 1) *)
+      probe_period : Time.t;  (** interval between probe rounds (> 0) *)
+      max_forwards : int;
+          (** probe rounds a given update rides before it is dropped
+              from the queue (>= 1) *)
+    }
+
+val default_gossip : policy
+(** [Gossip] with fanout 2, piggyback budget 4, probe period 30ms (the
+    default decision period D), max forwards 3. *)
+
+val validate : policy -> (unit, string) result
+
+val pp_policy : policy Fmt.t
+
+(** {1 Epoch-aware piggyback queue}
+
+    Updates are ranked by [(epoch, stamp)]: [epoch] is the formation
+    epoch of the update's group incarnation, [stamp] a monotone
+    within-epoch order (the decision send timestamp). A push is
+    {e fresh} iff its rank is strictly above every rank ever accepted;
+    a fresh push drops all queued strictly-lower-epoch items. Draining
+    returns up to [budget] items in descending rank and charges one
+    forward to each returned item. *)
+
+module Queue : sig
+  type 'a t
+
+  val empty : 'a t
+
+  val push : 'a t -> epoch:int -> stamp:int -> forwards:int -> 'a -> 'a t * bool
+  (** [push q ~epoch ~stamp ~forwards x] accepts [x] iff
+      [(epoch, stamp)] ranks strictly above the queue's high-water
+      mark; returns the new queue and whether the push was fresh.
+      [forwards] is the number of drains the item survives. A stale
+      push returns [q] unchanged. *)
+
+  val drain : 'a t -> budget:int -> 'a list * 'a t
+  (** Up to [budget] queued items, highest rank first. Each returned
+      item is charged one forward and removed once its forwards are
+      exhausted. *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+
+  val seen : 'a t -> (int * int) option
+  (** High-water [(epoch, stamp)] over every accepted push, if any. *)
+end
+
+val probe_targets :
+  group:Proc_set.t ->
+  self:Proc_id.t ->
+  n:int ->
+  fanout:int ->
+  round:int ->
+  Proc_id.t list
+(** Deterministic probe-target choice for one round: the ring successor
+    always (it carries the freshest decisions to the member whose
+    surveillance watches us), plus up to [fanout - 1] further members
+    chosen by rotating over the rest of the group with the round
+    number, so over consecutive rounds every member is probed. Empty
+    when [self] is the only member. *)

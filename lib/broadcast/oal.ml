@@ -351,3 +351,34 @@ let pp ppf t =
   Fmt.pf ppf "oal[low=%d next=%d %a]" t.low t.next_ordinal
     Fmt.(list ~sep:sp pp_entry)
     (entries t)
+
+(* [of_wire] for a decoder that parsed the entries into a reusable
+   scratch array instead of a list: same validation, same result, no
+   intermediate list cells. [entry i] must return the i-th wire entry
+   in the order read (increasing ordinal for a well-formed frame). *)
+let of_wire_indexed ~low ~next_ordinal ~latest ~count ~entry =
+  if low < 0 then Error "oal wire: negative low"
+  else if next_ordinal < low then Error "oal wire: next < low"
+  else if count < 0 then Error "oal wire: negative entry count"
+  else begin
+    let rec build i prev entries =
+      if i >= count then Ok entries
+      else begin
+        let e = entry i in
+        if e.ordinal <= prev then Error "oal wire: ordinals not increasing"
+        else if e.ordinal < low then Error "oal wire: entry below low"
+        else if e.ordinal >= next_ordinal then
+          Error "oal wire: entry beyond next ordinal"
+        else build (i + 1) e.ordinal (Imap.add e.ordinal e entries)
+      end
+    in
+    match build 0 (low - 1) Imap.empty with
+    | Error _ as e -> e
+    | Ok entries ->
+      let index =
+        Imap.fold
+          (fun ordinal e acc -> index_body acc ordinal e.body)
+          entries Idmap.empty
+      in
+      Ok { entries; low; next_ordinal; current = latest; index }
+  end

@@ -148,3 +148,15 @@ val is_prefix : t -> of_:t -> bool
     differences and entries already purged from either list. *)
 
 val pp : t Fmt.t
+
+val of_wire_indexed :
+  low:int ->
+  next_ordinal:int ->
+  latest:(int * Proc_set.t * Group_id.t) option ->
+  count:int ->
+  entry:(int -> entry) ->
+  (t, string) result
+(** {!of_wire} for a decoder holding the parsed entries in an indexed
+    scratch buffer: [entry i] is the i-th entry in read order. Same
+    validation and result as building a {!wire} record, without the
+    intermediate list. *)

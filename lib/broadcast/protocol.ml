@@ -1,8 +1,17 @@
 open Tasim
 
-type config = { d : Time.t; timed_delay : Time.t }
+type config = {
+  d : Time.t;
+  timed_delay : Time.t;
+  dissemination : Dissemination.policy;
+}
 
-let default_config = { d = Time.of_ms 30; timed_delay = Time.of_ms 200 }
+let default_config =
+  {
+    d = Time.of_ms 30;
+    timed_delay = Time.of_ms 200;
+    dissemination = Dissemination.All_to_all;
+  }
 
 type 'u msg =
   | Submit of { semantics : Semantics.t; payload : 'u }
@@ -62,6 +71,7 @@ type 'u state = {
   next_seq : int;
   decider : bool;
   stable_seen : int; (* ordinals < stable_seen already reported stable *)
+  round : int; (* decision rounds sent; rotates the gossip fanout *)
   scratch : scratch;
 }
 
@@ -130,6 +140,7 @@ let init cfg ~self ~n ~clock ~incarnation:_ =
       next_seq = 0;
       decider = Proc_id.equal self (Proc_id.of_int 0);
       stable_seen = 0;
+      round = 0;
       scratch = { sc_ids = Array.make n []; sc_holders = [] };
     }
   in
@@ -187,9 +198,23 @@ let send_decision s ~clock =
   let buffers = Buffers.compact s.buffers ~purged:(fun o -> o < low) in
   let s = { s with oal; buffers; decider = false } in
   let s, deliver_effects = deliver_step s ~clock in
-  ( s,
-    (Engine.Broadcast (Decision { ts = clock; oal }) :: stable_effects)
-    @ deliver_effects )
+  let decision = Decision { ts = clock; oal } in
+  let s, send_effects =
+    match s.cfg.dissemination with
+    | Dissemination.All_to_all -> (s, [ Engine.Broadcast decision ])
+    | Dissemination.Gossip { fanout; _ } ->
+      (* Point-to-point to the rotating fanout; the ring successor is
+         always the first target, so the decider handover still rides
+         the decision itself. Other members converge as the rotation
+         sweeps them. *)
+      let targets =
+        Dissemination.probe_targets ~group:s.group ~self:s.self ~n:s.n ~fanout
+          ~round:s.round
+      in
+      ( { s with round = s.round + 1 },
+        List.map (fun p -> Engine.Send (p, decision)) targets )
+  in
+  (s, send_effects @ stable_effects @ deliver_effects)
 
 (* Find, for each missing proposal, a holder proven by the oal acks and
    ask it to retransmit. *)

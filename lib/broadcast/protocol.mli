@@ -24,6 +24,11 @@ open Tasim
 type config = {
   d : Time.t;  (** D: max time the decider holds the role *)
   timed_delay : Time.t;  (** delivery delay of [Timed] ordering *)
+  dissemination : Dissemination.policy;
+      (** how decisions travel: [All_to_all] broadcasts every decision;
+          [Gossip] sends it point-to-point to a rotating fanout whose
+          first target is always the ring successor (the next decider),
+          so the handover never depends on the rotation *)
 }
 
 val default_config : config

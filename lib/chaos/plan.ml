@@ -20,6 +20,13 @@ type op =
       prob : float;
       delay_max : Time.t;
     }
+  | Slow_member of {
+      at : Time.t;
+      until : Time.t;
+      proc : int;
+      prob : float;
+      delay_max : Time.t;
+    }
   | Storage_fault of {
       at : Time.t;
       until : Time.t;
@@ -39,6 +46,7 @@ let op_time = function
   | Omission_burst { at; _ }
   | Filter_window { at; _ }
   | Slow_window { at; _ }
+  | Slow_member { at; _ }
   | Storage_fault { at; _ } ->
     at
 
@@ -46,6 +54,7 @@ let op_end = function
   | Omission_burst { until; _ }
   | Filter_window { until; _ }
   | Slow_window { until; _ }
+  | Slow_member { until; _ }
   | Storage_fault { until; _ } ->
     until
   | op -> op_time op
@@ -172,6 +181,20 @@ let shrink_op op =
           { o with delay_max = Time.max (Time.of_ms 2) (Time.div delay_max 2) };
       ]
     else []
+  | Slow_member ({ at; until; prob; delay_max; _ } as o) ->
+    (match halved_until at until with
+    | Some until -> [ Slow_member { o with until } ]
+    | None -> [])
+    @ (match halved_prob prob with
+      | Some prob -> [ Slow_member { o with prob } ]
+      | None -> [])
+    @
+    if Time.compare delay_max (Time.of_ms 2) > 0 then
+      [
+        Slow_member
+          { o with delay_max = Time.max (Time.of_ms 2) (Time.div delay_max 2) };
+      ]
+    else []
   | Storage_fault ({ at; until; _ } as o) -> (
     match halved_until at until with
     | Some until -> [ Storage_fault { o with until } ]
@@ -201,6 +224,9 @@ let pp_op ppf = function
   | Slow_window { at; until; prob; delay_max } ->
     Fmt.pf ppf "[%a..%a] slow scheduling p=%.2f max=%a" Time.pp at Time.pp
       until prob Time.pp delay_max
+  | Slow_member { at; until; proc; prob; delay_max } ->
+    Fmt.pf ppf "[%a..%a] slow member p%d p=%.2f max=%a" Time.pp at Time.pp
+      until proc prob Time.pp delay_max
   | Storage_fault { at; until; proc; fault } ->
     Fmt.pf ppf "[%a..%a] storage %a p%a" Time.pp at Time.pp until
       Storage.Store.pp_fault fault pp_endpoint proc
@@ -256,6 +282,16 @@ let op_to_json op =
         ("op", J.String "slow-window");
         ("at", J.Int at);
         ("until", J.Int until);
+        ("prob", J.Float prob);
+        ("delay_max", J.Int delay_max);
+      ]
+  | Slow_member { at; until; proc; prob; delay_max } ->
+    J.Obj
+      [
+        ("op", J.String "slow-member");
+        ("at", J.Int at);
+        ("until", J.Int until);
+        ("proc", J.Int proc);
         ("prob", J.Float prob);
         ("delay_max", J.Int delay_max);
       ]
@@ -340,6 +376,12 @@ let op_of_json j =
     let* prob = float_field "prob" j in
     let* delay_max = field "delay_max" J.to_int j in
     Ok (Slow_window { at; until; prob; delay_max })
+  | "slow-member" ->
+    let* until = field "until" J.to_int j in
+    let* proc = field "proc" J.to_int j in
+    let* prob = float_field "prob" j in
+    let* delay_max = field "delay_max" J.to_int j in
+    Ok (Slow_member { at; until; proc; prob; delay_max })
   | "storage-fault" ->
     let* until = field "until" J.to_int j in
     let* proc = endpoint_field "proc" j in

@@ -41,6 +41,16 @@ type op =
       prob : float;
       delay_max : Time.t;
     }
+  | Slow_member of {
+      at : Time.t;
+      until : Time.t;
+      proc : int;
+      prob : float;
+      delay_max : Time.t;
+    }
+      (** a single sick machine: only [proc]'s dispatches suffer the
+          extra delay, everyone else stays timely (the scenario behind
+          adaptive suspicion — not in the random mix, scenario-only) *)
   | Storage_fault of {
       at : Time.t;
       until : Time.t;

@@ -57,6 +57,10 @@ let schedule_op svc ~abs i op =
     Engine.at engine (abs at) (fun () ->
         Engine.set_slow engine ~slow_prob:prob ~slow_delay_max:delay_max);
     Engine.at engine (abs until) (fun () -> Engine.reset_slow engine)
+  | Plan.Slow_member { at; until; proc; prob; delay_max } ->
+    Engine.at engine (abs at) (fun () ->
+        Engine.set_slow_proc engine ~proc:(pid proc) ~prob ~delay_max);
+    Engine.at engine (abs until) (fun () -> Engine.clear_slow_proc engine)
   | Plan.Storage_fault { at; until; proc; fault } ->
     let store = Service.storage svc in
     let proc = Option.map pid proc in
@@ -119,6 +123,7 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
     Net.clear_filters net;
     Net.heal net;
     Engine.reset_slow engine;
+    Engine.clear_slow_proc engine;
     Storage.Store.set_fault (Service.storage svc) None;
     List.iter
       (fun p ->

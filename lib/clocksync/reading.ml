@@ -10,7 +10,11 @@ let of_round_trip ~send_local ~recv_local ~remote_clock ~min_delay
     let half = Time.div rtt 2 in
     let estimate = Time.add remote_clock half in
     let drift_term = Time.scale rtt (2.0 *. drift_bound) in
-    let base_error = Time.max Time.zero (Time.sub half min_delay) in
+    (* the estimate uses floor(rtt/2), so the worst-case deviation from
+       the true offset is ceil(rtt/2) - min_delay = (rtt - half) -
+       min_delay: using floor here too leaves the true offset one tick
+       outside the bound when rtt is odd and one leg is minimal *)
+    let base_error = Time.max Time.zero (Time.sub (Time.sub rtt half) min_delay) in
     Some
       {
         offset = Time.sub estimate recv_local;

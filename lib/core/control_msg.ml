@@ -11,8 +11,15 @@ type ('u, 'app) t =
   | Join_msg of join
   | Reconfig of 'u reconfig
   | State_transfer of ('u, 'app) state_transfer
+  | Gossip of gossip
 
 and decision = { d_ts : Time.t; d_oal : Oal.t; d_alive : Proc_set.t }
+
+and gossip = {
+  g_ts : Time.t;
+  g_alive : Proc_set.t;
+  g_decisions : decision list;
+}
 
 and 'u no_decision = {
   nd_ts : Time.t;
@@ -49,7 +56,7 @@ and ('u, 'app) state_transfer = {
 }
 
 let is_control = function
-  | Decision _ | No_decision _ | Join_msg _ | Reconfig _ -> true
+  | Decision _ | No_decision _ | Join_msg _ | Reconfig _ | Gossip _ -> true
   | Submit _ | Proposal_msg _ | Retransmit _ | Nack _ | State_transfer _ ->
     false
 
@@ -58,6 +65,7 @@ let control_ts = function
   | No_decision nd -> Some nd.nd_ts
   | Join_msg j -> Some j.j_ts
   | Reconfig r -> Some r.r_ts
+  | Gossip g -> Some g.g_ts
   | Submit _ | Proposal_msg _ | Retransmit _ | Nack _ | State_transfer _ ->
     None
 
@@ -66,6 +74,7 @@ let alive_of = function
   | No_decision nd -> Some nd.nd_alive
   | Join_msg j -> Some j.j_alive
   | Reconfig r -> Some r.r_alive
+  | Gossip g -> Some g.g_alive
   | Submit _ | Proposal_msg _ | Retransmit _ | Nack _ | State_transfer _ ->
     None
 
@@ -79,6 +88,7 @@ let kind = function
   | Join_msg _ -> "join"
   | Reconfig _ -> "reconfiguration"
   | State_transfer _ -> "state-transfer"
+  | Gossip _ -> "gossip"
 
 let pp ppf = function
   | Submit _ -> Fmt.string ppf "submit"
@@ -100,3 +110,6 @@ let pp ppf = function
   | State_transfer { st_group; st_group_id; _ } ->
     Fmt.pf ppf "state-transfer(grp#%a %a)" Group_id.pp st_group_id Proc_set.pp
       st_group
+  | Gossip { g_ts; g_decisions; _ } ->
+    Fmt.pf ppf "gossip(ts=%a decisions=%d)" Time.pp g_ts
+      (List.length g_decisions)

@@ -38,6 +38,15 @@ val admit : t -> from:Proc_id.t -> ts:Time.t -> now:Time.t -> t * verdict
 (** Check a control message and, when [Fresh], record the sender as
     heard-from. *)
 
+val admit_probe : t -> from:Proc_id.t -> ts:Time.t -> now:Time.t -> t * verdict
+(** Like {!admit}, but for gossip probes. Probes are stamped when the
+    sender's probe timer fires, so they routinely carry a newer
+    timestamp than a ring control message of the same sender still in
+    flight; to keep such a probe from shadowing the control message
+    into a [Stale] rejection, probe freshness is tracked per sender in
+    its own channel and never advances the staleness floor used by
+    {!admit}. Fresh probes do count toward {!alive_list}. *)
+
 val note_sent : t -> ts:Time.t -> t
 (** Record a control message this process itself just sent: needed so a
     process never concurs with a suspicion of itself (it knows it
@@ -58,6 +67,30 @@ val alive_list : t -> now:Time.t -> Proc_set.t
 val forget : t -> Proc_id.t -> t
 (** Erase the heard-from record of a process (used after it is excluded
     so a stale record cannot immediately re-admit it). *)
+
+(** {1 Local health (Lifeguard)}
+
+    When [Params.adaptive_suspicion] is set, evidence that {e this}
+    process is running slowly — a late-rejected inbound message, or a
+    local timer that fired well past its deadline — bumps a saturating
+    local-health score. The surveillance timeout is the base
+    [Params.suspicion_timeout] scaled by [1 + health], so a slow member
+    stretches its own deadlines instead of wrongly suspecting timely
+    peers (Lifeguard's local health multiplier, PAPERS.md). The score
+    decays by one per elapsed cycle of fresh traffic. With adaptive
+    suspicion off the score is pinned at 0 and every deadline is
+    byte-identical to the paper's 2D rule. *)
+
+val note_late_evidence : t -> now:Time.t -> t
+(** Record lateness evidence against this process itself (no-op unless
+    adaptive suspicion is enabled). *)
+
+val health : t -> int
+(** Current local-health score (0 = healthy). *)
+
+val timeout : t -> Time.t
+(** The surveillance deadline increment currently in force:
+    [suspicion_timeout * (1 + health)]. *)
 
 (** {1 Expected-sender surveillance} *)
 

@@ -15,6 +15,7 @@ end)
 let timer_expect = 1
 let timer_decide = 2
 let timer_slot = 3
+let timer_gossip = 4
 
 type persistent = { last_group_id : Group_id.t; last_group : Proc_set.t }
 
@@ -111,6 +112,11 @@ type ('u, 'app) state = {
   alive_views : alive_info Pmap.t;
   pending_new_group : (Group_id.t * Proc_set.t * Proc_set.t) option;
       (* excluded while in n-failure: (group_id, group, members heard) *)
+  gossip_q : C.decision Dissemination.Queue.t;
+      (* decisions awaiting piggybacked forwarding (gossip mode only);
+         doubles as the seen-rank dedup for gossiped copies *)
+  gossip_round : int; (* probe rounds sent, drives target rotation *)
+  gossip_due : Time.t; (* when the armed gossip timer ought to fire *)
   scratch : scratch;
 }
 
@@ -148,6 +154,40 @@ let env_of s ~clock =
 
 let member_of_current_group s =
   Group_id.is_known s.group_id && Proc_set.mem s.self s.group
+
+(* ------------------------------------------------------------------ *)
+(* gossip dissemination helpers                                        *)
+
+let gossip_mode s =
+  match (params s).Params.dissemination with
+  | Dissemination.Gossip _ -> true
+  | Dissemination.All_to_all -> false
+
+(* Rank of a decision for the piggyback queue: formation epoch first
+   (a decision of a later incarnation supersedes any queued older-epoch
+   one), decision timestamp within the epoch. *)
+let decision_rank (d : C.decision) =
+  let epoch =
+    match Oal.latest_membership d.C.d_oal with
+    | Some (_, _, gid) -> Group_id.epoch gid
+    | None -> 0
+  in
+  (epoch, Time.to_us d.C.d_ts)
+
+(* Queue a decision for piggybacked forwarding. Returns whether it was
+   fresh (rank above everything this process already gossiped): stale
+   gossiped copies are neither re-adopted nor re-forwarded. No-op under
+   all-to-all. *)
+let gossip_enqueue s (d : C.decision) =
+  match (params s).Params.dissemination with
+  | Dissemination.All_to_all -> (s, false)
+  | Dissemination.Gossip { max_forwards; _ } ->
+    let epoch, stamp = decision_rank d in
+    let gossip_q, fresh =
+      Dissemination.Queue.push s.gossip_q ~epoch ~stamp ~forwards:max_forwards
+        d
+    in
+    ({ s with gossip_q }, fresh)
 
 (* Stable storage: record the installed view. Called at every view
    install so a recovered incarnation knows the epoch it must form
@@ -262,12 +302,23 @@ let housekeeping_oal s =
 
 (* Record a control message we are about to broadcast: remember it for
    wrong-suspicion retransmission and, for ring messages (decisions and
-   no-decisions), point the surveillance at our own successor. *)
+   no-decisions), point the surveillance at our own successor — except
+   under gossip dissemination, where surveillance always watches the
+   ring predecessor (it is fed by the predecessor's probes, not by
+   every member's broadcasts), so a ring send re-arms the predecessor
+   watch instead. *)
 let send_control s ~ring ~ts msg : ('u, 'app) state * ('u, 'app) eff list =
   let s =
     { s with last_control_sent = Some msg; fd = FD.note_sent s.fd ~ts }
   in
   if not ring then (s, [ Engine.Broadcast msg ])
+  else if gossip_mode s then begin
+    match Proc_set.predecessor_in s.group s.self ~n:s.n with
+    | Some pred when not (Proc_id.equal pred s.self) ->
+      let s = { s with fd = FD.expect s.fd ~sender:pred ~base:ts } in
+      (s, Engine.Broadcast msg :: sync_expect_timer s)
+    | Some _ | None -> (s, [ Engine.Broadcast msg ])
+  end
   else begin
     match Proc_set.successor_in s.group s.self ~n:s.n with
     | Some next ->
@@ -387,12 +438,28 @@ let send_decision s ~clock : ('u, 'app) state * ('u, 'app) eff list =
   let s = order_pending s ~clock in
   let s = housekeeping_oal s in
   let ts = clock in
-  let msg =
-    C.Decision
-      { d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
+  let d =
+    { C.d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
   in
+  let msg = C.Decision d in
   let s = { s with decider = false; last_decision_ts = ts } in
-  let s, send_effects = send_control s ~ring:true ~ts msg in
+  let s, send_effects =
+    if not (gossip_mode s) then send_control s ~ring:true ~ts msg
+    else begin
+      (* gossip: the decision travels point-to-point to the ring
+         successor — it hands over the decider role and satisfies the
+         successor's surveillance of us — and reaches everyone else by
+         riding our (and then their) probes *)
+      let s =
+        { s with last_control_sent = Some msg; fd = FD.note_sent s.fd ~ts }
+      in
+      let s, _ = gossip_enqueue s d in
+      match Proc_set.successor_in s.group s.self ~n:s.n with
+      | Some next when not (Proc_id.equal next s.self) ->
+        (s, [ Engine.Send (next, msg) ])
+      | Some _ | None -> (s, [])
+    end
+  in
   let transfer_targets =
     Proc_set.union joiners (needs_transfer_refresh s ~clock)
   in
@@ -514,14 +581,20 @@ let create_group s ~clock ~new_group : ('u, 'app) state * ('u, 'app) eff list =
   let view_effect =
     Engine.Observe (View_installed { group = new_group; group_id })
   in
-  (* 8. housekeeping and broadcast as the new decider *)
+  (* 8. housekeeping and broadcast as the new decider. Election
+     outcomes are always broadcast, even under gossip dissemination:
+     every survivor must learn the new view promptly, and electors may
+     have their probe surveillance suspended. The copy is also queued
+     for gossip so probes keep re-carrying it to anyone who missed the
+     broadcast. *)
   let s = housekeeping_oal s in
   let ts = clock in
-  let msg =
-    C.Decision
-      { d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
+  let d =
+    { C.d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
   in
+  let msg = C.Decision d in
   let s = { s with decider = false; last_decision_ts = ts } in
+  let s, _ = gossip_enqueue s d in
   let s, send_effects = send_control s ~ring:true ~ts msg in
   let s, deliver_effects = deliver s ~clock in
   (s, (view_effect :: send_effects) @ deliver_effects)
@@ -759,16 +832,34 @@ let realign_surveillance s ~from ~ts =
      from a group member, expect its successor next — unless the ring is
      suspended (join, n-failure). When the successor is this process
      itself there is nobody to surveil: our own next send re-arms the
-     surveillance (and if we fail to send, the others exclude us). *)
+     surveillance (and if we fail to send, the others exclude us).
+
+     Under gossip dissemination the watch relation is fixed instead of
+     rotating: each member watches its ring predecessor, whose probes
+     (or direct decision sends) arrive every probe period. A fresh
+     control message from the predecessor re-arms the watch; messages
+     from anyone else arm it only when it is idle (e.g. right after a
+     view change). *)
   match CS.kind_of s.creator with
   | CS.KJoin | CS.KN_failure -> s
   | CS.KFailure_free | CS.KWrong_suspicion | CS.KOne_failure_receive
-  | CS.KOne_failure_send -> (
-    match Proc_set.successor_in s.group from ~n:s.n with
-    | Some next when Proc_id.equal next s.self ->
-      { s with fd = FD.suspend s.fd }
-    | Some next -> { s with fd = FD.expect s.fd ~sender:next ~base:ts }
-    | None -> s)
+  | CS.KOne_failure_send ->
+    if gossip_mode s then begin
+      match Proc_set.predecessor_in s.group s.self ~n:s.n with
+      | Some pred when Proc_id.equal pred s.self ->
+        { s with fd = FD.suspend s.fd }
+      | Some pred
+        when Proc_id.equal pred from || FD.expected s.fd = None ->
+        { s with fd = FD.expect s.fd ~sender:pred ~base:ts }
+      | Some _ | None -> s
+    end
+    else begin
+      match Proc_set.successor_in s.group from ~n:s.n with
+      | Some next when Proc_id.equal next s.self ->
+        { s with fd = FD.suspend s.fd }
+      | Some next -> { s with fd = FD.expect s.fd ~sender:next ~base:ts }
+      | None -> s
+    end
 
 let current_suspect s =
   match s.creator with
@@ -805,6 +896,9 @@ let on_decision s ~clock ~src (d : C.decision) =
   let s, adopt_effects, excluded =
     if adopt then adopt_decision s ~clock ~d else (s, [], false)
   in
+  (* under gossip, a directly received decision is queued so our own
+     probes forward it onward (no-op under all-to-all) *)
+  let s = if adopt then fst (gossip_enqueue s d) else s in
   (* delayed join switch bookkeeping while in n-failure *)
   let s, all_heard =
     match CS.kind_of s.creator with
@@ -1001,6 +1095,131 @@ let on_state_transfer s ~clock ~src (st : ('u, 'app) C.state_transfer) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* gossip probes                                                       *)
+
+(* A gossiped decision is a delayed copy: adopt it (merge the oal,
+   learn ordinals, install any newer view, recover losses, deliver) but
+   never run the decider FSM or rotate the decider off it — rotation is
+   driven solely by the direct decision send to the ring successor, and
+   a gossiped copy's timestamp is stale by up to the gossip spreading
+   time, so treating it as a ring event would wreck surveillance
+   deadlines. [gossip_enqueue] doubles as the dedup: a copy at or below
+   the rank this process already processed is dropped. *)
+let on_gossip s ~clock ~src (g : C.gossip) =
+  (* the generic admission path recorded freshness and the piggybacked
+     alive-list; a probe from the watched predecessor re-arms the
+     surveillance *)
+  let s = realign_surveillance s ~from:src ~ts:g.C.g_ts in
+  let adoptable s =
+    member_of_current_group s
+    &&
+    match CS.kind_of s.creator with
+    | CS.KJoin | CS.KN_failure -> false
+    | CS.KFailure_free | CS.KWrong_suspicion | CS.KOne_failure_receive
+    | CS.KOne_failure_send -> true
+  in
+  let s, effects =
+    List.fold_left
+      (fun (s, effs) (d : C.decision) ->
+        let s, fresh = gossip_enqueue s d in
+        if not (fresh && adoptable s) then (s, effs)
+        else begin
+          let s, adopt_effects, excluded = adopt_decision s ~clock ~d in
+          if not excluded then (s, effs @ adopt_effects)
+          else begin
+            (* a gossiped later view that drops us is as authoritative
+               as a direct one: leave the group and rejoin *)
+            let transition_effects = fsm_transition s CS.Join in
+            let s = { s with creator = CS.Join } in
+            let s, join_effects = enter_join s in
+            (s, effs @ adopt_effects @ transition_effects @ join_effects)
+          end
+        end)
+      (s, []) g.C.g_decisions
+  in
+  (s, effects @ sync_expect_timer s)
+
+(* One probe round: drain the piggyback budget, send to the ring
+   successor plus the rotating fanout targets, and keep the timer
+   armed. Runs only under gossip dissemination (the timer is never set
+   otherwise). Probes carry our alive-list, so they feed the
+   successor's surveillance of us and everyone's alive-windows — the
+   role the all-to-all decision broadcast plays in the paper. *)
+let on_gossip_timer s ~clock =
+  match (params s).Params.dissemination with
+  | Dissemination.All_to_all -> (s, [])
+  | Dissemination.Gossip { fanout; piggyback_budget; probe_period; _ } ->
+    (* a probe timer firing well past its due time is local-slowness
+       evidence, like a late surveillance timer *)
+    let s =
+      if
+        Time.compare s.gossip_due Time.zero > 0
+        && Time.compare (Time.sub clock s.gossip_due)
+             (Time.mul (params s).Params.sigma 4)
+           > 0
+      then { s with fd = FD.note_late_evidence s.fd ~now:clock }
+      else s
+    in
+    let due = Time.add clock probe_period in
+    let s = { s with gossip_due = due } in
+    let rearm = Engine.Set_timer { key = timer_gossip; at_clock = due } in
+    let live =
+      member_of_current_group s
+      &&
+      match CS.kind_of s.creator with
+      | CS.KJoin | CS.KN_failure -> false
+      | _ -> true
+    in
+    if not live then (s, [ rearm ])
+    else begin
+      let targets =
+        Dissemination.probe_targets ~group:s.group ~self:s.self ~n:s.n
+          ~fanout ~round:s.gossip_round
+      in
+      if targets = [] then (s, [ rearm ])
+      else begin
+        let decisions, gossip_q =
+          Dissemination.Queue.drain s.gossip_q ~budget:piggyback_budget
+        in
+        let msg =
+          C.Gossip
+            {
+              g_ts = clock;
+              g_alive = FD.alive_list s.fd ~now:clock;
+              g_decisions = decisions;
+            }
+        in
+        let s =
+          {
+            s with
+            gossip_q;
+            gossip_round = s.gossip_round + 1;
+            fd = FD.note_sent s.fd ~ts:clock;
+          }
+        in
+        (* self-heal: if surveillance went idle (e.g. the predecessor
+           watch was suspended after a view change), re-arm it on the
+           current predecessor, skipping a member we already suspect *)
+        let s =
+          if FD.expected s.fd <> None then s
+          else begin
+            let watchable =
+              match current_suspect s with
+              | Some q -> Proc_set.remove q s.group
+              | None -> s.group
+            in
+            match Proc_set.predecessor_in watchable s.self ~n:s.n with
+            | Some pred when not (Proc_id.equal pred s.self) ->
+              { s with fd = FD.expect s.fd ~sender:pred ~base:clock }
+            | Some _ | None -> s
+          end
+        in
+        let sends = List.map (fun p -> Engine.Send (p, msg)) targets in
+        (s, (rearm :: sends) @ sync_expect_timer s)
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
 (* slotted protocols: join and reconfiguration                         *)
 
 let fresh_within s ~clock ~ts ~slots =
@@ -1075,11 +1294,12 @@ let create_initial_group s ~clock ~group =
   let transition_effects = fsm_transition s CS.Failure_free in
   let s = { s with creator = CS.Failure_free } in
   let ts = clock in
-  let msg =
-    C.Decision
-      { d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
+  let d =
+    { C.d_ts = ts; d_oal = s.oal; d_alive = FD.alive_list s.fd ~now:clock }
   in
+  let msg = C.Decision d in
   let s = { s with last_decision_ts = ts } in
+  let s, _ = gossip_enqueue s d in
   let s, send_effects = send_control s ~ring:true ~ts msg in
   ( s,
     transition_effects
@@ -1165,6 +1385,22 @@ let on_slot s ~clock : ('u, 'app) state * ('u, 'app) eff list =
   (s, rearm :: effects)
 
 let on_expect_timeout s ~clock =
+  (* Lifeguard local health: a surveillance timer that fires well past
+     its deadline is evidence that this process itself is running
+     slowly. Charging the evidence first stretches the in-force
+     timeout, which can move the deadline back into the future — the
+     timeout_suspect check below then comes up empty and the timer is
+     simply re-armed, so an overloaded member doubts itself instead of
+     suspecting a timely peer. No-op unless adaptive suspicion is on. *)
+  let s =
+    match FD.deadline s.fd with
+    | Some dl
+      when Time.compare (Time.sub clock dl)
+             (Time.mul (params s).Params.sigma 4)
+           > 0 ->
+      { s with fd = FD.note_late_evidence s.fd ~now:clock }
+    | Some _ | None -> s
+  in
   match FD.timeout_suspect s.fd ~now:clock with
   | None -> (s, sync_expect_timer s)
   | Some suspect when Proc_id.equal suspect s.self ->
@@ -1175,22 +1411,37 @@ let on_expect_timeout s ~clock =
   | Some suspect ->
     let since =
       match FD.deadline s.fd with
-      | Some dl -> Time.sub dl (Params.fd_timeout (params s))
+      | Some dl -> Time.sub dl (FD.timeout s.fd)
       | None -> clock
     in
     let suspected_effect = Engine.Observe (Suspected { suspect }) in
     let s, directives, transition_effects =
       run_fsm s ~clock (GC.Fd_timeout { suspect; since })
     in
-    (* unless the FSM suspended the ring, keep watching: the suspect's
-       successor must now produce a control message *)
+    (* unless the FSM suspended the ring, keep watching: under
+       all-to-all the suspect's successor must now produce a control
+       message; under gossip we fall back to the closest live
+       predecessor short of the suspect *)
     let s =
       match CS.kind_of s.creator with
       | CS.KN_failure | CS.KJoin -> s
-      | _ -> (
-        match Proc_set.successor_in s.group suspect ~n:s.n with
-        | Some next -> { s with fd = FD.expect s.fd ~sender:next ~base:clock }
-        | None -> s)
+      | _ ->
+        if gossip_mode s then begin
+          match
+            Proc_set.predecessor_in
+              (Proc_set.remove suspect s.group)
+              s.self ~n:s.n
+          with
+          | Some pred when not (Proc_id.equal pred s.self) ->
+            { s with fd = FD.expect s.fd ~sender:pred ~base:clock }
+          | Some _ | None -> { s with fd = FD.suspend s.fd }
+        end
+        else begin
+          match Proc_set.successor_in s.group suspect ~n:s.n with
+          | Some next ->
+            { s with fd = FD.expect s.fd ~sender:next ~base:clock }
+          | None -> s
+        end
     in
     let s, directive_effects =
       List.fold_left (fun acc dir -> exec_directive acc ~clock dir) (s, [])
@@ -1238,21 +1489,37 @@ let init cfg ~self ~n ~clock ~incarnation:_ =
       peer_views = Pmap.empty;
       alive_views = Pmap.empty;
       pending_new_group = None;
+      gossip_q = Dissemination.Queue.empty;
+      gossip_round = 0;
+      gossip_due = Time.zero;
       scratch = { sc_ids = Array.make n []; sc_holders = [] };
     }
   in
+  (* under gossip dissemination the probe timer runs from boot; the
+     handler is a no-op until this process is a live group member *)
+  let s, gossip_effects =
+    match Params.gossip_probe_period cfg.params with
+    | Some period ->
+      let due = Time.add clock period in
+      ( { s with gossip_due = due },
+        [ Engine.Set_timer { key = timer_gossip; at_clock = due } ] )
+    | None -> (s, [])
+  in
   (* act in the current slot if it is ours, and arm the next one *)
-  if Proc_id.equal (Slots.owner_at cfg.params clock) self then
-    on_slot s ~clock
+  if Proc_id.equal (Slots.owner_at cfg.params clock) self then begin
+    let s, effects = on_slot s ~clock in
+    (s, gossip_effects @ effects)
+  end
   else
     ( s,
-      [
-        Engine.Set_timer
-          {
-            key = timer_slot;
-            at_clock = Slots.next_own_slot cfg.params ~self ~now:clock;
-          };
-      ] )
+      gossip_effects
+      @ [
+          Engine.Set_timer
+            {
+              key = timer_slot;
+              at_clock = Slots.next_own_slot cfg.params ~self ~now:clock;
+            };
+        ] )
 
 let on_receive s ~clock ~src msg =
   match msg with
@@ -1260,13 +1527,24 @@ let on_receive s ~clock ~src msg =
   | C.Proposal_msg p | C.Retransmit p -> on_proposal s ~clock p
   | C.Nack { missing } -> on_nack s ~src missing
   | C.State_transfer st -> on_state_transfer s ~clock ~src st
-  | C.Decision _ | C.No_decision _ | C.Join_msg _ | C.Reconfig _ -> (
+  | C.Decision _ | C.No_decision _ | C.Join_msg _ | C.Reconfig _
+  | C.Gossip _ -> (
     match C.control_ts msg with
     | None -> (s, [])
     | Some ts -> (
-      let fd, verdict = FD.admit s.fd ~from:src ~ts ~now:clock in
+      (* probes order only against other probes: a probe stamped after a
+         still-in-flight decision must not get that decision rejected as
+         stale (the admit_probe doc has the full story) *)
+      let fd, verdict =
+        match msg with
+        | C.Gossip _ -> FD.admit_probe s.fd ~from:src ~ts ~now:clock
+        | _ -> FD.admit s.fd ~from:src ~ts ~now:clock
+      in
       match verdict with
-      | FD.Late -> (s, [ Engine.Observe (Late_rejected { from = src }) ])
+      | FD.Late ->
+        (* keep the detector: a late rejection is local-health evidence
+           under adaptive suspicion (identical state otherwise) *)
+        ({ s with fd }, [ Engine.Observe (Late_rejected { from = src }) ])
       | FD.Stale -> (s, [])
       | FD.Fresh -> (
         let s = { s with fd } in
@@ -1285,6 +1563,7 @@ let on_receive s ~clock ~src msg =
         | C.No_decision nd -> on_no_decision s ~clock ~src nd
         | C.Join_msg j -> on_join_msg s ~src j
         | C.Reconfig r -> on_reconfig s ~clock ~src r
+        | C.Gossip g -> on_gossip s ~clock ~src g
         | C.Submit _ | C.Proposal_msg _ | C.Retransmit _ | C.Nack _
         | C.State_transfer _ ->
           (s, []))))
@@ -1292,6 +1571,7 @@ let on_receive s ~clock ~src msg =
 let on_timer s ~clock ~key =
   if key = timer_slot then on_slot s ~clock
   else if key = timer_expect then on_expect_timeout s ~clock
+  else if key = timer_gossip then on_gossip_timer s ~clock
   else if key = timer_decide then begin
     if s.decider && CS.kind_of s.creator = CS.KFailure_free then
       send_decision s ~clock

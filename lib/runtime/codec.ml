@@ -27,11 +27,24 @@ type ('u, 'app) payload = {
   read_app : Wire.reader -> 'app;
 }
 
+(* monomorphic recursive walk: [Wire.list] builds an [(f w)] closure on
+   every call, which is the only allocation left on the state-transfer
+   encode path *)
+let rec w_string_items w = function
+  | [] -> ()
+  | s :: rest ->
+    Wire.string w s;
+    w_string_items w rest
+
+let w_string_list w ss =
+  Wire.int w (List.length ss);
+  w_string_items w ss
+
 let string_payload =
   {
     write_u = Wire.string;
     read_u = Wire.r_string;
-    write_app = Wire.(list string);
+    write_app = w_string_list;
     read_app = Wire.(r_list r_string);
   }
 
@@ -64,7 +77,22 @@ let w_proc_set w s =
   Wire.int w (Proc_set.cardinal s);
   Proc_set.iter iter_proc s
 
-let r_proc_set r = Proc_set.of_list (Wire.r_list r_proc r)
+(* Reused set builder (non-reentrant, like [cur_writer]): a decision
+   frame at 64 members carries dozens of proc sets; building each via
+   [Proc_set.of_list] costs an array copy per element plus the
+   intermediate list, the builder one allocation per set. Sets never
+   nest, so one builder per domain suffices. *)
+let set_builder = Proc_set.Builder.create ()
+
+let r_proc_set r =
+  let count = Wire.r_int r in
+  if count < 0 then Wire.fail "negative list count";
+  if count > Wire.remaining r then Wire.fail "list count overruns frame";
+  Proc_set.Builder.clear set_builder;
+  for _ = 1 to count do
+    Proc_set.Builder.add set_builder (r_proc r)
+  done;
+  Proc_set.Builder.build set_builder
 
 let w_group_id w (g : Group_id.t) =
   Wire.int w (Group_id.epoch g);
@@ -199,33 +227,85 @@ let w_oal w oal =
   Oal.iter_entries_ord oal iter_oal_entry;
   Wire.option w_latest w (Oal.latest_membership oal)
 
+(* Reused entry scratch for oal decoding (non-reentrant, see
+   [set_builder]): entries are parsed into this array and handed to
+   [Oal.of_wire_indexed], skipping the intermediate list an
+   [Wire.r_list] parse would build. Grows to the largest oal seen;
+   stale slots beyond the current count are simply ignored. *)
+let entry_scratch : Oal.entry array ref = ref [||]
+
 let r_oal r =
   let w_low = Wire.r_int r in
   let w_next_ordinal = Wire.r_int r in
-  let w_entries = Wire.r_list r_oal_entry r in
+  let count = Wire.r_int r in
+  if count < 0 then Wire.fail "negative list count";
+  if count > Wire.remaining r then Wire.fail "list count overruns frame";
+  if count > 0 then begin
+    let e0 = r_oal_entry r in
+    if Array.length !entry_scratch < count then
+      entry_scratch := Array.make (Stdlib.max count 64) e0
+    else !entry_scratch.(0) <- e0;
+    let sc = !entry_scratch in
+    for i = 1 to count - 1 do
+      sc.(i) <- r_oal_entry r
+    done
+  end;
   let w_latest = Wire.r_option r_latest r in
-  match Oal.of_wire { Oal.w_low; w_next_ordinal; w_entries; w_latest } with
+  let sc = !entry_scratch in
+  match
+    Oal.of_wire_indexed ~low:w_low ~next_ordinal:w_next_ordinal
+      ~latest:w_latest ~count
+      ~entry:(fun i -> sc.(i))
+  with
   | Ok oal -> oal
   | Error msg -> Wire.fail msg
 
+(* Monomorphic recursive list writers and accumulator-threaded fold
+   callbacks: [Wire.list f w items] costs one [(f w)] partial
+   application per call, and [Buffers.to_wire] materializes the wire
+   lists — together the residual minor words the state-transfer (and
+   nack / no-decision / reconfiguration) encode paths showed. Walking
+   the live structure with full applications emits identical bytes
+   with zero allocation. *)
+
+let fold_w_proposal _id (p : _ Proposal.t) pc =
+  w_proposal pc !cur_writer p;
+  pc
+
+let fold_w_delivered id ordinal () =
+  let w = !cur_writer in
+  w_proposal_id w id;
+  match ordinal with
+  | None -> Wire.byte w 0
+  | Some o ->
+    Wire.byte w 1;
+    Wire.int w o
+
+let rec w_mark_items w = function
+  | [] -> ()
+  | (id, expires) :: rest ->
+    w_proposal_id w id;
+    w_time w expires;
+    w_mark_items w rest
+
+let rec w_blocked_items w = function
+  | [] -> ()
+  | (p, expires) :: rest ->
+    w_proc w p;
+    w_time w expires;
+    w_blocked_items w rest
+
 let w_buffers pc w buffers =
-  let wv = Buffers.to_wire buffers in
-  Wire.list (w_proposal pc) w wv.Buffers.w_proposals;
-  Wire.list
-    (fun w (id, ordinal) ->
-      w_proposal_id w id;
-      Wire.option Wire.int w ordinal)
-    w wv.w_delivered;
-  Wire.list
-    (fun w (id, expires) ->
-      w_proposal_id w id;
-      w_time w expires)
-    w wv.w_marks;
-  Wire.list
-    (fun w (p, expires) ->
-      w_proc w p;
-      w_time w expires)
-    w wv.w_blocked
+  Wire.int w (Buffers.proposal_count buffers);
+  let (_ : _ payload) = Buffers.fold_proposals fold_w_proposal buffers pc in
+  Wire.int w (Buffers.delivered_count buffers);
+  Buffers.fold_delivered fold_w_delivered buffers ();
+  let marks = Buffers.marks_of buffers in
+  Wire.int w (List.length marks);
+  w_mark_items w marks;
+  let blocked = Buffers.blocked_of buffers in
+  Wire.int w (List.length blocked);
+  w_blocked_items w blocked
 
 let r_buffers pc r =
   let w_proposals = Wire.r_list (r_proposal pc) r in
@@ -258,6 +338,40 @@ let r_buffers pc r =
 (* ---------------------------------------------------------------- *)
 (* Control messages *)
 
+let rec w_proposal_id_items w = function
+  | [] -> ()
+  | id :: rest ->
+    w_proposal_id w id;
+    w_proposal_id_items w rest
+
+let w_proposal_id_list w ids =
+  Wire.int w (List.length ids);
+  w_proposal_id_items w ids
+
+let rec w_update_info_items w = function
+  | [] -> ()
+  | u :: rest ->
+    w_update_info w u;
+    w_update_info_items w rest
+
+let w_update_info_list w us =
+  Wire.int w (List.length us);
+  w_update_info_items w us
+
+let rec w_decision_items w = function
+  | [] -> ()
+  | { Control_msg.d_ts; d_oal; d_alive } :: rest ->
+    w_time w d_ts;
+    w_oal w d_oal;
+    w_proc_set w d_alive;
+    w_decision_items w rest
+
+let r_decision_body r =
+  let d_ts = r_time r in
+  let d_oal = r_oal r in
+  let d_alive = r_proc_set r in
+  { Control_msg.d_ts; d_oal; d_alive }
+
 let w_control pc w (m : _ Control_msg.t) =
   match m with
   | Control_msg.Submit { semantics; payload } ->
@@ -272,7 +386,7 @@ let w_control pc w (m : _ Control_msg.t) =
     w_proposal pc w p
   | Nack { missing } ->
     Wire.byte w 3;
-    Wire.list w_proposal_id w missing
+    w_proposal_id_list w missing
   | Decision { d_ts; d_oal; d_alive } ->
     Wire.byte w 4;
     w_time w d_ts;
@@ -284,7 +398,7 @@ let w_control pc w (m : _ Control_msg.t) =
     w_proc w nd_suspect;
     w_time w nd_since;
     w_oal w nd_view;
-    Wire.list w_update_info w nd_dpd;
+    w_update_info_list w nd_dpd;
     w_proc_set w nd_alive
   | Join_msg { j_ts; j_list; j_alive; j_epoch } ->
     Wire.byte w 6;
@@ -298,7 +412,7 @@ let w_control pc w (m : _ Control_msg.t) =
     w_proc_set w r_list;
     w_time w r_last_decision_ts;
     w_oal w r_view;
-    Wire.list w_update_info w r_dpd;
+    w_update_info_list w r_dpd;
     w_proc_set w r_alive
   | State_transfer { st_ts; st_group; st_group_id; st_oal; st_app; st_buffers }
     ->
@@ -309,6 +423,12 @@ let w_control pc w (m : _ Control_msg.t) =
     w_oal w st_oal;
     pc.write_app w st_app;
     w_buffers pc w st_buffers
+  | Gossip { g_ts; g_alive; g_decisions } ->
+    Wire.byte w 9;
+    w_time w g_ts;
+    w_proc_set w g_alive;
+    Wire.int w (List.length g_decisions);
+    w_decision_items w g_decisions
 
 let r_control pc r : _ Control_msg.t =
   match Wire.r_byte r with
@@ -354,6 +474,11 @@ let r_control pc r : _ Control_msg.t =
     let st_app = pc.read_app r in
     let st_buffers = r_buffers pc r in
     State_transfer { st_ts; st_group; st_group_id; st_oal; st_app; st_buffers }
+  | 9 ->
+    let g_ts = r_time r in
+    let g_alive = r_proc_set r in
+    let g_decisions = Wire.r_list r_decision_body r in
+    Gossip { g_ts; g_alive; g_decisions }
   | b -> Wire.fail (Printf.sprintf "bad control tag %d" b)
 
 let w_cs w (m : Clocksync.Protocol.msg) =

@@ -123,6 +123,10 @@ type ('s, 'm, 'obs) t = {
      so fault injectors can open slow-scheduling windows mid-run *)
   mutable slow_prob : float;
   mutable slow_delay_max : Time.t;
+  (* at most one process singled out for extra scheduling delay: the
+     fault-injection hook behind a chaos "slow member" (one sick
+     machine, everyone else timely) *)
+  mutable slow_proc : (Proc_id.t * float * Time.t) option;
   mutable now : Time.t;
   mutable classifier : ('m -> string) option;
   mutable probes : (Time.t -> Proc_id.t -> 'obs -> unit) list;
@@ -154,6 +158,7 @@ let create cfg ~n =
     observations_c = Stats.counter stats "observations";
     slow_prob = cfg.slow_prob;
     slow_delay_max = cfg.slow_delay_max;
+    slow_proc = None;
     now = Time.zero;
     classifier = None;
     probes = [];
@@ -179,6 +184,16 @@ let set_slow t ~slow_prob ~slow_delay_max =
 let reset_slow t =
   t.slow_prob <- t.cfg.slow_prob;
   t.slow_delay_max <- t.cfg.slow_delay_max
+
+let set_slow_proc t ~proc ~prob ~delay_max =
+  (match validate_slow ~sigma:t.cfg.sigma ~slow_prob:prob
+           ~slow_delay_max:delay_max
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.set_slow_proc: " ^ msg));
+  t.slow_proc <- Some (proc, prob, delay_max)
+
+let clear_slow_proc t = t.slow_proc <- None
 
 (* Registration is rare, dispatch is hot: prepend onto the reversed
    list and materialize the registration-order list once per
@@ -254,6 +269,22 @@ let sched_delay t =
       t.slow_delay_max
   else Rng.uniform_time t.sched_rng t.cfg.sched_min t.cfg.sigma
 
+(* Dispatch delay for an event handled AT [pid]. With no slow process
+   configured this draws exactly what [sched_delay] draws, so opening
+   and never hitting the hook cannot perturb a seeded run; the targeted
+   process pays its extra draws only while singled out. *)
+let sched_delay_for t pid =
+  let base = sched_delay t in
+  match t.slow_proc with
+  | Some (p, prob, delay_max) when Proc_id.equal p pid ->
+    if Rng.bool t.sched_rng prob then
+      Time.add base
+        (Rng.uniform_time t.sched_rng
+           (Time.add t.cfg.sigma (Time.of_us 1))
+           delay_max)
+    else base
+  | Some _ | None -> base
+
 let transmit t ~src ~dst msg =
   let kc = kind_counters t (kind_of t msg) in
   Stats.bump kc.sent;
@@ -265,7 +296,7 @@ let transmit t ~src ~dst msg =
     trace_record t (Trace.Dropped { src; dst; kind = kc.kind_name; reason })
   | Net.Deliver_after delay ->
     Heap.add t.queue
-      ~time:(Time.add t.now (Time.add delay (sched_delay t)))
+      ~time:(Time.add t.now (Time.add delay (sched_delay_for t dst)))
       (Ev_deliver { dst; src; msg })
 
 let set_timer t p ~key ~at_clock =
@@ -274,7 +305,7 @@ let set_timer t p ~key ~at_clock =
   let fire_real = p.clock.real_of ~clock:at_clock in
   let fire_real = Time.max fire_real t.now in
   Heap.add t.queue
-    ~time:(Time.add fire_real (sched_delay t))
+    ~time:(Time.add fire_real (sched_delay_for t p.id))
     (Ev_timer { proc = p.id; key; gen; inc = p.incarnation })
 
 let cancel_timer p ~key =

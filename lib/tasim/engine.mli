@@ -179,6 +179,20 @@ val set_slow :
 val reset_slow : ('s, 'm, 'obs) t -> unit
 (** Restore [slow_prob]/[slow_delay_max] to the creation config. *)
 
+val set_slow_proc :
+  ('s, 'm, 'obs) t -> proc:Proc_id.t -> prob:float -> delay_max:Time.t -> unit
+(** Single out one process for extra scheduling delay: every event
+    dispatched at [proc] (delivery or timer) additionally suffers a
+    performance failure with probability [prob], delaying it by up to
+    [delay_max] on top of the normal draw — one sick machine while the
+    rest of the team stays timely. At most one process is slow at a
+    time; a second call replaces the first. When no process is singled
+    out the scheduler's random draw sequence is exactly as without the
+    hook, so seeded runs reproduce. Same validation as {!set_slow}. *)
+
+val clear_slow_proc : ('s, 'm, 'obs) t -> unit
+(** Remove the per-process slow regime (no-op when none is set). *)
+
 val partition_at : ('s, 'm, 'obs) t -> Time.t -> Proc_set.t list -> unit
 val heal_at : ('s, 'm, 'obs) t -> Time.t -> unit
 

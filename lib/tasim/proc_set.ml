@@ -203,3 +203,44 @@ let predecessor_in t p ~n =
 
 let pp ppf t =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:sp Proc_id.pp) (to_list t)
+
+(* Mutable accumulator for building a set element by element without
+   the per-[add] array copy of the immutable API. A decoder reading a
+   64-member set from the wire does 64 adds; through [add] that is 64
+   array copies, through a builder it is 64 in-place bit-ors and one
+   final canonical copy in [build]. *)
+module Builder = struct
+  type set = t
+
+  type t = { mutable words : int array; mutable hi : int }
+  (* [hi]: number of live words (beyond it the scratch may be dirty
+     from an earlier, larger set — [clear] only resets up to [hi]) *)
+
+  let create () = { words = Array.make 4 0; hi = 0 }
+
+  let clear b =
+    Array.fill b.words 0 b.hi 0;
+    b.hi <- 0
+
+  let add b p =
+    let i = Proc_id.to_int p in
+    let wi = i / bpw in
+    if wi >= Array.length b.words then begin
+      let cap = ref (Array.length b.words * 2) in
+      while wi >= !cap do
+        cap := !cap * 2
+      done;
+      let words = Array.make !cap 0 in
+      Array.blit b.words 0 words 0 b.hi;
+      b.words <- words
+    end;
+    b.words.(wi) <- b.words.(wi) lor (1 lsl (i mod bpw));
+    if wi >= b.hi then b.hi <- wi + 1
+
+  let build b : set =
+    let len = ref b.hi in
+    while !len > 0 && b.words.(!len - 1) = 0 do
+      decr len
+    done;
+    if !len = 0 then empty else Array.sub b.words 0 !len
+end

@@ -48,3 +48,20 @@ val predecessor_in : t -> Proc_id.t -> n:int -> Proc_id.t option
 
 val pp : t Fmt.t
 (** Prints as ["{p0 p2 p3}"]. *)
+
+(** Mutable set accumulator: in-place [add]s, one allocation at
+    [build]. For decoders that read many sets per message — the
+    immutable {!add} copies the backing array per element. A builder is
+    reused across calls via {!Builder.clear}. *)
+module Builder : sig
+  type set = t
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> Proc_id.t -> unit
+
+  val build : t -> set
+  (** Canonical immutable set of everything added since the last
+      [clear]. The builder stays usable (and dirty) afterwards. *)
+end

@@ -1,8 +1,11 @@
 (* CI smoke gate, run with [dune build @chaos-smoke]: a small
-   fixed-seed chaos sweep plus replay of the pinned counterexample
+   fixed-seed chaos sweep, replay of the pinned counterexample
    artifacts (chaos-11, the amnesiac epoch fork; chaos-17, the
-   wrong-suspicion deafness). Exits nonzero on the first violation, so
-   the alias fails the build. *)
+   wrong-suspicion deafness), and the slow-member scenario (one sick
+   machine must not break membership invariants). Exits nonzero on the
+   first violation, so the alias fails the build. *)
+
+open Tasim
 
 let replay name =
   let path = Filename.concat "artifacts" name in
@@ -19,9 +22,42 @@ let replay name =
       exit 1
     end
 
+(* the Lifeguard failure mode, end to end through the runner: two
+   seconds of one member's dispatches stochastically delayed past the
+   fail-aware bound — wrong suspicions are allowed (and masked), but
+   every invariant must hold and the team must reconverge *)
+let slow_member () =
+  let plan =
+    {
+      Chaos.Plan.seed = 21;
+      n = 5;
+      ops =
+        [
+          Chaos.Plan.Slow_member
+            {
+              at = Time.of_ms 500;
+              until = Time.of_ms 2500;
+              proc = 3;
+              prob = 0.5;
+              delay_max = Time.of_ms 20;
+            };
+        ];
+    }
+  in
+  let outcome = Chaos.Runner.run plan in
+  if Chaos.Runner.ok outcome then Fmt.pr "slow member: ok@."
+  else begin
+    Fmt.epr "slow member: VIOLATION@.";
+    List.iter
+      (fun v -> Fmt.epr "  %a@." Chaos.Runner.pp_violation v)
+      outcome.Chaos.Runner.violations;
+    exit 1
+  end
+
 let () =
   let report = Chaos.Fuzz.sweep ~seed:1 ~plans:6 ~n:5 () in
   Fmt.pr "%a@." Chaos.Fuzz.pp_report report;
   if not (Chaos.Fuzz.ok report) then exit 1;
   List.iter replay [ "chaos-11.json"; "chaos-17.json" ];
+  slow_member ();
   Fmt.pr "chaos smoke: all clear@."

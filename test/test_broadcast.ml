@@ -759,6 +759,116 @@ let prop_agreement_under_loss =
         List.length first = 12 && List.for_all (( = ) first) rest
       | [] -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Dissemination: the epoch-aware piggyback queue and probe targets *)
+
+module Q = Dissemination.Queue
+
+let test_queue_push_drain () =
+  let q, fresh = Q.push Q.empty ~epoch:0 ~stamp:1 ~forwards:2 "a" in
+  check Alcotest.bool "first push fresh" true fresh;
+  let q, fresh = Q.push q ~epoch:0 ~stamp:1 ~forwards:2 "a-dup" in
+  check Alcotest.bool "equal rank stale" false fresh;
+  let q, fresh = Q.push q ~epoch:0 ~stamp:3 ~forwards:2 "b" in
+  check Alcotest.bool "higher stamp fresh" true fresh;
+  check Alcotest.int "two queued" 2 (Q.length q);
+  let items, q = Q.drain q ~budget:1 in
+  check (Alcotest.list Alcotest.string) "highest rank first" [ "b" ] items;
+  let items, q = Q.drain q ~budget:5 in
+  (* second drain: both items again ("b" has one forward left) *)
+  check (Alcotest.list Alcotest.string) "budget covers both" [ "b"; "a" ] items;
+  let items, q = Q.drain q ~budget:5 in
+  (* "b" rode 2 drains, "a" rode 2: both exhausted except "a" joined late *)
+  check (Alcotest.list Alcotest.string) "forwards exhausted" [ "a" ] items;
+  check Alcotest.bool "queue drains dry" true (Q.is_empty (snd (Q.drain q ~budget:5)));
+  check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+    "high-water survives draining" (Some (0, 3)) (Q.seen q)
+
+let test_queue_epoch_invalidation () =
+  let q, _ = Q.push Q.empty ~epoch:1 ~stamp:9 ~forwards:3 "old" in
+  let q, fresh = Q.push q ~epoch:2 ~stamp:0 ~forwards:3 "new" in
+  check Alcotest.bool "higher epoch fresh despite lower stamp" true fresh;
+  check Alcotest.int "lower-epoch item dropped" 1 (Q.length q);
+  let items, q = Q.drain q ~budget:4 in
+  check (Alcotest.list Alcotest.string) "only the new epoch rides" [ "new" ] items;
+  let q, fresh = Q.push q ~epoch:1 ~stamp:50 ~forwards:3 "stale-epoch" in
+  check Alcotest.bool "lower epoch never re-accepted" false fresh;
+  check Alcotest.int "still just the new item" 1 (Q.length q)
+
+(* property: drains respect the budget, return items in descending
+   rank, and never yield a lower epoch after a higher epoch has been
+   drained (the queue is single-epoch once invalidation runs) *)
+let prop_queue_budget_and_epoch_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"dissemination queue: budget respected, epochs monotone"
+    QCheck.(pair (int_range 0 100_000) (int_range 1 60))
+    (fun (seed, steps) ->
+      let rng = Rng.create seed in
+      let q = ref Q.empty in
+      let top_epoch = ref (-1) in
+      let ok = ref true in
+      for _ = 1 to steps do
+        if Rng.bool rng 0.6 then begin
+          let epoch = Rng.int rng 4 and stamp = Rng.int rng 50 in
+          let q', fresh =
+            Q.push !q ~epoch ~stamp ~forwards:(1 + Rng.int rng 3) (epoch, stamp)
+          in
+          (* freshness must agree with the advertised high-water mark *)
+          (match Q.seen !q with
+          | Some hw -> if fresh <> (compare (epoch, stamp) hw > 0) then ok := false
+          | None -> if not fresh then ok := false);
+          q := q'
+        end
+        else begin
+          let budget = 1 + Rng.int rng 5 in
+          let items, q' = Q.drain !q ~budget in
+          q := q';
+          if List.length items > budget then ok := false;
+          if List.sort (fun a b -> compare b a) items <> items then ok := false;
+          List.iter
+            (fun (e, _) ->
+              if e < !top_epoch then ok := false
+              else if e > !top_epoch then top_epoch := e)
+            items
+        end
+      done;
+      !ok)
+
+let test_probe_targets () =
+  let group = set_of [ 0; 1; 2; 3; 4 ] in
+  let targets r =
+    Dissemination.probe_targets ~group ~self:(pid 1) ~n:5 ~fanout:2 ~round:r
+  in
+  (* the ring successor leads every round: it feeds the member whose
+     surveillance watches us *)
+  List.iter
+    (fun r ->
+      match targets r with
+      | succ :: rest ->
+        check Alcotest.int (Fmt.str "round %d: successor first" r) 2
+          (Proc_id.to_int succ);
+        check Alcotest.bool "fanout bound" true (List.length rest <= 1);
+        List.iter
+          (fun t ->
+            check Alcotest.bool "target in group, not self" true
+              (Proc_set.mem t group && not (Proc_id.equal t (pid 1))))
+          rest
+      | [] -> Alcotest.fail "no targets in a 5-member group")
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+  (* over consecutive rounds every other member is probed *)
+  let probed =
+    List.fold_left
+      (fun acc r -> List.fold_left (fun acc t -> Proc_set.add t acc) acc (targets r))
+      Proc_set.empty [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  check Alcotest.int "rotation covers the group" 4 (Proc_set.cardinal probed);
+  check
+    (Alcotest.list Alcotest.int)
+    "lone member probes no one" []
+    (List.map Proc_id.to_int
+       (Dissemination.probe_targets ~group:(set_of [ 1 ]) ~self:(pid 1) ~n:5
+          ~fanout:2 ~round:0))
+
 let () =
   Alcotest.run "broadcast"
     [
@@ -817,5 +927,13 @@ let () =
           Alcotest.test_case "fifo per sender" `Quick test_protocol_fifo_per_sender;
           Alcotest.test_case "stability" `Quick test_protocol_stability_reported;
           qcheck prop_agreement_under_loss;
+        ] );
+      ( "dissemination",
+        [
+          Alcotest.test_case "queue push/drain" `Quick test_queue_push_drain;
+          Alcotest.test_case "queue epoch invalidation" `Quick
+            test_queue_epoch_invalidation;
+          qcheck prop_queue_budget_and_epoch_monotone;
+          Alcotest.test_case "probe targets" `Quick test_probe_targets;
         ] );
     ]

@@ -59,6 +59,14 @@ let every_op_plan =
             prob = 0.5;
             delay_max = Time.of_ms 5;
           };
+        Plan.Slow_member
+          {
+            at = Time.of_ms 1000;
+            until = Time.of_ms 1050;
+            proc = 4;
+            prob = 0.5;
+            delay_max = Time.of_ms 10;
+          };
         Plan.Storage_fault
           {
             at = Time.of_ms 1100;
@@ -252,6 +260,64 @@ let test_stale_member_cannot_veto_election () =
    storage the crashed members recover their formation epochs, the
    epilogue's mass recovery re-forms at a higher epoch, and the plan
    must now fully converge — the waiver is gone from the runner. *)
+(* The slow-member op end to end through the runner: one sick machine
+   for two seconds must at worst cause maskable wrong suspicions — the
+   team reconverges and no membership invariant breaks. *)
+let test_slow_member_plan_converges () =
+  let plan =
+    {
+      Plan.seed = 21;
+      n = 5;
+      ops =
+        [
+          Plan.Slow_member
+            {
+              at = Time.of_ms 500;
+              until = Time.of_ms 2500;
+              proc = 3;
+              prob = 0.5;
+              delay_max = Time.of_ms 20;
+            };
+        ];
+    }
+  in
+  let outcome = Runner.run plan in
+  check Alcotest.bool "no violation" true (Runner.ok outcome)
+
+(* The scenario adaptive suspicion exists for: one slow member whose
+   inbound decisions keep getting late-rejected. With the fixed 2D
+   deadline the slow member wrongly suspects its timely peers; with
+   Lifeguard-style local health the late rejections stretch its own
+   deadline instead, and those false suspicions disappear. (Timely
+   members may still rightly suspect the slow member — a performance
+   failure is a failure in the timed model — so only suspicions
+   {e emitted by} the slow member count as false here.) *)
+let slow = Proc_id.of_int 3
+
+let slow_member_false_suspicions ~adaptive =
+  let params = Timewheel.Params.make ~n:5 ~adaptive_suspicion:adaptive () in
+  let svc = Harness.Run.service ~seed:5 ~params ~n:5 () in
+  let suspicions = ref 0 in
+  Timewheel.Service.on_obs svc (fun _at proc obs ->
+      match obs with
+      | Timewheel.Member.Suspected _ when Proc_id.equal proc slow ->
+        incr suspicions
+      | _ -> ());
+  let svc = Harness.Run.settle svc in
+  let engine = Timewheel.Service.engine svc in
+  Engine.set_slow_proc engine ~proc:slow ~prob:0.5 ~delay_max:(Time.of_ms 20);
+  Timewheel.Service.run svc
+    ~until:(Time.add (Timewheel.Service.now svc) (Time.of_sec 5));
+  !suspicions
+
+let test_slow_member_adaptive_contrast () =
+  let fixed = slow_member_false_suspicions ~adaptive:false in
+  let adaptive = slow_member_false_suspicions ~adaptive:true in
+  check Alcotest.bool
+    (Fmt.str "fixed 2D deadline wrongly suspects (%d)" fixed)
+    true (fixed > 0);
+  check Alcotest.int "adaptive suspicion masks the slow member" 0 adaptive
+
 let test_majority_loss_recovers_via_epoch_bump () =
   let plan =
     {
@@ -340,6 +406,10 @@ let () =
             test_stale_member_cannot_veto_election;
           Alcotest.test_case "majority loss recovers via epoch bump" `Quick
             test_majority_loss_recovers_via_epoch_bump;
+          Alcotest.test_case "slow member plan converges" `Quick
+            test_slow_member_plan_converges;
+          Alcotest.test_case "slow member: adaptive suspicion contrast" `Quick
+            test_slow_member_adaptive_contrast;
         ] );
       ( "sweep",
         [

@@ -512,6 +512,40 @@ let test_service_determinism () =
   check Alcotest.bool "different seed, different timing" true
     (history 123 <> history 124)
 
+(* the dissemination layer's default must be the paper's broadcast,
+   bit for bit: a run with the implicit defaults and one with explicit
+   [All_to_all] + adaptive suspicion off must produce identical view
+   histories and identical wire counters, seed by seed, including
+   through a crash/recover cycle *)
+let prop_explicit_all_to_all_equals_default =
+  QCheck.Test.make ~count:10
+    ~name:"explicit all-to-all run == default-params run"
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let trace params =
+        let svc = Harness.Run.service ~seed ?params ~n:5 () in
+        let svc = Harness.Run.settle svc in
+        let t = Service.now svc in
+        Service.crash_at svc (Time.add t (Time.of_ms 200)) (pid 2);
+        Service.recover_at svc (Time.add t (Time.of_sec 2)) (pid 2);
+        Service.run svc ~until:(Time.add t (Time.of_sec 4));
+        let views =
+          List.map
+            (fun (p, (v : Service.view)) ->
+              ( Proc_id.to_int p,
+                v.Service.group_id,
+                v.Service.at,
+                List.map Proc_id.to_int (Proc_set.to_list v.Service.group) ))
+            (Service.views_installed svc)
+        in
+        (views, Harness.Run.counters_snapshot svc)
+      in
+      let explicit =
+        Params.make ~n:5 ~dissemination:Dissemination.All_to_all
+          ~adaptive_suspicion:false ()
+      in
+      trace None = trace (Some explicit))
+
 (* ------------------------------------------------------------------ *)
 (* protocol variants (ablation flags) *)
 
@@ -766,6 +800,7 @@ let () =
           Alcotest.test_case "state stays bounded" `Slow
             test_long_run_state_stays_bounded;
           Alcotest.test_case "determinism" `Quick test_service_determinism;
+          qcheck prop_explicit_all_to_all_equals_default;
         ] );
       ( "ablation flags",
         [
