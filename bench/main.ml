@@ -9,6 +9,8 @@
      bench/main.exe quick e3      one experiment, reduced
      bench/main.exe micro         microbenchmarks + M1/M2/M3 macrobenches
      bench/main.exe m3            the M3 large-N dissemination bench alone
+     bench/main.exe topology      the topology-shaped chaos sweep: per-
+                                  scenario convergence-time distributions
 
    Each experiment prints the table(s) recorded in EXPERIMENTS.md; see
    DESIGN.md section 5 for the experiment index. Unknown experiment ids
@@ -17,12 +19,13 @@
    The micro target additionally runs the M1 engine-throughput, M2
    64-member and M3 large-N (256/1024) membership macrobenchmarks plus
    the per-kind codec microbenchmarks, and writes machine-readable
-   results to BENCH_engine.json in the current directory (schema v4,
-   DESIGN.md section 5; v1/v2/v3 files are migrated in place). M1, M2
-   and M3 results are APPENDED to the file's
-   engine_runs/m2_runs/m3_runs series — successive invocations
-   accumulate a perf trajectory instead of overwriting the previous
-   point.
+   results to BENCH_engine.json in the current directory (schema v5,
+   DESIGN.md section 5; v1-v4 files are migrated in place). M1, M2,
+   M3 and topology results are APPENDED to the file's
+   engine_runs/m2_runs/m3_runs/topology_runs series — successive
+   invocations accumulate a perf trajectory instead of overwriting the
+   previous point. The topology target appends only to topology_runs,
+   preserving every other series and snapshot.
 
    Perf gates run with the micro target and fail the process:
    - every fixed-shape wire kind must encode with zero minor-heap
@@ -553,6 +556,42 @@ let m3_run_record ~quick (r : Harness.M3_bench.result) =
       ("events_per_sec", Float r.events_per_sec);
     ]
 
+(* Topology sweeps: per-scenario convergence-time distributions under
+   shaped chaos (lib/chaos/topology.ml). Distributions are emitted in
+   seconds; a missing formation/reconvergence field means no clean run
+   produced that sample. *)
+let topology_dist_fields name (d : Chaos.Topology.dist option) =
+  let open Harness.Bench_json in
+  match d with
+  | None -> []
+  | Some d ->
+    [
+      ( name,
+        Obj
+          [
+            ("samples", Int d.Chaos.Topology.samples);
+            ("min_s", Float (Time.to_sec_f d.min));
+            ("p50_s", Float (Time.to_sec_f d.p50));
+            ("p90_s", Float (Time.to_sec_f d.p90));
+            ("max_s", Float (Time.to_sec_f d.max));
+            ("mean_s", Float (Time.to_sec_f d.mean));
+          ] );
+    ]
+
+let topology_run_record ~quick (r : Chaos.Topology.report) =
+  let open Harness.Bench_json in
+  Obj
+    ([
+       ("scenario", String r.scenario.Chaos.Topology.name);
+       ("n", Int r.scenario.Chaos.Topology.n);
+       ("quick", Bool quick);
+       ("root_seed", Int r.root_seed);
+       ("runs", Int r.runs);
+       ("failures", Int (List.length r.failures));
+     ]
+    @ topology_dist_fields "formation" r.formation
+    @ topology_dist_fields "reconvergence" r.reconvergence)
+
 let codec_micro_record row =
   let open Harness.Bench_json in
   Obj
@@ -565,13 +604,14 @@ let codec_micro_record row =
       ("decode_minor_words_per_op", Float row.decode_minor_words);
     ]
 
-(* M1/M2/M3 results accumulate across invocations so regressions are
-   visible as a series, not silently overwritten; schema v4 (DESIGN.md
-   section 5). Earlier schemas migrate on the next write: a v1 file's
-   single engine_throughput object becomes the first element of the
-   engine_runs series, a v2 file (no m2_runs, no codec rows) starts its
-   m2_runs series empty, and a v3 file (no m3_runs) starts its m3_runs
-   series empty. *)
+(* M1/M2/M3/topology results accumulate across invocations so
+   regressions are visible as a series, not silently overwritten;
+   schema v5 (DESIGN.md section 5). Earlier schemas migrate on the
+   next write: a v1 file's single engine_throughput object becomes the
+   first element of the engine_runs series, a v2 file (no m2_runs, no
+   codec rows) starts its m2_runs series empty, a v3 file (no m3_runs)
+   starts its m3_runs series empty, and a v4 file (no topology_runs)
+   starts its topology_runs series empty. *)
 let prior_engine_runs () =
   let open Harness.Bench_json in
   match read_file bench_json_file with
@@ -602,32 +642,48 @@ let prior_m3_runs () =
   | Ok json -> (
     match member "m3_runs" json with Some (List runs) -> runs | Some _ | None -> [])
 
-let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
-    (m2 : Harness.Member_bench.result) (m3 : Harness.M3_bench.result list) =
+let prior_topology_runs () =
   let open Harness.Bench_json in
-  let engine_runs = prior_engine_runs () @ [ engine_run_record ~quick tput ] in
-  let m2_runs = prior_m2_runs () @ [ m2_run_record ~quick m2 ] in
-  let m3_runs = prior_m3_runs () @ List.map (m3_run_record ~quick) m3 in
+  match read_file bench_json_file with
+  | Error _ -> []
+  | Ok json -> (
+    match member "topology_runs" json with
+    | Some (List runs) -> runs
+    | Some _ | None -> [])
+
+(* The micro path overwrites the micro/codec snapshots and appends to
+   the run series; the topology path preserves the prior snapshots
+   (its invocation never re-measures them) and appends only to
+   topology_runs. Both rewrite the whole file at schema v5, which is
+   what migrates an older file. *)
+let prior_snapshot name =
+  let open Harness.Bench_json in
+  match read_file bench_json_file with
+  | Error _ -> List []
+  | Ok json -> (
+    match member name json with Some v -> v | None -> List [])
+
+let write_bench_json_file ~quick ~micro ~codec ~engine_runs ~m2_runs ~m3_runs
+    ~topology_runs =
+  let open Harness.Bench_json in
   let json =
     Obj
       [
-        ("schema", String "timewheel/bench-engine/v4");
+        ("schema", String "timewheel/bench-engine/v5");
         ("quick", Bool quick);
         ("seed", Int 42);
-        ( "micro",
-          List
-            (List.map
-               (fun (name, ns) ->
-                 Obj [ ("name", String name); ("ns_per_op", Float ns) ])
-               micro) );
-        ("codec_micro", List (List.map codec_micro_record codec));
+        ("micro", micro);
+        ("codec_micro", codec);
         ("engine_runs", List engine_runs);
         ("m2_runs", List m2_runs);
         ("m3_runs", List m3_runs);
+        ("topology_runs", List topology_runs);
       ]
   in
   write_file bench_json_file json;
-  Fmt.pr "wrote %s (%d engine run%s, %d m2 run%s, %d m3 run%s recorded)@."
+  Fmt.pr
+    "wrote %s (%d engine run%s, %d m2 run%s, %d m3 run%s, %d topology run%s \
+     recorded)@."
     bench_json_file
     (List.length engine_runs)
     (if List.length engine_runs = 1 then "" else "s")
@@ -635,6 +691,33 @@ let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
     (if List.length m2_runs = 1 then "" else "s")
     (List.length m3_runs)
     (if List.length m3_runs = 1 then "" else "s")
+    (List.length topology_runs)
+    (if List.length topology_runs = 1 then "" else "s")
+
+let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
+    (m2 : Harness.Member_bench.result) (m3 : Harness.M3_bench.result list) =
+  let open Harness.Bench_json in
+  let engine_runs = prior_engine_runs () @ [ engine_run_record ~quick tput ] in
+  let m2_runs = prior_m2_runs () @ [ m2_run_record ~quick m2 ] in
+  let m3_runs = prior_m3_runs () @ List.map (m3_run_record ~quick) m3 in
+  let topology_runs = prior_topology_runs () in
+  write_bench_json_file ~quick
+    ~micro:
+      (List
+         (List.map
+            (fun (name, ns) ->
+              Obj [ ("name", String name); ("ns_per_op", Float ns) ])
+            micro))
+    ~codec:(List (List.map codec_micro_record codec))
+    ~engine_runs ~m2_runs ~m3_runs ~topology_runs
+
+let write_topology_json ~quick reports =
+  let topology_runs =
+    prior_topology_runs () @ List.map (topology_run_record ~quick) reports
+  in
+  write_bench_json_file ~quick ~micro:(prior_snapshot "micro")
+    ~codec:(prior_snapshot "codec_micro") ~engine_runs:(prior_engine_runs ())
+    ~m2_runs:(prior_m2_runs ()) ~m3_runs:(prior_m3_runs ()) ~topology_runs
 
 let run_micro ?(quick = false) () =
   Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
@@ -718,6 +801,71 @@ let run_micro ?(quick = false) () =
       tput.events_per_sec m1_floor_events_per_sec;
   if not (zero_alloc_ok && m1_ok && m3_ok) then exit 1
 
+(* Topology sweep sizing: the small scenarios are cheap (n<=6, ~3 sim
+   seconds each) so they get many seeds; churn-gossip-64 simulates a
+   64-member gossip group through formation plus churn (~12 sim
+   seconds, the dominant wall cost) so it gets few. *)
+let topology_sweep_runs ~quick (s : Chaos.Topology.scenario) =
+  if s.Chaos.Topology.n >= 64 then if quick then 1 else 2
+  else if quick then 3
+  else 10
+
+let topology_root_seed = 42
+
+let run_topology ?(quick = false) () =
+  Fmt.pr "@.=== Topology: convergence under shaped chaos ===@.@.";
+  let reports =
+    List.map
+      (fun s ->
+        let runs = topology_sweep_runs ~quick s in
+        Fmt.pr "sweeping %s (n=%d, %d run%s)...@." s.Chaos.Topology.name
+          s.Chaos.Topology.n runs
+          (if runs = 1 then "" else "s");
+        Chaos.Topology.sweep ~runs ~seed:topology_root_seed s)
+      Chaos.Topology.scenarios
+  in
+  let table =
+    Harness.Table.create ~title:"topology scenarios: convergence times (s)"
+      ~columns:
+        [
+          "scenario"; "n"; "runs"; "fail"; "form p50"; "form p90";
+          "reconv p50"; "reconv p90";
+        ]
+  in
+  List.iter
+    (fun (r : Chaos.Topology.report) ->
+      let cell field = function
+        | None -> "-"
+        | Some (d : Chaos.Topology.dist) ->
+          Harness.Table.cell_f (Time.to_sec_f (field d))
+      in
+      Harness.Table.add_row table
+        [
+          r.scenario.Chaos.Topology.name;
+          string_of_int r.scenario.Chaos.Topology.n;
+          string_of_int r.runs;
+          string_of_int (List.length r.failures);
+          cell (fun d -> d.Chaos.Topology.p50) r.formation;
+          cell (fun d -> d.Chaos.Topology.p90) r.formation;
+          cell (fun d -> d.Chaos.Topology.p50) r.reconvergence;
+          cell (fun d -> d.Chaos.Topology.p90) r.reconvergence;
+        ])
+    reports;
+  Harness.Table.note table
+    (Fmt.str
+       "fixed root seed %d; formation = time to the settled initial view, \
+        reconvergence = heal-to-agreed-full-view after the plan's faults"
+       topology_root_seed);
+  Harness.Table.print table;
+  write_topology_json ~quick reports;
+  let bad = List.filter (fun r -> not (Chaos.Topology.ok r)) reports in
+  List.iter (fun r -> Fmt.epr "%a@." Chaos.Topology.pp_report r) bad;
+  if bad <> [] then begin
+    Fmt.epr "GATE FAILED: %d topology scenario(s) saw violations@."
+      (List.length bad);
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -737,6 +885,7 @@ let () =
     run_micro ~quick ()
   | [ "micro" ] -> run_micro ~quick ()
   | [ "m3" ] -> run_m3_alone ()
+  | [ "topology" ] -> run_topology ~quick ()
   | ids ->
     let unknown = ref false in
     List.iter
@@ -748,12 +897,13 @@ let () =
           List.iter Harness.Table.print (e.Harness.Experiments.run ~quick ())
         | None when id = "micro" -> run_micro ~quick ()
         | None when id = "m3" -> run_m3_alone ()
+        | None when id = "topology" -> run_topology ~quick ()
         | None ->
           Fmt.epr "unknown experiment %S@." id;
           unknown := true)
       ids;
     if !unknown then begin
-      Fmt.epr "known ids: %s, micro, m3@."
+      Fmt.epr "known ids: %s, micro, m3, topology@."
         (String.concat ", "
            (List.map
               (fun e -> e.Harness.Experiments.id)

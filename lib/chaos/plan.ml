@@ -33,6 +33,17 @@ type op =
       proc : int option;
       fault : Storage.Store.fault;
     }
+  | Link_window of {
+      at : Time.t;
+      until : Time.t;
+      src : int option;
+      dst : int option;
+      delay_min : Time.t;
+      delay_max : Time.t;
+      omission_prob : float;
+      late_prob : float;
+      late_delay_max : Time.t;
+    }
 
 type t = { seed : int; n : int; ops : op list }
 
@@ -47,7 +58,8 @@ let op_time = function
   | Filter_window { at; _ }
   | Slow_window { at; _ }
   | Slow_member { at; _ }
-  | Storage_fault { at; _ } ->
+  | Storage_fault { at; _ }
+  | Link_window { at; _ } ->
     at
 
 let op_end = function
@@ -55,7 +67,8 @@ let op_end = function
   | Filter_window { until; _ }
   | Slow_window { until; _ }
   | Slow_member { until; _ }
-  | Storage_fault { until; _ } ->
+  | Storage_fault { until; _ }
+  | Link_window { until; _ } ->
     until
   | op -> op_time op
 
@@ -199,6 +212,28 @@ let shrink_op op =
     match halved_until at until with
     | Some until -> [ Storage_fault { o with until } ]
     | None -> [])
+  | Link_window
+      ({ at; until; omission_prob; late_prob; delay_min; delay_max; _ } as o)
+    ->
+    (* halving both delays preserves [delay_min <= delay_max], so every
+       candidate still passes [Net.validate_config] *)
+    let half d = Time.max (Time.of_ms 1) (Time.div d 2) in
+    (match halved_until at until with
+    | Some until -> [ Link_window { o with until } ]
+    | None -> [])
+    @ (match halved_prob omission_prob with
+      | Some omission_prob -> [ Link_window { o with omission_prob } ]
+      | None -> [])
+    @ (match halved_prob late_prob with
+      | Some late_prob -> [ Link_window { o with late_prob } ]
+      | None -> [])
+    @
+    if Time.compare (half delay_max) delay_max < 0 then
+      [
+        Link_window
+          { o with delay_min = half delay_min; delay_max = half delay_max };
+      ]
+    else []
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing *)
@@ -230,6 +265,12 @@ let pp_op ppf = function
   | Storage_fault { at; until; proc; fault } ->
     Fmt.pf ppf "[%a..%a] storage %a p%a" Time.pp at Time.pp until
       Storage.Store.pp_fault fault pp_endpoint proc
+  | Link_window
+      { at; until; src; dst; delay_min; delay_max; omission_prob; late_prob; _ }
+    ->
+    Fmt.pf ppf "[%a..%a] link %a->%a delay=[%a,%a] om=%.2f late=%.2f" Time.pp
+      at Time.pp until pp_endpoint src pp_endpoint dst Time.pp delay_min
+      Time.pp delay_max omission_prob late_prob
 
 let pp ppf t =
   Fmt.pf ppf "plan seed=%d n=%d (%d ops)@,%a" t.seed t.n (List.length t.ops)
@@ -307,6 +348,31 @@ let op_to_json op =
             (match fault with
             | Storage.Store.Torn_write -> "torn-write"
             | Storage.Store.Lost_flush -> "lost-flush") );
+      ]
+  | Link_window
+      {
+        at;
+        until;
+        src;
+        dst;
+        delay_min;
+        delay_max;
+        omission_prob;
+        late_prob;
+        late_delay_max;
+      } ->
+    J.Obj
+      [
+        ("op", J.String "link-window");
+        ("at", J.Int at);
+        ("until", J.Int until);
+        ("src", json_endpoint src);
+        ("dst", json_endpoint dst);
+        ("delay_min", J.Int delay_min);
+        ("delay_max", J.Int delay_max);
+        ("omission_prob", J.Float omission_prob);
+        ("late_prob", J.Float late_prob);
+        ("late_delay_max", J.Int late_delay_max);
       ]
 
 let to_json t =
@@ -392,6 +458,28 @@ let op_of_json j =
       | _ -> Error "plan artifact: bad or missing field \"fault\""
     in
     Ok (Storage_fault { at; until; proc; fault })
+  | "link-window" ->
+    let* until = field "until" J.to_int j in
+    let* src = endpoint_field "src" j in
+    let* dst = endpoint_field "dst" j in
+    let* delay_min = field "delay_min" J.to_int j in
+    let* delay_max = field "delay_max" J.to_int j in
+    let* omission_prob = float_field "omission_prob" j in
+    let* late_prob = float_field "late_prob" j in
+    let* late_delay_max = field "late_delay_max" J.to_int j in
+    Ok
+      (Link_window
+         {
+           at;
+           until;
+           src;
+           dst;
+           delay_min;
+           delay_max;
+           omission_prob;
+           late_prob;
+           late_delay_max;
+         })
   | tag -> Error (Fmt.str "plan artifact: unknown op %S" tag)
 
 let of_json j =

@@ -59,6 +59,23 @@ type op =
     }
       (** stable-storage writes inside the window are torn or lose
           their flush (see {!Storage.Store.fault}) *)
+  | Link_window of {
+      at : Time.t;
+      until : Time.t;
+      src : int option;  (** [None] = every source *)
+      dst : int option;  (** [None] = every destination *)
+      delay_min : Time.t;
+      delay_max : Time.t;
+      omission_prob : float;
+      late_prob : float;
+      late_delay_max : Time.t;
+    }
+      (** degrade the timeliness of the matching directed links for the
+          window via {!Tasim.Net.set_link} — the timeliness-graph op
+          behind the topology scenarios (asymmetric slow links,
+          cross-datacenter latency). Parameters must satisfy
+          {!Tasim.Net.validate_config} against the run's global config.
+          Not in the random mix, scenario-only. *)
 
 type t = { seed : int; n : int; ops : op list }
 

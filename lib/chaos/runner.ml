@@ -7,6 +7,8 @@ type outcome = {
   plan : Plan.t;
   violations : violation list;
   views_sampled : int;
+  formed_in : Time.t;
+  reconverged_in : Time.t option;
 }
 
 type check = Harness.Run.svc -> Invariant.violation list
@@ -68,9 +70,39 @@ let schedule_op svc ~abs i op =
         Storage.Store.set_fault store ?proc (Some fault));
     Engine.at engine (abs until) (fun () ->
         Storage.Store.set_fault store ?proc None)
+  | Plan.Link_window
+      {
+        at;
+        until;
+        src;
+        dst;
+        delay_min;
+        delay_max;
+        omission_prob;
+        late_prob;
+        late_delay_max;
+      } ->
+    let n = Engine.n engine in
+    let matches want x = match want with None -> true | Some w -> w = x in
+    let each f =
+      for s = 0 to n - 1 do
+        for d = 0 to n - 1 do
+          if s <> d && matches src s && matches dst d then f (pid s) (pid d)
+        done
+      done
+    in
+    Engine.at engine (abs at) (fun () ->
+        each (fun src dst ->
+            Net.set_link net ~src ~dst ~delay_min ~delay_max ~omission_prob
+              ~late_prob ~late_delay_max ()));
+    (* the close clears the whole directed link, so of two overlapping
+       windows on one link the earlier close wins — plans that want
+       layering must use disjoint windows *)
+    Engine.at engine (abs until) (fun () ->
+        each (fun src dst -> Net.clear_link net ~src ~dst))
 
-let run ?probe ?(check = default_check) (plan : Plan.t) =
-  let svc = Harness.Run.service ~seed:plan.Plan.seed ~n:plan.Plan.n () in
+let run ?params ?probe ?(check = default_check) (plan : Plan.t) =
+  let svc = Harness.Run.service ~seed:plan.Plan.seed ?params ~n:plan.Plan.n () in
   (match probe with Some f -> f svc | None -> ());
   let svc = Harness.Run.settle svc in
   let engine = Service.engine svc in
@@ -118,9 +150,11 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
      newest view leaves their persisted epochs behind, so a recovered
      majority re-forms at a higher epoch and the stragglers rejoin —
      non-convergence is always a violation. *)
+  let reconverged_in = ref None in
   if !violations = [] then begin
     let net = Engine.net engine in
     Net.clear_filters net;
+    Net.clear_links net;
     Net.heal net;
     Engine.reset_slow engine;
     Engine.clear_slow_proc engine;
@@ -131,6 +165,7 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
           Engine.recover_at engine (Engine.now engine) p)
       (Proc_id.all ~n:plan.Plan.n);
     let cycle = Params.cycle (Service.params svc) in
+    let heal_start = Service.now svc in
     let converged () =
       match Service.agreed_view svc with
       | Some v -> Proc_set.cardinal v.Service.group = plan.Plan.n
@@ -139,7 +174,9 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
     let rec wait tries =
       Service.run svc ~until:(Time.add (Service.now svc) cycle);
       if !violations <> [] then () (* an invariant broke during re-join *)
-      else if converged () then ()
+      else if converged () then
+        (* cycle-granular: the epilogue advances a cycle at a time *)
+        reconverged_in := Some (Time.sub (Service.now svc) heal_start)
       else if tries <= 1 then
         violations :=
           [
@@ -157,12 +194,18 @@ let run ?probe ?(check = default_check) (plan : Plan.t) =
     wait convergence_tries;
     if !violations = [] then record (check svc)
   end;
-  { plan; violations = !violations; views_sampled = !sampled }
+  {
+    plan;
+    violations = !violations;
+    views_sampled = !sampled;
+    formed_in = base;
+    reconverged_in = !reconverged_in;
+  }
 
 let ok outcome = outcome.violations = []
 
-let minimize ?check (plan : Plan.t) =
-  let violates ops = not (ok (run ?check { plan with Plan.ops })) in
+let minimize ?params ?check (plan : Plan.t) =
+  let violates ops = not (ok (run ?params ?check { plan with Plan.ops })) in
   let ops = Shrink.minimize ~violates plan.Plan.ops in
   let ops =
     Shrink.shrink_params ~violates ~candidates:Plan.shrink_op ops

@@ -26,6 +26,12 @@ type outcome = {
       (** empty = plan survived; the run stops at the first sample that
           violates, so these all share one sample time *)
   views_sampled : int;  (** invariant samples taken (one per view) *)
+  formed_in : Time.t;
+      (** sim time from start to the settled initial full view *)
+  reconverged_in : Time.t option;
+      (** epilogue: heal-everything to agreed full view, at cycle
+          granularity; [None] when the run violated (the convergence
+          series only aggregates clean runs) *)
 }
 
 type check = Harness.Run.svc -> Timewheel.Invariant.violation list
@@ -35,14 +41,22 @@ type check = Harness.Run.svc -> Timewheel.Invariant.violation list
 
 val pp_violation : violation Fmt.t
 
-val run : ?probe:(Harness.Run.svc -> unit) -> ?check:check -> Plan.t -> outcome
+val run :
+  ?params:Timewheel.Params.t ->
+  ?probe:(Harness.Run.svc -> unit) ->
+  ?check:check ->
+  Plan.t ->
+  outcome
 (** [probe] is called once on the freshly built service, before
     anything runs — the place to install extra observers (the CLI's
-    verbose replay uses it to print views and suspicions). *)
+    verbose replay uses it to print views and suspicions). [params]
+    overrides the protocol parameters of the run (the churn scenarios
+    run under gossip dissemination); the default is
+    [Params.make ~n ()], unchanged. *)
 
 val ok : outcome -> bool
 
-val minimize : ?check:check -> Plan.t -> Plan.t
+val minimize : ?params:Timewheel.Params.t -> ?check:check -> Plan.t -> Plan.t
 (** Delta-debug a violating plan down to a 1-minimal op list (see
     {!Shrink.minimize}), then shrink the surviving ops' parameters
     (halved windows and probabilities, see {!Shrink.shrink_params} and

@@ -13,12 +13,31 @@ let node t proc =
 
 let start t = List.iter Node.start t.nodes
 
+(* A node may report a deadline at or before [now] — a wheel expiry on
+   the current tick boundary, or a clock monotonization plateau — and
+   the poll that follows need not retire it. A raw [max 0] timeout
+   then degrades the loop into a zero-timeout busy-spin: select
+   returns instantly, poll does nothing, repeat at full CPU. The
+   timeout is therefore a function of whether the last poll pass made
+   progress: after a productive pass an overdue deadline legitimately
+   wants an immediate re-poll; after a barren one it cannot be
+   serviced until real time advances, so sleep a small floor. *)
+let timeout_floor = Time.of_ms 1
+
+let select_timeout ~progressed ~now ~next =
+  let span = Time.sub next now in
+  if Time.compare span Time.zero > 0 then Time.to_sec_f span
+  else if progressed then 0.0
+  else Time.to_sec_f timeout_floor
+
 let run_until t ~deadline ?(poll_cap = Time.of_ms 100) pred =
   let met = ref false in
   let give_up = ref false in
   while (not !met) && not !give_up do
     let now = Clock.now t.clock in
-    List.iter (fun n -> Node.poll n ~now) t.nodes;
+    let progress =
+      List.fold_left (fun acc n -> acc + Node.poll n ~now) 0 t.nodes
+    in
     if pred () then met := true
     else if Time.compare now deadline >= 0 then give_up := true
     else begin
@@ -31,9 +50,7 @@ let run_until t ~deadline ?(poll_cap = Time.of_ms 100) pred =
           (Time.add now poll_cap) t.nodes
       in
       let next = Time.min next deadline in
-      let timeout =
-        Time.to_sec_f (Time.max Time.zero (Time.sub next now))
-      in
+      let timeout = select_timeout ~progressed:(progress > 0) ~now ~next in
       let fds =
         List.filter_map
           (fun n -> Option.map (fun fd -> (fd, n)) (Node.fd n))

@@ -37,5 +37,14 @@ val run_until :
     caused by external action (kill/restart from a signal handler,
     say) are noticed promptly. *)
 
+val select_timeout : progressed:bool -> now:Time.t -> next:Time.t -> float
+(** The select sleep (seconds) given the earliest pending deadline
+    [next] and whether the last poll pass did any work. A future
+    [next] sleeps until it; an overdue [next] re-polls immediately
+    only after a productive pass, and otherwise sleeps a small floor —
+    an overdue deadline a barren poll could not retire cannot be
+    retired until real time advances, and a zero timeout would
+    busy-spin on it. Exposed for the regression test. *)
+
 val run_for : ('s, 'm, 'obs) t -> span:Time.t -> unit
 (** [run_until] with an always-false predicate: plain running. *)

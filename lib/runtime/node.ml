@@ -174,12 +174,21 @@ let recv_ready t =
            (Ev_recv (src, m))))
 
 let poll t ~now =
-  if t.state <> None then begin
-    ignore (Eventloop.Timer_wheel.advance t.wheel ~to_:(Time.to_us now));
-    ignore (Eventloop.Dispatcher.run_pending t.dispatcher)
+  if t.state = None then 0
+  else begin
+    let released = Transport.pump t.transport ~now in
+    let fired = Eventloop.Timer_wheel.advance t.wheel ~to_:(Time.to_us now) in
+    let dispatched = Eventloop.Dispatcher.run_pending t.dispatcher in
+    released + fired + dispatched
   end
+
+let transport t = t.transport
 
 let next_deadline t =
   if t.state = None then None
   else
-    Option.map Time.of_us (Eventloop.Timer_wheel.next_expiry t.wheel)
+    let wheel = Option.map Time.of_us (Eventloop.Timer_wheel.next_expiry t.wheel) in
+    match (wheel, Transport.next_release t.transport) with
+    | None, release -> release
+    | wheel, None -> wheel
+    | Some a, Some b -> Some (Time.min a b)

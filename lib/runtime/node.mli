@@ -70,10 +70,17 @@ val recv_ready : ('s, 'm, 'obs) t -> unit
     (called by the poll loop when the fd is readable). Events are not
     processed until {!poll}. *)
 
-val poll : ('s, 'm, 'obs) t -> now:Time.t -> unit
-(** Advance the timer wheel to [now] and dispatch every pending event
-    (timer fires and received messages) through the automaton. *)
+val poll : ('s, 'm, 'obs) t -> now:Time.t -> int
+(** Release due impaired frames ({!Transport.pump}), advance the timer
+    wheel to [now] and dispatch every pending event (timer fires and
+    received messages) through the automaton. Returns the amount of
+    work done (frames released + timers fired + events dispatched) —
+    the poll loop's progress signal (see {!Cluster.run_until}). *)
+
+val transport : ('s, 'm, 'obs) t -> 'm Transport.t
+(** The node's current transport — the handle scenarios use to install
+    {!Transport.impair} rules. Replaced by {!restart} after a kill. *)
 
 val next_deadline : ('s, 'm, 'obs) t -> Time.t option
-(** Earliest pending timer, for the select timeout; [None] when down
-    or no timer is armed. *)
+(** Earliest pending timer or impaired-frame release, for the select
+    timeout; [None] when down with nothing pending. *)

@@ -9,6 +9,13 @@ type kind_counters = {
   kc_recv_bytes : Stats.counter;
 }
 
+(* loopback impairment shim: an outbound per-peer rule, Net-style.
+   Frames to an impaired destination may be dropped or held and
+   released by [pump] once their due time passes — the live mirror of
+   the simulator's per-link timeliness overrides. *)
+type impair_rule = { ir_delay : Time.t; ir_jitter : Time.t; ir_drop : float }
+type held = { h_due : Time.t; h_dst : int; h_frame : Bytes.t }
+
 type 'm t = {
   encode_to : sender:Proc_id.t -> 'm -> Wire.writer -> int;
   decode :
@@ -33,6 +40,15 @@ type 'm t = {
   drop_bad_version : Stats.counter;
   drop_length_mismatch : Stats.counter;
   drop_malformed : Stats.counter;
+  (* the shim is off ([impair_count = 0]) unless a scenario installs a
+     rule, so the zero-allocation data plane is untouched by default *)
+  mutable impair_rules : impair_rule option array; (* length 0 = never used *)
+  mutable impair_count : int;
+  mutable impair_clock : unit -> Time.t;
+  impair_rng : Rng.t;
+  mutable held : held list; (* newest first; pump sorts the due ones *)
+  impair_dropped : Stats.counter;
+  impair_released : Stats.counter;
   mutable closed : bool;
 }
 
@@ -77,6 +93,14 @@ let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
     drop_bad_version = Stats.counter stats "live:drop:bad-version";
     drop_length_mismatch = Stats.counter stats "live:drop:length-mismatch";
     drop_malformed = Stats.counter stats "live:drop:malformed";
+    impair_rules = [||];
+    impair_count = 0;
+    impair_clock = (fun () -> Time.zero);
+    (* deterministic per process, like the simulator's seeded streams *)
+    impair_rng = Rng.create (0x7731 + Proc_id.to_int self);
+    held = [];
+    impair_dropped = Stats.counter stats "live:impair:drop";
+    impair_released = Stats.counter stats "live:impair:released";
     closed = false;
   }
 
@@ -103,6 +127,22 @@ let slow_kind_counters t kind =
 let kind_counters t kind =
   try Hashtbl.find t.kinds kind with Not_found -> slow_kind_counters t kind
 
+let try_sendto t buf len dst =
+  match Unix.sendto t.socket buf 0 len [] t.addrs.(dst) with
+  | _ -> true
+  | exception
+      Unix.Unix_error
+        ((EWOULDBLOCK | EAGAIN | ECONNREFUSED | ENOBUFS | EINTR), _, _) ->
+    (* an unreliable datagram service may drop; the stack copes *)
+    Stats.bump t.drop_send;
+    false
+
+let count_sent t msg len =
+  Stats.bump t.sent_total;
+  let kc = kind_counters t (t.kind_of msg) in
+  Stats.bump kc.kc_sent;
+  Stats.bump_by kc.kc_sent_bytes len
+
 let send t ~dst msg =
   if not t.closed then begin
     match t.encode_to ~sender:t.self msg t.send_writer with
@@ -113,22 +153,98 @@ let send t ~dst msg =
     | len ->
       if len > Codec.max_frame then Stats.bump t.drop_oversize
       else begin
-        match
-          Unix.sendto t.socket t.send_buf 0 len []
-            t.addrs.(Proc_id.to_int dst)
-        with
-        | _ ->
-          Stats.bump t.sent_total;
-          let kc = kind_counters t (t.kind_of msg) in
-          Stats.bump kc.kc_sent;
-          Stats.bump_by kc.kc_sent_bytes len
-        | exception
-            Unix.Unix_error
-              ((EWOULDBLOCK | EAGAIN | ECONNREFUSED | ENOBUFS | EINTR), _, _)
-          ->
-          (* an unreliable datagram service may drop; the stack copes *)
-          Stats.bump t.drop_send
+        let d = Proc_id.to_int dst in
+        let rule =
+          if t.impair_count = 0 then None else t.impair_rules.(d)
+        in
+        match rule with
+        | None -> if try_sendto t t.send_buf len d then count_sent t msg len
+        | Some r ->
+          if Rng.bool t.impair_rng r.ir_drop then Stats.bump t.impair_dropped
+          else begin
+            let extra =
+              if Time.compare r.ir_jitter Time.zero > 0 then
+                Time.add r.ir_delay
+                  (Rng.uniform_time t.impair_rng Time.zero r.ir_jitter)
+              else r.ir_delay
+            in
+            if Time.compare extra Time.zero <= 0 then begin
+              if try_sendto t t.send_buf len d then count_sent t msg len
+            end
+            else begin
+              (* held frames count as sent now (the kind is only known
+                 here); [pump] transmits them when due *)
+              let due = Time.add (t.impair_clock ()) extra in
+              t.held <-
+                { h_due = due; h_dst = d; h_frame = Bytes.sub t.send_buf 0 len }
+                :: t.held;
+              count_sent t msg len
+            end
+          end
       end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Impairment shim management *)
+
+let impair t ~dst ?(delay = Time.zero) ?(jitter = Time.zero) ?(drop = 0.0)
+    ~now () =
+  if Time.compare delay Time.zero < 0 then
+    invalid_arg "Transport.impair: delay must be >= 0";
+  if Time.compare jitter Time.zero < 0 then
+    invalid_arg "Transport.impair: jitter must be >= 0";
+  if drop < 0.0 || drop > 1.0 then
+    invalid_arg "Transport.impair: drop out of [0,1]";
+  if Array.length t.impair_rules = 0 then
+    t.impair_rules <- Array.make t.n None;
+  let d = Proc_id.to_int dst in
+  if t.impair_rules.(d) = None then t.impair_count <- t.impair_count + 1;
+  t.impair_rules.(d) <-
+    Some { ir_delay = delay; ir_jitter = jitter; ir_drop = drop };
+  t.impair_clock <- now
+
+let clear_impair t ~dst =
+  let d = Proc_id.to_int dst in
+  if Array.length t.impair_rules > 0 && t.impair_rules.(d) <> None then begin
+    t.impair_rules.(d) <- None;
+    t.impair_count <- t.impair_count - 1
+  end
+
+let clear_impairments t =
+  if Array.length t.impair_rules > 0 then Array.fill t.impair_rules 0 t.n None;
+  t.impair_count <- 0;
+  (* in-flight held frames are dropped, as a real link tear-down would *)
+  List.iter (fun _ -> Stats.bump t.impair_dropped) t.held;
+  t.held <- []
+
+let impaired t = t.impair_count
+
+let next_release t =
+  List.fold_left
+    (fun acc h ->
+      match acc with
+      | None -> Some h.h_due
+      | Some d -> Some (Time.min d h.h_due))
+    None t.held
+
+let pump t ~now =
+  if t.held = [] || t.closed then 0
+  else begin
+    let due, rest =
+      List.partition (fun h -> Time.compare h.h_due now <= 0) t.held
+    in
+    t.held <- rest;
+    (* [held] is newest-first; reverse then stable-sort by due time so
+       same-due frames to one peer keep their send order *)
+    let due =
+      List.stable_sort (fun a b -> Time.compare a.h_due b.h_due) (List.rev due)
+    in
+    List.iter
+      (fun h ->
+        ignore (try_sendto t h.h_frame (Bytes.length h.h_frame) h.h_dst);
+        Stats.bump t.impair_released)
+      due;
+    List.length due
   end
 
 let broadcast t msg =
@@ -184,5 +300,6 @@ let drain ?budget t ~handler =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    t.held <- [];
     (try Unix.close t.socket with Unix.Unix_error _ -> ())
   end

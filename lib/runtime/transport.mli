@@ -14,7 +14,16 @@
     through one long-lived writer over a reused scratch buffer
     ({!Codec.encode_to}) to precomputed peer addresses, and receives
     decode straight out of the receive buffer ({!Codec.decode_bytes}),
-    so steady-state cost per datagram is flat in group size. *)
+    so steady-state cost per datagram is flat in group size.
+
+    For live chaos scenarios the transport carries a loopback
+    {e impairment shim} ({!impair}): per-destination outbound
+    delay/jitter/drop rules in the style of the simulator's
+    {!Tasim.Net.set_link}, so the topology scenarios have a live
+    reproduction path. Delayed frames are copied into a held queue and
+    transmitted by {!pump} once due; {!next_release} feeds the poll
+    loop's sleep. With no rules installed the data plane is
+    untouched. *)
 
 open Tasim
 
@@ -57,6 +66,51 @@ val drain : ?budget:int -> 'm t -> handler:(src:Proc_id.t -> 'm -> unit) -> int
     to decode are dropped (and counted). Never blocks. *)
 
 val close : 'm t -> unit
-(** Close the socket. Further sends/drains are no-ops. *)
+(** Close the socket. Further sends/drains are no-ops; held impaired
+    frames are discarded. *)
 
 val is_closed : 'm t -> bool
+
+(** {1 Loopback impairment shim} *)
+
+val impair :
+  'm t ->
+  dst:Proc_id.t ->
+  ?delay:Time.t ->
+  ?jitter:Time.t ->
+  ?drop:float ->
+  now:(unit -> Time.t) ->
+  unit ->
+  unit
+(** Impair the outbound link to [dst]: each frame is dropped with
+    probability [drop] (default 0), otherwise held for
+    [delay + uniform(0, jitter)] (defaults 0) and transmitted by the
+    next {!pump} whose [now] has passed the due time. [now] is the
+    time source used to stamp due times — pass the same monotonic
+    clock the poll loop pumps with. A zero-delay rule sends inline.
+    Held frames count as sent (totals and per-kind) when enqueued;
+    shim activity is counted under [live:impair:drop] /
+    [live:impair:released]. Re-impairing a destination replaces its
+    rule. Randomness is drawn from a per-process deterministic stream.
+    Raises [Invalid_argument] on a negative delay/jitter or a [drop]
+    outside [0,1]. *)
+
+val clear_impair : 'm t -> dst:Proc_id.t -> unit
+(** Remove the rule toward one destination; frames already held keep
+    their due times. *)
+
+val clear_impairments : 'm t -> unit
+(** Remove every rule and discard held frames (counted as dropped) —
+    tearing the impaired link down loses what was inside it, exactly
+    like real UDP. *)
+
+val impaired : 'm t -> int
+(** Number of destinations currently carrying a rule. *)
+
+val pump : 'm t -> now:Time.t -> int
+(** Transmit every held frame whose due time is at or before [now],
+    oldest due first; returns the number released. Cheap no-op when
+    nothing is held. *)
+
+val next_release : 'm t -> Time.t option
+(** Earliest held-frame due time, for the poll loop's sleep. *)

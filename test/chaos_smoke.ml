@@ -54,10 +54,23 @@ let slow_member () =
     exit 1
   end
 
+(* the fixed-seed topology sweep: every scenario family, seed 1. The
+   N=64 churn scenario runs once (it is the expensive one); the small
+   scenarios run 3 seeds each. *)
+let topology () =
+  List.iter
+    (fun (s : Chaos.Topology.scenario) ->
+      let runs = if s.Chaos.Topology.n >= 64 then 1 else 3 in
+      let report = Chaos.Topology.sweep ~runs ~seed:1 s in
+      Fmt.pr "%a@." Chaos.Topology.pp_report report;
+      if not (Chaos.Topology.ok report) then exit 1)
+    Chaos.Topology.scenarios
+
 let () =
   let report = Chaos.Fuzz.sweep ~seed:1 ~plans:6 ~n:5 () in
   Fmt.pr "%a@." Chaos.Fuzz.pp_report report;
   if not (Chaos.Fuzz.ok report) then exit 1;
   List.iter replay [ "chaos-11.json"; "chaos-17.json" ];
   slow_member ();
+  topology ();
   Fmt.pr "chaos smoke: all clear@."

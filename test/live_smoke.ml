@@ -134,6 +134,39 @@ let () =
     fail_with "update not delivered by all %d members" n;
   Fmt.pr "live smoke: update delivered by all %d members@." n;
 
+  (* phase 6: the live mirror of the asym-slow-link topology scenario —
+     one directed link impaired (delay past delta with jitter and
+     loss) via the transport shim; the group must stay formed and a
+     broadcast must still reach everyone through the degraded link *)
+  let a = Proc_id.of_int ((Proc_id.to_int victim + 1) mod n) in
+  let b = Proc_id.of_int ((Proc_id.to_int victim + 2) mod n) in
+  Transport.impair
+    (Node.transport (Cluster.node cluster a))
+    ~dst:b ~delay:(Time.of_ms 15) ~jitter:(Time.of_ms 5) ~drop:0.2
+    ~now:(fun () -> Clock.now clock)
+    ();
+  Fmt.pr "live smoke: impaired link %a->%a (15ms+5ms jitter, 20%% loss)@."
+    Proc_id.pp a Proc_id.pp b;
+  Live.submit (Cluster.node cluster a) ~semantics:Semantics.total_strong
+    "slow-link-hello";
+  let slow_delivered () =
+    List.length
+      (List.filter
+         (fun (_, payload) -> payload = "slow-link-hello")
+         recorder.Live.delivered)
+    = n
+  in
+  if not (until slow_delivered) then
+    fail_with "update not delivered by all %d members over the impaired link"
+      n;
+  (match Live.agreed_view cluster with
+  | Some (group, _) when Proc_set.equal group full -> ()
+  | Some (group, _) ->
+    fail_with "group shrank under the impaired link: %a" Proc_set.pp group
+  | None -> fail_with "no agreed view under the impaired link");
+  Transport.clear_impairments (Node.transport (Cluster.node cluster a));
+  Fmt.pr "live smoke: impaired-link broadcast delivered, group intact@.";
+
   let total name =
     List.fold_left
       (fun acc node -> acc + Stats.count (Node.stats node) name)

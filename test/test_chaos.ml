@@ -81,6 +81,18 @@ let every_op_plan =
             proc = None;
             fault = Storage.Store.Lost_flush;
           };
+        Plan.Link_window
+          {
+            at = Time.of_ms 1500;
+            until = Time.of_ms 1700;
+            src = Some 0;
+            dst = None;
+            delay_min = Time.of_ms 8;
+            delay_max = Time.of_ms 10;
+            omission_prob = 0.1;
+            late_prob = 0.3;
+            late_delay_max = Time.of_ms 40;
+          };
       ];
   }
 
@@ -318,6 +330,39 @@ let test_slow_member_adaptive_contrast () =
     true (fixed > 0);
   check Alcotest.int "adaptive suspicion masks the slow member" 0 adaptive
 
+(* The link-window op end to end: one direction of one link degraded to
+   the delta edge with omission and lateness for two seconds. The group
+   must mask or reconverge, and the outcome must carry the convergence
+   metrics the topology bench series aggregates. *)
+let test_link_window_plan_converges () =
+  let plan =
+    {
+      Plan.seed = 13;
+      n = 5;
+      ops =
+        [
+          Plan.Link_window
+            {
+              at = Time.of_ms 500;
+              until = Time.of_ms 2500;
+              src = Some 0;
+              dst = Some 1;
+              delay_min = Time.of_ms 9;
+              delay_max = Time.of_ms 10;
+              omission_prob = 0.2;
+              late_prob = 0.5;
+              late_delay_max = Time.of_ms 40;
+            };
+        ];
+    }
+  in
+  let outcome = Runner.run plan in
+  check Alcotest.bool "no violation" true (Runner.ok outcome);
+  check Alcotest.bool "formation time recorded" true
+    (Time.compare outcome.Runner.formed_in Time.zero > 0);
+  check Alcotest.bool "reconvergence time recorded" true
+    (Option.is_some outcome.Runner.reconverged_in)
+
 let test_majority_loss_recovers_via_epoch_bump () =
   let plan =
     {
@@ -408,6 +453,8 @@ let () =
             test_majority_loss_recovers_via_epoch_bump;
           Alcotest.test_case "slow member plan converges" `Quick
             test_slow_member_plan_converges;
+          Alcotest.test_case "link window plan converges" `Quick
+            test_link_window_plan_converges;
           Alcotest.test_case "slow member: adaptive suspicion contrast" `Quick
             test_slow_member_adaptive_contrast;
         ] );

@@ -495,6 +495,146 @@ let store_disk () =
     (Live_store.restore store ~self:(pid 7) = None)
 
 (* ------------------------------------------------------------------ *)
+(* the loopback impairment shim and the poll-loop timeout clamp *)
+
+(* a toy 2-int codec so the shim tests need none of the protocol *)
+let toy_encode ~sender (m : int) w =
+  Wire.reset w;
+  Wire.int w (Proc_id.to_int sender);
+  Wire.int w m;
+  Wire.pos w
+
+let toy_decode buf ~pos ~len =
+  let r = Wire.reader_bytes ~pos ~len buf in
+  let src = Wire.r_int r in
+  let m = Wire.r_int r in
+  Ok (Proc_id.of_int src, m)
+
+let shim_base_port = 48860
+
+let mk_toy_transport ?(stats = Stats.create ()) ~port self =
+  Transport.create ~encode_to:toy_encode ~decode:toy_decode ~self ~n:2
+    ~port_of:(fun p -> port + Proc_id.to_int p)
+    ~stats ()
+
+(* loopback is fast but still asynchronous: poll until a frame lands *)
+let toy_recv t =
+  let got = ref [] in
+  let rec loop tries =
+    let k = Transport.drain t ~handler:(fun ~src:_ m -> got := m :: !got) in
+    if k = 0 && tries > 0 then begin
+      Unix.sleepf 0.002;
+      loop (tries - 1)
+    end
+  in
+  loop 250;
+  List.rev !got
+
+let toy_recv_nothing t =
+  Unix.sleepf 0.02;
+  Transport.drain t ~handler:(fun ~src:_ _ -> ()) = 0
+
+let test_impair_shim () =
+  let stats0 = Stats.create () in
+  let t0 = mk_toy_transport ~stats:stats0 ~port:shim_base_port (pid 0) in
+  let t1 = mk_toy_transport ~port:shim_base_port (pid 1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Transport.close t0;
+      Transport.close t1)
+    (fun () ->
+      let now = ref (Time.of_ms 1000) in
+      let clock () = !now in
+      (* no rule: frames cross directly *)
+      Transport.send t0 ~dst:(pid 1) 41;
+      Alcotest.(check (list int)) "direct" [ 41 ] (toy_recv t1);
+      (* a 50ms delay rule holds the frame until pumped past due *)
+      Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_ms 50) ~now:clock ();
+      Alcotest.(check int) "one impaired peer" 1 (Transport.impaired t0);
+      Transport.send t0 ~dst:(pid 1) 42;
+      Alcotest.(check bool) "held, not on the wire" true (toy_recv_nothing t1);
+      Alcotest.(check bool) "release scheduled at send+delay" true
+        (Transport.next_release t0 = Some (Time.add !now (Time.of_ms 50)));
+      Alcotest.(check int) "not due yet" 0 (Transport.pump t0 ~now:!now);
+      now := Time.add !now (Time.of_ms 50);
+      Alcotest.(check int) "released when due" 1 (Transport.pump t0 ~now:!now);
+      Alcotest.(check (list int)) "frame arrives after release" [ 42 ]
+        (toy_recv t1);
+      Alcotest.(check bool) "nothing left to release" true
+        (Transport.next_release t0 = None);
+      (* two held frames to one peer with equal due keep send order *)
+      Transport.send t0 ~dst:(pid 1) 43;
+      Transport.send t0 ~dst:(pid 1) 44;
+      now := Time.add !now (Time.of_ms 50);
+      Alcotest.(check int) "both released" 2 (Transport.pump t0 ~now:!now);
+      Alcotest.(check (list int)) "send order preserved" [ 43; 44 ]
+        (toy_recv t1);
+      (* drop = 1.0 swallows deterministically *)
+      Transport.impair t0 ~dst:(pid 1) ~drop:1.0 ~now:clock ();
+      Transport.send t0 ~dst:(pid 1) 45;
+      Alcotest.(check bool) "dropped" true (toy_recv_nothing t1);
+      Alcotest.(check int) "drop counted" 1
+        (Stats.count stats0 "live:impair:drop");
+      (* clearing the rule restores the direct path *)
+      Transport.clear_impair t0 ~dst:(pid 1);
+      Alcotest.(check int) "no impaired peers" 0 (Transport.impaired t0);
+      Transport.send t0 ~dst:(pid 1) 46;
+      Alcotest.(check (list int)) "direct again" [ 46 ] (toy_recv t1);
+      (* clear_impairments discards what is still held *)
+      Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_ms 50) ~now:clock ();
+      Transport.send t0 ~dst:(pid 1) 47;
+      Transport.clear_impairments t0;
+      now := Time.add !now (Time.of_sec 1);
+      Alcotest.(check int) "held frame discarded" 0 (Transport.pump t0 ~now:!now);
+      Alcotest.(check bool) "nothing arrives" true (toy_recv_nothing t1))
+
+let test_impair_validation () =
+  let t0 = mk_toy_transport ~port:(shim_base_port + 10) (pid 0) in
+  Fun.protect
+    ~finally:(fun () -> Transport.close t0)
+    (fun () ->
+      let clock () = Time.zero in
+      let rejects name f =
+        Alcotest.(check bool) name true
+          (match f () with
+          | () -> false
+          | exception Invalid_argument _ -> true)
+      in
+      rejects "negative delay" (fun () ->
+          Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_us (-1)) ~now:clock
+            ());
+      rejects "negative jitter" (fun () ->
+          Transport.impair t0 ~dst:(pid 1) ~jitter:(Time.of_us (-1)) ~now:clock
+            ());
+      rejects "drop out of range" (fun () ->
+          Transport.impair t0 ~dst:(pid 1) ~drop:1.5 ~now:clock ());
+      Alcotest.(check int) "no rule installed by rejects" 0
+        (Transport.impaired t0))
+
+(* The busy-spin clamp (see Cluster.select_timeout): an overdue
+   deadline only earns a zero select timeout when the poll pass before
+   it actually did work; a barren pass must sleep a floor, because
+   nothing can retire that deadline until real time advances. *)
+let test_select_timeout () =
+  let now = Time.of_ms 500 in
+  let feq name a b = Alcotest.(check (float 1e-9)) name a b in
+  feq "future deadline sleeps until it" 0.25
+    (Cluster.select_timeout ~progressed:false ~now
+       ~next:(Time.add now (Time.of_ms 250)));
+  feq "overdue + progress re-polls immediately" 0.0
+    (Cluster.select_timeout ~progressed:true ~now ~next:now);
+  Alcotest.(check bool) "due-now + no progress sleeps a floor" true
+    (Cluster.select_timeout ~progressed:false ~now ~next:now > 0.0);
+  Alcotest.(check bool) "overdue + no progress sleeps a floor" true
+    (Cluster.select_timeout ~progressed:false ~now
+       ~next:(Time.sub now (Time.of_ms 10))
+    > 0.0);
+  (* the floor never overshoots a genuinely near deadline *)
+  feq "near-future deadline unaffected" 0.0005
+    (Cluster.select_timeout ~progressed:false ~now
+       ~next:(Time.add now (Time.of_us 500)))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "runtime"
@@ -523,5 +663,14 @@ let () =
           Alcotest.test_case "record codec round trip" `Quick store_round_trip;
           Alcotest.test_case "in-memory backend" `Quick store_memory;
           Alcotest.test_case "on-disk backend" `Quick store_disk;
+        ] );
+      ( "impairment",
+        [
+          Alcotest.test_case "loopback shim delays, drops, releases" `Quick
+            test_impair_shim;
+          Alcotest.test_case "shim rejects bad parameters" `Quick
+            test_impair_validation;
+          Alcotest.test_case "select timeout clamps the busy-spin" `Quick
+            test_select_timeout;
         ] );
     ]

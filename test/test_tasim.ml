@@ -478,6 +478,130 @@ let test_net_partition () =
   | Net.Deliver_after _ -> ()
   | Net.Dropped _ -> Alcotest.fail "heal did not restore"
 
+let test_net_partition_unlisted_singletons () =
+  (* regression: a process absent from every block used to be isolated
+     by accident (List.find_opt missed and everything dropped as
+     "partition"); the semantics are now explicit — unlisted processes
+     are singleton blocks. Topology scenarios name subsets, so all
+     three pairings matter. *)
+  let net = Net.create Net.default_config (Rng.create 11) in
+  Net.set_partition net [ set_of [ 0; 1 ] ];
+  let fate src dst =
+    Net.fate net ~src:(Proc_id.of_int src) ~dst:(Proc_id.of_int dst) ()
+  in
+  (match fate 2 0 with
+  | Net.Dropped "partition" -> ()
+  | _ -> Alcotest.fail "unlisted->listed delivered");
+  (match fate 0 2 with
+  | Net.Dropped "partition" -> ()
+  | _ -> Alcotest.fail "listed->unlisted delivered");
+  (match fate 2 3 with
+  | Net.Dropped "partition" -> ()
+  | _ -> Alcotest.fail "unlisted->unlisted (distinct) delivered");
+  (* a singleton block contains its process: the self-loop stays up *)
+  (match fate 2 2 with
+  | Net.Deliver_after _ -> ()
+  | Net.Dropped _ -> Alcotest.fail "unlisted self-loop dropped");
+  match Net.set_partition net [ set_of [ 0; 1 ]; set_of [ 1; 2 ] ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "overlapping blocks accepted"
+
+let test_net_link_overrides () =
+  let pid = Proc_id.of_int in
+  let net = Net.create Net.default_config (Rng.create 12) in
+  check Alcotest.int "no overrides initially" 0 (Net.links_overridden net);
+  (* degrade 0->1 only: delays pinned to [9ms, 10ms], the reverse
+     direction keeps the global [1ms, 8ms] *)
+  Net.set_link net ~src:(pid 0) ~dst:(pid 1) ~delay_min:(Time.of_ms 9)
+    ~delay_max:(Time.of_ms 10) ();
+  check Alcotest.int "one override" 1 (Net.links_overridden net);
+  let eff = Net.link_config net ~src:(pid 0) ~dst:(pid 1) in
+  check Alcotest.int "override delay_min" (Time.of_ms 9) eff.Net.delay_min;
+  check Alcotest.int "override keeps global delta" Net.default_config.Net.delta
+    eff.Net.delta;
+  let rev = Net.link_config net ~src:(pid 1) ~dst:(pid 0) in
+  check Alcotest.int "reverse direction untouched"
+    Net.default_config.Net.delay_min rev.Net.delay_min;
+  for _ = 1 to 200 do
+    (match Net.fate net ~src:(pid 0) ~dst:(pid 1) () with
+    | Net.Deliver_after d ->
+      if d < Time.of_ms 9 || d > Time.of_ms 10 then
+        Alcotest.failf "slow link delay %a outside [9ms,10ms]" Time.pp d
+    | Net.Dropped _ -> Alcotest.fail "unexpected drop on slow link");
+    match Net.fate net ~src:(pid 1) ~dst:(pid 0) () with
+    | Net.Deliver_after d ->
+      if d > Time.of_ms 8 then
+        Alcotest.failf "timely reverse link delayed %a" Time.pp d
+    | Net.Dropped _ -> Alcotest.fail "unexpected drop on reverse link"
+  done;
+  (* re-setting replaces wholesale: the delay override is gone *)
+  Net.set_link net ~src:(pid 0) ~dst:(pid 1) ~omission_prob:1.0 ();
+  check Alcotest.int "still one override" 1 (Net.links_overridden net);
+  (match Net.fate net ~src:(pid 0) ~dst:(pid 1) () with
+  | Net.Dropped "omission" -> ()
+  | _ -> Alcotest.fail "lossy override not applied");
+  Net.clear_link net ~src:(pid 0) ~dst:(pid 1);
+  check Alcotest.int "cleared" 0 (Net.links_overridden net);
+  let back = Net.link_config net ~src:(pid 0) ~dst:(pid 1) in
+  check Alcotest.bool "back to global" true (back = Net.default_config)
+
+let test_net_link_validation () =
+  let pid = Proc_id.of_int in
+  let net = Net.create Net.default_config (Rng.create 13) in
+  let rejected f = match f () with
+    | exception Invalid_argument _ -> true
+    | () -> false
+  in
+  check Alcotest.bool "delay_max > delta rejected" true
+    (rejected (fun () ->
+         Net.set_link net ~src:(pid 0) ~dst:(pid 1)
+           ~delay_max:(Time.of_ms 11) ()));
+  check Alcotest.bool "delay_max < delay_min rejected" true
+    (rejected (fun () ->
+         Net.set_link net ~src:(pid 0) ~dst:(pid 1)
+           ~delay_min:(Time.of_ms 5) ~delay_max:(Time.of_ms 4) ()));
+  check Alcotest.bool "late without late_delay_max > delta rejected" true
+    (rejected (fun () ->
+         Net.set_link net ~src:(pid 0) ~dst:(pid 1) ~late_prob:0.5
+           ~late_delay_max:(Time.of_ms 10) ()));
+  check Alcotest.bool "omission_prob out of range rejected" true
+    (rejected (fun () ->
+         Net.set_link net ~src:(pid 0) ~dst:(pid 1) ~omission_prob:1.5 ()));
+  check Alcotest.int "no override leaked by rejections" 0
+    (Net.links_overridden net)
+
+(* The model invariant, as a property over random link overrides: every
+   delivery drawn under the effective config of a (possibly overridden)
+   link is either timely within [delay_min, delay_max] or late within
+   (delta, late_delay_max] — never in between, never beyond. *)
+let prop_net_fate_delay_bounds =
+  QCheck.Test.make ~name:"Net.fate delays respect the effective link config"
+    ~count:200
+    QCheck.(
+      quad small_int (int_range 0 100) (int_range 0 100) (int_range 0 100))
+    (fun (seed, a, b, late_pct) ->
+      let pid = Proc_id.of_int in
+      let lo = Time.of_ms (1 + min a b / 10)
+      and hi = Time.of_ms (1 + (max a b / 10)) in
+      (* keep the override inside the global delta = 10ms *)
+      let lo = Time.min lo (Time.of_ms 10) and hi = Time.min hi (Time.of_ms 10) in
+      let late_prob = float_of_int late_pct /. 100.0 in
+      let late_delay_max = Time.of_ms 60 in
+      let net = Net.create Net.default_config (Rng.create seed) in
+      Net.set_link net ~src:(pid 0) ~dst:(pid 1) ~delay_min:lo ~delay_max:hi
+        ~late_prob ~late_delay_max ();
+      let eff = Net.link_config net ~src:(pid 0) ~dst:(pid 1) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        match Net.fate net ~src:(pid 0) ~dst:(pid 1) () with
+        | Net.Deliver_after d ->
+          let timely = d >= eff.Net.delay_min && d <= eff.Net.delay_max in
+          let late = d > eff.Net.delta && d <= eff.Net.late_delay_max in
+          if not (timely || late) then ok := false
+        | Net.Dropped _ -> ok := false
+      done;
+      !ok)
+
 let test_net_filter_partition_overlap () =
   (* regression: fate used to consult drop filters before the partition
      check, so a datagram that the partition was going to kill anyway
@@ -1030,6 +1154,12 @@ let () =
           Alcotest.test_case "omission rate" `Quick test_net_omission_rate;
           Alcotest.test_case "late > delta" `Quick test_net_late_messages_exceed_delta;
           Alcotest.test_case "partitions" `Quick test_net_partition;
+          Alcotest.test_case "unlisted procs are singleton blocks" `Quick
+            test_net_partition_unlisted_singletons;
+          Alcotest.test_case "per-link overrides" `Quick test_net_link_overrides;
+          Alcotest.test_case "per-link validation" `Quick
+            test_net_link_validation;
+          qcheck prop_net_fate_delay_bounds;
           Alcotest.test_case "partition shields filter budgets" `Quick
             test_net_filter_partition_overlap;
           Alcotest.test_case "filters" `Quick test_net_filters;
