@@ -11,6 +11,9 @@
      bench/main.exe m3            the M3 large-N dissemination bench alone
      bench/main.exe topology      the topology-shaped chaos sweep: per-
                                   scenario convergence-time distributions
+     bench/main.exe live-chaos    the live chaos sweep: seeded faults
+                                  against real-socket nodes, recovery-
+                                  time distributions
 
    Each experiment prints the table(s) recorded in EXPERIMENTS.md; see
    DESIGN.md section 5 for the experiment index. Unknown experiment ids
@@ -19,13 +22,14 @@
    The micro target additionally runs the M1 engine-throughput, M2
    64-member and M3 large-N (256/1024) membership macrobenchmarks plus
    the per-kind codec microbenchmarks, and writes machine-readable
-   results to BENCH_engine.json in the current directory (schema v5,
-   DESIGN.md section 5; v1-v4 files are migrated in place). M1, M2,
-   M3 and topology results are APPENDED to the file's
-   engine_runs/m2_runs/m3_runs/topology_runs series — successive
-   invocations accumulate a perf trajectory instead of overwriting the
-   previous point. The topology target appends only to topology_runs,
-   preserving every other series and snapshot.
+   results to BENCH_engine.json in the current directory (schema v6,
+   DESIGN.md section 5; v1-v5 files are migrated in place). M1, M2,
+   M3, topology and live-chaos results are APPENDED to the file's
+   engine_runs/m2_runs/m3_runs/topology_runs/live_chaos_runs series —
+   successive invocations accumulate a perf trajectory instead of
+   overwriting the previous point. The topology and live-chaos targets
+   append only to their own series, preserving every other series and
+   snapshot.
 
    Perf gates run with the micro target and fail the process:
    - every fixed-shape wire kind must encode with zero minor-heap
@@ -592,6 +596,36 @@ let topology_run_record ~quick (r : Chaos.Topology.report) =
     @ topology_dist_fields "formation" r.formation
     @ topology_dist_fields "reconvergence" r.reconvergence)
 
+(* Live chaos sweeps: per-scenario recovery-time distributions of the
+   real-socket fault scenarios (lib/chaos/live.ml). Wall-clock seconds;
+   a missing dist field means no clean run produced that sample. *)
+let live_chaos_run_record ~quick (r : Chaos.Live.report) =
+  let open Harness.Bench_json in
+  let outcomes = r.Chaos.Live.outcomes in
+  let clean = List.filter Chaos.Live.ok outcomes in
+  let formation =
+    Chaos.Topology.dist_of
+      (List.map (fun (o : Chaos.Live.outcome) -> o.Chaos.Live.formed_in) clean)
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  Obj
+    ([
+       ("scenario", String r.Chaos.Live.scenario.Chaos.Live.name);
+       ("n", Int r.Chaos.Live.scenario.Chaos.Live.n);
+       ("quick", Bool quick);
+       ("root_seed", Int r.Chaos.Live.root_seed);
+       ("runs", Int r.Chaos.Live.runs);
+       ("failures", Int (List.length outcomes - List.length clean));
+       ("views", Int (sum (fun (o : Chaos.Live.outcome) -> o.Chaos.Live.views)));
+       ( "persist_failures",
+         Int (sum (fun (o : Chaos.Live.outcome) -> o.Chaos.Live.persist_failures)) );
+       ( "corrupt_restores",
+         Int (sum (fun (o : Chaos.Live.outcome) -> o.Chaos.Live.corrupt_restores)) );
+     ]
+    @ topology_dist_fields "formation" formation
+    @ topology_dist_fields "exclusion" r.Chaos.Live.exclusion
+    @ topology_dist_fields "rejoin" r.Chaos.Live.rejoin)
+
 let codec_micro_record row =
   let open Harness.Bench_json in
   Obj
@@ -604,14 +638,15 @@ let codec_micro_record row =
       ("decode_minor_words_per_op", Float row.decode_minor_words);
     ]
 
-(* M1/M2/M3/topology results accumulate across invocations so
-   regressions are visible as a series, not silently overwritten;
-   schema v5 (DESIGN.md section 5). Earlier schemas migrate on the
+(* M1/M2/M3/topology/live-chaos results accumulate across invocations
+   so regressions are visible as a series, not silently overwritten;
+   schema v6 (DESIGN.md section 5). Earlier schemas migrate on the
    next write: a v1 file's single engine_throughput object becomes the
    first element of the engine_runs series, a v2 file (no m2_runs, no
    codec rows) starts its m2_runs series empty, a v3 file (no m3_runs)
-   starts its m3_runs series empty, and a v4 file (no topology_runs)
-   starts its topology_runs series empty. *)
+   starts its m3_runs series empty, a v4 file (no topology_runs)
+   starts its topology_runs series empty, and a v5 file (no
+   live_chaos_runs) starts its live_chaos_runs series empty. *)
 let prior_engine_runs () =
   let open Harness.Bench_json in
   match read_file bench_json_file with
@@ -651,11 +686,20 @@ let prior_topology_runs () =
     | Some (List runs) -> runs
     | Some _ | None -> [])
 
+let prior_live_chaos_runs () =
+  let open Harness.Bench_json in
+  match read_file bench_json_file with
+  | Error _ -> []
+  | Ok json -> (
+    match member "live_chaos_runs" json with
+    | Some (List runs) -> runs
+    | Some _ | None -> [])
+
 (* The micro path overwrites the micro/codec snapshots and appends to
-   the run series; the topology path preserves the prior snapshots
-   (its invocation never re-measures them) and appends only to
-   topology_runs. Both rewrite the whole file at schema v5, which is
-   what migrates an older file. *)
+   the run series; the topology and live-chaos paths preserve the
+   prior snapshots (their invocations never re-measure them) and
+   append only to their own series. All rewrite the whole file at
+   schema v6, which is what migrates an older file. *)
 let prior_snapshot name =
   let open Harness.Bench_json in
   match read_file bench_json_file with
@@ -664,12 +708,12 @@ let prior_snapshot name =
     match member name json with Some v -> v | None -> List [])
 
 let write_bench_json_file ~quick ~micro ~codec ~engine_runs ~m2_runs ~m3_runs
-    ~topology_runs =
+    ~topology_runs ~live_chaos_runs =
   let open Harness.Bench_json in
   let json =
     Obj
       [
-        ("schema", String "timewheel/bench-engine/v5");
+        ("schema", String "timewheel/bench-engine/v6");
         ("quick", Bool quick);
         ("seed", Int 42);
         ("micro", micro);
@@ -678,12 +722,13 @@ let write_bench_json_file ~quick ~micro ~codec ~engine_runs ~m2_runs ~m3_runs
         ("m2_runs", List m2_runs);
         ("m3_runs", List m3_runs);
         ("topology_runs", List topology_runs);
+        ("live_chaos_runs", List live_chaos_runs);
       ]
   in
   write_file bench_json_file json;
   Fmt.pr
-    "wrote %s (%d engine run%s, %d m2 run%s, %d m3 run%s, %d topology run%s \
-     recorded)@."
+    "wrote %s (%d engine run%s, %d m2 run%s, %d m3 run%s, %d topology run%s, \
+     %d live-chaos run%s recorded)@."
     bench_json_file
     (List.length engine_runs)
     (if List.length engine_runs = 1 then "" else "s")
@@ -693,6 +738,8 @@ let write_bench_json_file ~quick ~micro ~codec ~engine_runs ~m2_runs ~m3_runs
     (if List.length m3_runs = 1 then "" else "s")
     (List.length topology_runs)
     (if List.length topology_runs = 1 then "" else "s")
+    (List.length live_chaos_runs)
+    (if List.length live_chaos_runs = 1 then "" else "s")
 
 let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
     (m2 : Harness.Member_bench.result) (m3 : Harness.M3_bench.result list) =
@@ -710,6 +757,7 @@ let write_bench_json ~quick micro codec (tput : Harness.Engine_bench.result)
             micro))
     ~codec:(List (List.map codec_micro_record codec))
     ~engine_runs ~m2_runs ~m3_runs ~topology_runs
+    ~live_chaos_runs:(prior_live_chaos_runs ())
 
 let write_topology_json ~quick reports =
   let topology_runs =
@@ -718,6 +766,16 @@ let write_topology_json ~quick reports =
   write_bench_json_file ~quick ~micro:(prior_snapshot "micro")
     ~codec:(prior_snapshot "codec_micro") ~engine_runs:(prior_engine_runs ())
     ~m2_runs:(prior_m2_runs ()) ~m3_runs:(prior_m3_runs ()) ~topology_runs
+    ~live_chaos_runs:(prior_live_chaos_runs ())
+
+let write_live_chaos_json ~quick reports =
+  let live_chaos_runs =
+    prior_live_chaos_runs () @ List.map (live_chaos_run_record ~quick) reports
+  in
+  write_bench_json_file ~quick ~micro:(prior_snapshot "micro")
+    ~codec:(prior_snapshot "codec_micro") ~engine_runs:(prior_engine_runs ())
+    ~m2_runs:(prior_m2_runs ()) ~m3_runs:(prior_m3_runs ())
+    ~topology_runs:(prior_topology_runs ()) ~live_chaos_runs
 
 let run_micro ?(quick = false) () =
   Fmt.pr "@.=== M0: hot-path microbenchmarks (Bechamel) ===@.@.";
@@ -866,6 +924,72 @@ let run_topology ?(quick = false) () =
     exit 1
   end
 
+(* Live chaos sweep sizing: every scenario runs real-socket nodes in
+   real time (wall-clock-bound phases, ~5-25s per run), so runs are
+   few; quick keeps one seed per scenario. *)
+let live_chaos_root_seed = 42
+let live_chaos_base_port = 48612
+
+let run_live_chaos ?(quick = false) () =
+  Fmt.pr "@.=== Live chaos: recovery under real-socket faults ===@.@.";
+  let runs = if quick then 1 else 3 in
+  let reports =
+    List.mapi
+      (fun i (s : Chaos.Live.scenario) ->
+        Fmt.pr "sweeping %s (n=%d, %d run%s)...@." s.Chaos.Live.name
+          s.Chaos.Live.n runs
+          (if runs = 1 then "" else "s");
+        Chaos.Live.sweep ~runs
+          ~base_port:(live_chaos_base_port + (i * 256))
+          ~seed:live_chaos_root_seed s)
+      Chaos.Live.scenarios
+  in
+  let table =
+    Harness.Table.create ~title:"live chaos: recovery times (wall s)"
+      ~columns:
+        [
+          "scenario"; "n"; "runs"; "fail"; "excl p50"; "excl p90";
+          "rejoin p50"; "rejoin p90";
+        ]
+  in
+  List.iter
+    (fun (r : Chaos.Live.report) ->
+      let cell field = function
+        | None -> "-"
+        | Some (d : Chaos.Topology.dist) ->
+          Harness.Table.cell_f (Time.to_sec_f (field d))
+      in
+      Harness.Table.add_row table
+        [
+          r.Chaos.Live.scenario.Chaos.Live.name;
+          string_of_int r.Chaos.Live.scenario.Chaos.Live.n;
+          string_of_int r.Chaos.Live.runs;
+          string_of_int
+            (List.length
+               (List.filter
+                  (fun o -> not (Chaos.Live.ok o))
+                  r.Chaos.Live.outcomes));
+          cell (fun d -> d.Chaos.Topology.p50) r.Chaos.Live.exclusion;
+          cell (fun d -> d.Chaos.Topology.p90) r.Chaos.Live.exclusion;
+          cell (fun d -> d.Chaos.Topology.p50) r.Chaos.Live.rejoin;
+          cell (fun d -> d.Chaos.Topology.p90) r.Chaos.Live.rejoin;
+        ])
+    reports;
+  Harness.Table.note table
+    (Fmt.str
+       "fixed root seed %d, real UDP on localhost; exclusion = fault to \
+        agreed survivor view, rejoin = recovery to agreed full view"
+       live_chaos_root_seed);
+  Harness.Table.print table;
+  write_live_chaos_json ~quick reports;
+  let bad = List.filter (fun r -> not (Chaos.Live.report_ok r)) reports in
+  List.iter (fun r -> Fmt.epr "%a@." Chaos.Live.pp_report r) bad;
+  if bad <> [] then begin
+    Fmt.epr "GATE FAILED: %d live chaos scenario(s) saw violations@."
+      (List.length bad);
+    exit 1
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -886,6 +1010,7 @@ let () =
   | [ "micro" ] -> run_micro ~quick ()
   | [ "m3" ] -> run_m3_alone ()
   | [ "topology" ] -> run_topology ~quick ()
+  | [ "live-chaos" ] -> run_live_chaos ~quick ()
   | ids ->
     let unknown = ref false in
     List.iter
@@ -898,6 +1023,7 @@ let () =
         | None when id = "micro" -> run_micro ~quick ()
         | None when id = "m3" -> run_m3_alone ()
         | None when id = "topology" -> run_topology ~quick ()
+        | None when id = "live-chaos" -> run_live_chaos ~quick ()
         | None ->
           Fmt.epr "unknown experiment %S@." id;
           unknown := true)

@@ -6,7 +6,15 @@
              localhost), optionally kill and restart a member, print
              installed views and stats
      member  run a single member (one-process-per-member deployment:
-             start N of these, one per id, sharing a base port) *)
+             start N of these, one per id, sharing a base port)
+     chaos   run the seeded live chaos scenarios (kill/restart churn,
+             storage faults, link impairment, paused members) and
+             check the protocol's safety invariants
+
+   demo and member accept --supervise: the run is wrapped in
+   Runtime.Supervisor (jittered exponential backoff, max-restart cap),
+   so a crashed body restarts and — with a --state-dir — rejoins
+   epoch-aware from stable storage. *)
 
 open Cmdliner
 open Tasim
@@ -31,9 +39,32 @@ let print_stats nodes =
     nodes
 
 (* ---------------------------------------------------------------- *)
+(* supervision: demo/member bodies under Runtime.Supervisor *)
+
+let supervised ~supervise ~max_restarts body =
+  if not supervise then body ~restarts:0
+  else
+    let policy = { Supervisor.default_policy with max_restarts } in
+    match
+      Supervisor.run ~policy
+        ~on_restart:(fun ~restarts ~backoff ~reason ->
+          Fmt.epr "timewheel-live: body died (%s); restart %d in %a@." reason
+            restarts Time.pp backoff)
+        body
+    with
+    | Supervisor.Done restarts ->
+      if restarts > 0 then
+        Fmt.epr "timewheel-live: clean exit after %d restart(s)@." restarts;
+      0
+    | Supervisor.Gave_up { restarts; last } ->
+      Fmt.epr "timewheel-live: giving up after %d restart(s): %s@." restarts
+        last;
+      125
+
+(* ---------------------------------------------------------------- *)
 (* demo: in-process multi-instance *)
 
-let demo n base_port kill_spec kill_after restart_after duration submit
+let demo_once n base_port kill_spec kill_after restart_after duration submit
     verbose =
   let cfg = Live.config ~n ~base_port () in
   let recorder = Live.recorder () in
@@ -42,6 +73,9 @@ let demo n base_port kill_spec kill_after restart_after duration submit
     else None
   in
   let clock, cluster = Live.in_process cfg ~recorder ?on_log () in
+  (* release the ports whatever happens — a supervised restart rebinds *)
+  Fun.protect ~finally:(fun () -> List.iter Node.kill (Cluster.nodes cluster))
+  @@ fun () ->
   let seen = ref 0 in
   let drain_views () =
     (* recorder lists are newest-first; print the suffix we have not
@@ -131,17 +165,23 @@ let demo n base_port kill_spec kill_after restart_after duration submit
   print_stats (Cluster.nodes cluster);
   if ok && (submit = 0 || delivered = submit * n) then 0 else 1
 
+let demo n base_port kill_spec kill_after restart_after duration submit verbose
+    supervise max_restarts =
+  supervised ~supervise ~max_restarts (fun ~restarts:_ ->
+      demo_once n base_port kill_spec kill_after restart_after duration submit
+        verbose)
+
 (* ---------------------------------------------------------------- *)
 (* member: one process per member *)
 
-let member me n base_port state_dir duration verbose =
+let member_once me n base_port state_dir duration verbose =
   if me < 0 || me >= n then begin
     Fmt.epr "timewheel-live: --me must be in [0, %d)@." n;
     exit 124
   end;
   let store =
     match state_dir with
-    | Some dir -> Live_store.on_disk ~dir
+    | Some dir -> Live_store.on_disk ~dir ()
     | None -> Live_store.in_memory ()
   in
   let cfg = Live.config ~n ~base_port ~store () in
@@ -154,6 +194,7 @@ let member me n base_port state_dir duration verbose =
   in
   let node = Live.mk_node cfg ~clock ~self ~recorder ?on_log () in
   let cluster = Cluster.create ~clock ~nodes:[ node ] in
+  Fun.protect ~finally:(fun () -> Node.kill node) @@ fun () ->
   Cluster.start cluster;
   Fmt.pr "member %a up on 127.0.0.1:%d (group ports %d-%d)@." Proc_id.pp self
     (base_port + me) base_port
@@ -180,6 +221,48 @@ let member me n base_port state_dir duration verbose =
   | Some m when Timewheel.Member.has_group m -> 0
   | _ -> 1
 
+let member me n base_port state_dir duration verbose supervise max_restarts =
+  supervised ~supervise ~max_restarts (fun ~restarts:_ ->
+      member_once me n base_port state_dir duration verbose)
+
+(* ---------------------------------------------------------------- *)
+(* chaos: the seeded live chaos scenarios *)
+
+let chaos scenario_names seed runs base_port list_only =
+  if list_only then begin
+    List.iter
+      (fun (s : Chaos.Live.scenario) ->
+        Fmt.pr "%-18s n=%d  %s@." s.Chaos.Live.name s.Chaos.Live.n
+          s.Chaos.Live.describe)
+      Chaos.Live.scenarios;
+    0
+  end
+  else begin
+    let chosen =
+      match scenario_names with
+      | [] -> Chaos.Live.scenarios
+      | names ->
+        List.map
+          (fun nm ->
+            match Chaos.Live.find nm with
+            | Some s -> s
+            | None ->
+              Fmt.epr "timewheel-live: unknown scenario %s (try --list)@." nm;
+              exit 124)
+          names
+    in
+    let all_ok = ref true in
+    List.iteri
+      (fun i s ->
+        let report =
+          Chaos.Live.sweep ~runs ~base_port:(base_port + (i * 256)) ~seed s
+        in
+        Fmt.pr "%a@." Chaos.Live.pp_report report;
+        if not (Chaos.Live.report_ok report) then all_ok := false)
+      chosen;
+    if !all_ok then 0 else 1
+  end
+
 (* ---------------------------------------------------------------- *)
 (* cmdliner plumbing *)
 
@@ -194,6 +277,22 @@ let base_port_arg =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print automaton log lines.")
+
+let supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:
+          "Restart the run when it dies (an exception or a nonzero result), \
+           with jittered exponential backoff; with $(b,--state-dir) each \
+           restart rejoins epoch-aware from stable storage.")
+
+let max_restarts_arg =
+  Arg.(
+    value
+    & opt int Supervisor.default_policy.Supervisor.max_restarts
+    & info [ "max-restarts" ] ~docv:"K"
+        ~doc:"Give up after K supervised restarts.")
 
 let seconds ~default names doc =
   Arg.(
@@ -227,7 +326,7 @@ let demo_cmd =
           "Downtime before the killed member restarts."
       $ seconds ~default:3.0 [ "duration" ]
           "Running time after the fault schedule completes."
-      $ submit_arg $ verbose_arg)
+      $ submit_arg $ verbose_arg $ supervise_arg $ max_restarts_arg)
   in
   Cmd.v
     (Cmd.info "demo"
@@ -256,7 +355,7 @@ let member_cmd =
     Term.(
       const member $ me_arg $ n_arg $ base_port_arg $ state_dir_arg
       $ seconds ~default:10.0 [ "duration" ] "How long to run."
-      $ verbose_arg)
+      $ verbose_arg $ supervise_arg $ max_restarts_arg)
   in
   Cmd.v
     (Cmd.info "member"
@@ -265,10 +364,55 @@ let member_cmd =
           form a group across processes.")
     term
 
+let chaos_cmd =
+  let scenario_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Scenario to run (repeatable; default: all). See $(b,--list).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Root seed; per-run seeds derive from it.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "runs" ] ~docv:"RUNS" ~doc:"Seeds per scenario.")
+  in
+  let chaos_port_arg =
+    Arg.(
+      value
+      & opt int Chaos.Live.default_base_port
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:
+            "First UDP port; each scenario and each run strides upward from \
+             it.")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the scenario catalogue and exit.")
+  in
+  let term =
+    Term.(
+      const chaos $ scenario_arg $ seed_arg $ runs_arg $ chaos_port_arg
+      $ list_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Crash the real thing: seeded kill/restart churn, storage faults, \
+          link impairment and paused members against real-socket nodes, \
+          checking the same invariants as the simulator's chaos runner.")
+    term
+
 let () =
   let doc = "the timewheel group membership stack on live UDP" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "timewheel-live" ~doc ~version:"%%VERSION%%")
-          [ demo_cmd; member_cmd ]))
+          [ demo_cmd; member_cmd; chaos_cmd ]))

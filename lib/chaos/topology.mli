@@ -62,6 +62,10 @@ type dist = {
   mean : Time.t;
 }
 
+val dist_of : Time.t list -> dist option
+(** Nearest-rank distribution of a sample list; [None] when empty.
+    Shared with the live chaos driver's recovery-time series. *)
+
 type failure = { seed : int; plan : Plan.t; outcome : Runner.outcome }
 
 type report = {

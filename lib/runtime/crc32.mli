@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), for the stable-store
+    record checksum.
+
+    A torn or bit-flipped on-disk record that happens to still parse
+    would otherwise restore as {e valid} state and silently violate
+    the epoch ratchet; the checksum makes every corruption a detected
+    corruption ([restore] = [None]). Self-contained table-driven
+    implementation — no new dependency. *)
+
+val digest : ?crc:int32 -> string -> pos:int -> len:int -> int32
+(** Running update: feed successive slices, threading the returned
+    value back through [?crc] (default: the empty-message state).
+    [digest s ~pos:0 ~len:(String.length s)] is the one-shot CRC. *)
+
+val string : string -> int32
+(** One-shot CRC of a whole string. *)

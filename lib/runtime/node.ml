@@ -28,6 +28,7 @@ type ('s, 'm, 'obs) t = {
   mutable transport : 'm Transport.t;
   mutable state : 's option;
   mutable incarnation : int;
+  mutable paused : bool;
 }
 
 let self t = Transport.self t.transport
@@ -36,8 +37,10 @@ let state t = t.state
 let is_up t = t.state <> None
 let incarnation t = t.incarnation
 
+let is_paused t = t.paused
+
 let fd t =
-  if t.state = None || Transport.is_closed t.transport then None
+  if t.state = None || t.paused || Transport.is_closed t.transport then None
   else Some (Transport.fd t.transport)
 
 let slot_of t key =
@@ -119,6 +122,7 @@ let create ~automaton ~clock ~mk_transport ?(on_obs = fun _ _ -> ())
       transport = mk_transport stats;
       state = None;
       incarnation = 0;
+      paused = false;
     }
   in
   Eventloop.Dispatcher.register t.dispatcher ~kind:kind_recv (handle t);
@@ -139,6 +143,7 @@ let start t = if t.state = None then run_init t
 let kill t =
   if t.state <> None then begin
     t.state <- None;
+    t.paused <- false;
     Hashtbl.iter (fun _ slot -> cancel_slot t slot) t.timers;
     Hashtbl.reset t.timers;
     (* stale queued events dispatch as no-ops (state is gone); drain
@@ -155,6 +160,27 @@ let restart t =
     t.incarnation <- t.incarnation + 1;
     Stats.incr t.stats "live:restart";
     run_init t
+  end
+
+(* The SIGSTOP analog: a paused node's process is off the scheduler —
+   it reads nothing from its socket (datagrams queue in the kernel
+   buffer, then overflow and drop, exactly like a stopped process), no
+   timer fires, no event dispatches, and its deadlines stop driving
+   the poll loop. State, socket and pending events all survive;
+   [resume] puts the node back and the next [poll] advances the wheel
+   across the whole gap in one jump — every timer that came due while
+   stopped fires late, which is precisely the scenario the paper's
+   wrong-suspicion state and Lifeguard-style local health absorb. *)
+let pause t =
+  if t.state <> None && not t.paused then begin
+    t.paused <- true;
+    Stats.incr t.stats "live:pause"
+  end
+
+let resume t =
+  if t.paused then begin
+    t.paused <- false;
+    Stats.incr t.stats "live:resume"
   end
 
 let inject t m =
@@ -174,7 +200,7 @@ let recv_ready t =
            (Ev_recv (src, m))))
 
 let poll t ~now =
-  if t.state = None then 0
+  if t.state = None || t.paused then 0
   else begin
     let released = Transport.pump t.transport ~now in
     let fired = Eventloop.Timer_wheel.advance t.wheel ~to_:(Time.to_us now) in
@@ -185,7 +211,7 @@ let poll t ~now =
 let transport t = t.transport
 
 let next_deadline t =
-  if t.state = None then None
+  if t.state = None || t.paused then None
   else
     let wheel = Option.map Time.of_us (Eventloop.Timer_wheel.next_expiry t.wheel) in
     match (wheel, Transport.next_release t.transport) with

@@ -59,6 +59,22 @@ val restart : ('s, 'm, 'obs) t -> unit
 (** Reopen the socket and rerun [init] with an incremented
     incarnation. No-op when the node is up. *)
 
+val pause : ('s, 'm, 'obs) t -> unit
+(** The SIGSTOP analog: stop scheduling this node. While paused the
+    node's fd is withheld from the poll loop (incoming datagrams queue
+    in the kernel socket buffer and eventually drop, as for a stopped
+    process), {!poll} is a no-op, and {!next_deadline} is [None].
+    State and socket survive. No-op while down. *)
+
+val resume : ('s, 'm, 'obs) t -> unit
+(** Undo {!pause}; the next {!poll} advances the timer wheel across
+    the whole stopped gap, firing every overdue timer late, and the
+    queued datagrams flood in — the paused member wakes up behind the
+    group and must be absorbed (wrong-suspicion state, adaptive
+    suspicion), not crash it. *)
+
+val is_paused : ('s, 'm, 'obs) t -> bool
+
 val inject : ('s, 'm, 'obs) t -> 'm -> unit
 (** Deliver a message from the node to itself, bypassing the network —
     the local client call path ({!Tasim.Engine.inject}'s live

@@ -1,0 +1,71 @@
+open Tasim
+
+type policy = {
+  base : Time.t;
+  cap : Time.t;
+  jitter : float;
+  max_restarts : int;
+}
+
+let default_policy =
+  {
+    base = Time.of_ms 500;
+    cap = Time.of_sec 30;
+    jitter = 0.2;
+    max_restarts = 10;
+  }
+
+let validate p =
+  if Time.compare p.base Time.zero <= 0 then
+    invalid_arg "Supervisor: base backoff must be > 0";
+  if Time.compare p.cap p.base < 0 then
+    invalid_arg "Supervisor: cap must be >= base";
+  if p.jitter < 0.0 || p.jitter >= 1.0 then
+    invalid_arg "Supervisor: jitter must be in [0, 1)";
+  if p.max_restarts < 0 then
+    invalid_arg "Supervisor: max_restarts must be >= 0"
+
+let backoff p ~rng ~restarts =
+  validate p;
+  if restarts < 1 then invalid_arg "Supervisor.backoff: restarts < 1";
+  (* cap the exponent too: 2^62 would overflow long before the Time
+     cap gets a chance to clamp *)
+  let exp = min (restarts - 1) 40 in
+  let b = Time.min p.cap (Time.mul p.base (1 lsl exp)) in
+  if p.jitter = 0.0 then b
+  else
+    let u = 1.0 +. (p.jitter *. ((2.0 *. Rng.float rng) -. 1.0)) in
+    Time.scale b u
+
+type outcome = Done of int | Gave_up of { restarts : int; last : string }
+
+let run ?(policy = default_policy) ?seed ?(sleep = fun t -> Unix.sleepf (Time.to_sec_f t))
+    ?(on_restart = fun ~restarts:_ ~backoff:_ ~reason:_ -> ()) body =
+  validate policy;
+  let rng =
+    Rng.create
+      (match seed with
+      | Some s -> s
+      | None -> Unix.getpid () lxor int_of_float (Unix.gettimeofday () *. 1e6))
+  in
+  let rec go restarts =
+    let result =
+      match body ~restarts with
+      | 0 -> Ok ()
+      | code -> Error (Printf.sprintf "exit code %d" code)
+      | exception e -> Error (Printexc.to_string e)
+    in
+    match result with
+    | Ok () -> Done restarts
+    | Error reason ->
+      if restarts >= policy.max_restarts then
+        Gave_up { restarts; last = reason }
+      else begin
+        let restarts = restarts + 1 in
+        let b = backoff policy ~rng ~restarts in
+        on_restart ~restarts ~backoff:b ~reason;
+        sleep b;
+        go restarts
+      end
+  in
+  go 0

@@ -1,0 +1,56 @@
+(** Restart supervision for the live binary.
+
+    [timewheel_live] member/demo modes are meant to run unattended;
+    when the process body dies (an exception out of the poll loop, an
+    abnormal exit), the supervisor restarts it with jittered
+    exponential backoff — jitter so a fleet of members all killed by
+    the same event does not thundering-herd the network on the same
+    millisecond, exponential so a persistently crashing body backs off
+    instead of spinning, and a max-restart cap so a hopeless
+    configuration eventually surfaces as an exit instead of looping
+    forever. Stable storage ({!Live_store}) is what makes each
+    restart rejoin epoch-aware rather than amnesiac.
+
+    The backoff schedule is a pure function (exposed for tests); the
+    sleep is injectable, so the policy is testable without wall
+    time. *)
+
+open Tasim
+
+type policy = {
+  base : Time.t;  (** first backoff (default 500 ms) *)
+  cap : Time.t;  (** backoff ceiling (default 30 s) *)
+  jitter : float;
+      (** uniform multiplicative jitter, a fraction in [0, 1):
+          the slept backoff is [b * u] with [u] drawn from
+          [[1 - jitter, 1 + jitter]] (default 0.2) *)
+  max_restarts : int;  (** give up after this many restarts (default 10) *)
+}
+
+val default_policy : policy
+
+val backoff : policy -> rng:Rng.t -> restarts:int -> Time.t
+(** The sleep before restart number [restarts] (1-based):
+    [base * 2^(restarts-1)] capped at [cap], then jittered. Raises
+    [Invalid_argument] on [restarts < 1] or an invalid policy. *)
+
+type outcome =
+  | Done of int
+      (** the body exited cleanly (returned 0); carries the number of
+          restarts it took to get there *)
+  | Gave_up of { restarts : int; last : string }
+      (** the cap was exhausted; [last] describes the final failure *)
+
+val run :
+  ?policy:policy ->
+  ?seed:int ->
+  ?sleep:(Time.t -> unit) ->
+  ?on_restart:(restarts:int -> backoff:Time.t -> reason:string -> unit) ->
+  (restarts:int -> int) ->
+  outcome
+(** [run body] calls [body ~restarts:0]; a return of [0] is a clean
+    exit ([Done]). A raised exception or a nonzero return is a crash:
+    the supervisor sleeps the backoff (default [Unix.sleepf]) and
+    calls the body again with the restart count, until the policy's
+    cap. [on_restart] fires before each sleep (the CLI logs it).
+    [seed] pins the jitter stream (default: self-init). *)

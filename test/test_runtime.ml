@@ -478,14 +478,14 @@ let store_disk () =
     Filename.concat (Filename.get_temp_dir_name ())
       (Fmt.str "timewheel-store-%d" (Unix.getpid ()))
   in
-  let store = Live_store.on_disk ~dir in
+  let store = Live_store.on_disk ~dir () in
   let record =
     { Member.last_group_id = { Group_id.epoch = 2; seq = 9 };
       last_group = Proc_set.of_list [ pid 0; pid 2 ] }
   in
   Live_store.persist store ~self:(pid 0) record;
   (* a second handle on the same directory models a process restart *)
-  (match Live_store.restore (Live_store.on_disk ~dir) ~self:(pid 0) with
+  (match Live_store.restore (Live_store.on_disk ~dir ()) ~self:(pid 0) with
   | Some r ->
     Alcotest.(check bool) "record survives reopen" true
       (Group_id.equal r.Member.last_group_id record.Member.last_group_id
@@ -493,6 +493,195 @@ let store_disk () =
   | None -> Alcotest.fail "on-disk record not restored");
   Alcotest.(check bool) "absent member restores as None" true
     (Live_store.restore store ~self:(pid 7) = None)
+
+(* ------------------------------------------------------------------ *)
+(* checksum and corruption totality: a corrupted record must never
+   restore as valid state — that would silently violate the epoch
+   ratchet the recovery protocol depends on *)
+
+let crc32_vector () =
+  (* the standard check vector for CRC-32/ISO-HDLC *)
+  Alcotest.(check int32) "CRC32(\"123456789\")" 0xCBF43926l
+    (Crc32.string "123456789");
+  (* incremental digest over split slices equals the one-shot CRC *)
+  let s = "timewheel stable storage record" in
+  let k = String.length s / 3 in
+  let c = Crc32.digest s ~pos:0 ~len:k in
+  let c = Crc32.digest ~crc:c s ~pos:k ~len:(String.length s - k) in
+  Alcotest.(check int32) "incremental = one-shot" (Crc32.string s) c
+
+let sample_record =
+  {
+    Member.last_group_id = { Group_id.epoch = 4; seq = 17 };
+    last_group = Proc_set.of_list [ pid 0; pid 1; pid 3; pid 4 ];
+  }
+
+let store_rejects_corruption () =
+  let wire = Live_store.wire_of_persistent sample_record in
+  let len = String.length wire in
+  Alcotest.(check bool) "empty" true (Live_store.persistent_of_wire "" = None);
+  for k = 0 to len - 1 do
+    if Live_store.persistent_of_wire (String.sub wire 0 k) <> None then
+      Alcotest.failf "truncation to %d of %d bytes accepted" k len
+  done;
+  Alcotest.(check bool) "trailing NUL" true
+    (Live_store.persistent_of_wire (wire ^ "\x00") = None);
+  Alcotest.(check bool) "trailing garbage" true
+    (Live_store.persistent_of_wire (wire ^ "tail") = None);
+  (* every single-bit flip at every position must be caught — that is
+     exactly the CRC's job, flips inside the CRC bytes included *)
+  for i = 0 to len - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string wire in
+      Bytes.set b i (Char.chr (Char.code wire.[i] lxor (1 lsl bit)));
+      if Live_store.persistent_of_wire (Bytes.unsafe_to_string b) <> None then
+        Alcotest.failf "bit %d of byte %d flipped and still accepted" bit i
+    done
+  done
+
+let store_codec_round_trip =
+  QCheck.Test.make ~count:300 ~name:"store record codec round-trips"
+    (QCheck.make QCheck.Gen.(map2 (fun gid g -> (gid, g)) gen_group_id gen_set))
+    (fun (gid, group) ->
+      let record = { Member.last_group_id = gid; last_group = group } in
+      match
+        Live_store.persistent_of_wire (Live_store.wire_of_persistent record)
+      with
+      | Some r ->
+        Group_id.equal r.Member.last_group_id gid
+        && Proc_set.equal r.Member.last_group group
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* the fault palette against a real directory *)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let with_store_dir name f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "timewheel-store-%s-%d" name (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let record_v1 =
+  { Member.last_group_id = { Group_id.epoch = 1; seq = 3 };
+    last_group = Proc_set.of_list [ pid 0; pid 1; pid 2 ] }
+
+let record_v2 =
+  { Member.last_group_id = { Group_id.epoch = 1; seq = 4 };
+    last_group = Proc_set.of_list [ pid 0; pid 1 ] }
+
+let restored_gid store self =
+  match Live_store.restore store ~self with
+  | Some r -> Some r.Member.last_group_id
+  | None -> None
+
+let no_tmp_litter dir =
+  Array.for_all
+    (fun f -> not (Filename.check_suffix f ".tmp"))
+    (Sys.readdir dir)
+
+let store_io_error_degrades () =
+  with_store_dir "eio" @@ fun dir ->
+  let store = Live_store.on_disk ~dir () in
+  let stats = Live_store.stats store in
+  Live_store.persist store ~self:(pid 0) record_v1;
+  Live_store.set_fault store ~proc:(pid 0)
+    (Some (Live_store.Io_error Unix.EIO));
+  Live_store.persist store ~self:(pid 0) record_v2;
+  (* bounded retries, then degrade — never an exception *)
+  Alcotest.(check int) "retries" (Live_store.persist_attempts - 1)
+    (Stats.count stats "live:store:retry");
+  Alcotest.(check int) "failure counted" 1
+    (Stats.count stats "live:store:persist-failed");
+  Alcotest.(check int) "io fault counted" 1
+    (Stats.count stats "live:store:fault:io-error");
+  (* the failed attempts leak no tmp file *)
+  Alcotest.(check bool) "no .tmp litter" true (no_tmp_litter dir);
+  (* the previous durable record is intact, as a restart would see it *)
+  Alcotest.(check bool) "old record intact" true
+    (restored_gid (Live_store.on_disk ~dir ()) (pid 0)
+    = Some record_v1.Member.last_group_id);
+  (* the fault clears and the store recovers *)
+  Live_store.set_fault store ~proc:(pid 0) None;
+  Live_store.persist store ~self:(pid 0) record_v2;
+  Alcotest.(check bool) "recovered after the fault window" true
+    (restored_gid store (pid 0) = Some record_v2.Member.last_group_id)
+
+let store_torn_write_tolerated () =
+  with_store_dir "torn" @@ fun dir ->
+  let store = Live_store.on_disk ~dir () in
+  Live_store.persist store ~self:(pid 0) record_v1;
+  Live_store.set_fault store ~proc:(pid 0) (Some Live_store.Torn_write);
+  Live_store.persist store ~self:(pid 0) record_v2;
+  Alcotest.(check int) "torn fault counted" 1
+    (Stats.count (Live_store.stats store) "live:store:fault:torn-write");
+  (* the crashed writer leaves its half-written tmp behind *)
+  Alcotest.(check bool) "torn .tmp left behind" true (not (no_tmp_litter dir));
+  (* a restart (fresh handle) discards the debris and restores the
+     last durable record *)
+  let store2 = Live_store.on_disk ~dir () in
+  Alcotest.(check bool) "durable record survives the tear" true
+    (restored_gid store2 (pid 0) = Some record_v1.Member.last_group_id);
+  Alcotest.(check int) "tmp discarded on restore" 1
+    (Stats.count (Live_store.stats store2) "live:store:tmp-discarded");
+  Alcotest.(check bool) "debris gone" true (no_tmp_litter dir)
+
+let store_lost_flush_revert () =
+  with_store_dir "lost" @@ fun dir ->
+  let store = Live_store.on_disk ~dir () in
+  Live_store.persist store ~self:(pid 0) record_v1;
+  Live_store.set_fault store ~proc:(pid 0) (Some Live_store.Lost_flush);
+  Live_store.persist store ~self:(pid 0) record_v2;
+  (* visible to this incarnation — the kernel had the pages — ... *)
+  Alcotest.(check bool) "unflushed write visible" true
+    (restored_gid store (pid 0) = Some record_v2.Member.last_group_id);
+  (* ...but a machine crash loses it: revert to the bytes known flushed *)
+  Live_store.note_crash store ~self:(pid 0);
+  Alcotest.(check bool) "machine crash reverts to durable bytes" true
+    (restored_gid store (pid 0) = Some record_v1.Member.last_group_id);
+  (* with no durable baseline at all, the crash loses everything *)
+  Live_store.set_fault store ~proc:(pid 3) (Some Live_store.Lost_flush);
+  Live_store.persist store ~self:(pid 3) record_v2;
+  Alcotest.(check bool) "visible before the crash" true
+    (restored_gid store (pid 3) = Some record_v2.Member.last_group_id);
+  Live_store.note_crash store ~self:(pid 3);
+  Alcotest.(check bool) "nothing durable to revert to" true
+    (Live_store.restore store ~self:(pid 3) = None)
+
+let store_restore_total () =
+  with_store_dir "total" @@ fun dir ->
+  let store = Live_store.on_disk ~dir () in
+  Live_store.persist store ~self:(pid 1) record_v1;
+  let path_of self =
+    match Live_store.record_path store ~self with
+    | Some p -> p
+    | None -> Alcotest.fail "disk store must expose a record path"
+  in
+  (* a directory squatting on the record path *)
+  Unix.mkdir (path_of (pid 0)) 0o755;
+  Alcotest.(check bool) "directory at path restores as None" true
+    (Live_store.restore store ~self:(pid 0) = None);
+  (* an empty file *)
+  close_out (open_out_bin (path_of (pid 2)));
+  Alcotest.(check bool) "empty file restores as None" true
+    (Live_store.restore store ~self:(pid 2) = None);
+  (* trailing garbage appended to a valid record *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 (path_of (pid 1)) in
+  output_string oc "xx";
+  close_out oc;
+  Alcotest.(check bool) "trailing garbage restores as None" true
+    (Live_store.restore store ~self:(pid 1) = None);
+  Alcotest.(check int) "every corruption counted" 3
+    (Stats.count (Live_store.stats store) "live:store:restore-corrupt")
 
 (* ------------------------------------------------------------------ *)
 (* the loopback impairment shim and the poll-loop timeout clamp *)
@@ -634,6 +823,151 @@ let test_select_timeout () =
     (Cluster.select_timeout ~progressed:false ~now
        ~next:(Time.add now (Time.of_us 500)))
 
+(* the edges of the impairment model: total loss, jitter-only delay,
+   and clearing a rule without discarding what it already holds *)
+let test_impair_edges () =
+  let stats0 = Stats.create () in
+  let t0 = mk_toy_transport ~stats:stats0 ~port:(shim_base_port + 20) (pid 0) in
+  let t1 = mk_toy_transport ~port:(shim_base_port + 20) (pid 1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Transport.close t0;
+      Transport.close t1)
+    (fun () ->
+      let now = ref (Time.of_ms 1000) in
+      let clock () = !now in
+      (* drop = 1.0: every frame is swallowed at send time; none is
+         held, so there is never a pending release *)
+      Transport.impair t0 ~dst:(pid 1) ~drop:1.0 ~now:clock ();
+      for m = 1 to 5 do
+        Transport.send t0 ~dst:(pid 1) m
+      done;
+      Alcotest.(check bool) "no release pending under total loss" true
+        (Transport.next_release t0 = None);
+      Alcotest.(check bool) "nothing crosses" true (toy_recv_nothing t1);
+      Alcotest.(check int) "all five drops counted" 5
+        (Stats.count stats0 "live:impair:drop");
+      Transport.clear_impair t0 ~dst:(pid 1);
+      (* delay = 0 with jitter only: frames are held for at most the
+         jitter bound, and a pump past that bound releases every one *)
+      Transport.impair t0 ~dst:(pid 1) ~delay:Time.zero ~jitter:(Time.of_ms 5)
+        ~now:clock ();
+      let sent = [ 10; 11; 12; 13; 14; 15 ] in
+      List.iter (fun m -> Transport.send t0 ~dst:(pid 1) m) sent;
+      (match Transport.next_release t0 with
+      | None -> Alcotest.fail "jitter-only frames must be held"
+      | Some due ->
+        Alcotest.(check bool) "due within the jitter bound" true
+          (Time.compare due !now >= 0
+          && Time.compare due (Time.add !now (Time.of_ms 5)) <= 0));
+      now := Time.add !now (Time.of_ms 5);
+      Alcotest.(check int) "pump past the bound releases all" 6
+        (Transport.pump t0 ~now:!now);
+      Alcotest.(check int) "releases counted" 6
+        (Stats.count stats0 "live:impair:released");
+      Alcotest.(check (list int)) "every frame arrives exactly once" sent
+        (List.sort compare (toy_recv t1));
+      (* clear_impair mid-flight: the rule goes, the held frames stay
+         and keep their due times (clear_impairments, tested above,
+         is the discarding variant) *)
+      Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_ms 40) ~now:clock ();
+      Transport.send t0 ~dst:(pid 1) 20;
+      Transport.send t0 ~dst:(pid 1) 21;
+      Transport.clear_impair t0 ~dst:(pid 1);
+      Alcotest.(check int) "rule gone" 0 (Transport.impaired t0);
+      Alcotest.(check bool) "held frames keep their due times" true
+        (Transport.next_release t0 = Some (Time.add !now (Time.of_ms 40)));
+      (* new sends cross directly while the old frames wait *)
+      Transport.send t0 ~dst:(pid 1) 22;
+      Alcotest.(check (list int)) "direct send overtakes held frames" [ 22 ]
+        (toy_recv t1);
+      Alcotest.(check int) "not due yet" 0 (Transport.pump t0 ~now:!now);
+      now := Time.add !now (Time.of_ms 40);
+      Alcotest.(check int) "due frames release after the clear" 2
+        (Transport.pump t0 ~now:!now);
+      Alcotest.(check (list int)) "held frames finally arrive" [ 20; 21 ]
+        (toy_recv t1))
+
+(* ------------------------------------------------------------------ *)
+(* restart supervisor: backoff shape and the retry loop *)
+
+let ms = Time.of_ms
+
+let test_supervisor_backoff () =
+  let rng = Rng.create 7 in
+  let pol =
+    { Supervisor.base = ms 500; cap = Time.of_sec 30; jitter = 0.0;
+      max_restarts = 10 }
+  in
+  let b k = Supervisor.backoff pol ~rng ~restarts:k in
+  Alcotest.(check bool) "first backoff = base" true (Time.equal (b 1) (ms 500));
+  Alcotest.(check bool) "doubles" true (Time.equal (b 2) (ms 1000));
+  Alcotest.(check bool) "doubles again" true (Time.equal (b 3) (ms 2000));
+  Alcotest.(check bool) "caps" true (Time.equal (b 10) (Time.of_sec 30));
+  (* far past the cap the exponent itself is clamped: no overflow *)
+  Alcotest.(check bool) "deep restart count still capped" true
+    (Time.equal (b 1000) (Time.of_sec 30));
+  (* jitter keeps every draw within [1-j, 1+j] of the deterministic
+     value *)
+  let jpol = { pol with Supervisor.jitter = 0.2 } in
+  for _ = 1 to 200 do
+    let d = Supervisor.backoff jpol ~rng ~restarts:3 in
+    if
+      Time.compare d (Time.scale (ms 2000) 0.8) < 0
+      || Time.compare d (Time.scale (ms 2000) 1.2) > 0
+    then Alcotest.failf "jittered backoff %a out of bounds" Time.pp d
+  done;
+  Alcotest.(check bool) "restarts < 1 rejected" true
+    (match Supervisor.backoff pol ~rng ~restarts:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "jitter >= 1 rejected" true
+    (match
+       Supervisor.backoff { pol with Supervisor.jitter = 1.0 } ~rng ~restarts:1
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_supervisor_run () =
+  let policy =
+    { Supervisor.base = ms 10; cap = ms 80; jitter = 0.0; max_restarts = 5 }
+  in
+  let sleeps = ref [] in
+  let sleep t = sleeps := t :: !sleeps in
+  (* crashes twice (an exception, then a nonzero exit), then succeeds *)
+  let outcome =
+    Supervisor.run ~policy ~seed:1 ~sleep (fun ~restarts ->
+        match restarts with 0 -> failwith "boom" | 1 -> 3 | _ -> 0)
+  in
+  (match outcome with
+  | Supervisor.Done restarts ->
+    Alcotest.(check int) "took two restarts" 2 restarts
+  | Supervisor.Gave_up _ -> Alcotest.fail "supervisor gave up early");
+  Alcotest.(check int) "slept once per restart" 2 (List.length !sleeps);
+  (match List.rev !sleeps with
+  | [ b1; b2 ] ->
+    Alcotest.(check bool) "backoff grows between restarts" true
+      (Time.compare b1 b2 < 0)
+  | _ -> Alcotest.fail "unexpected sleep trace");
+  (* a body that never recovers is abandoned after max_restarts *)
+  let calls = ref 0 in
+  let outcome =
+    Supervisor.run ~policy ~seed:1
+      ~sleep:(fun _ -> ())
+      (fun ~restarts:_ ->
+        incr calls;
+        7)
+  in
+  (match outcome with
+  | Supervisor.Gave_up { restarts; last } ->
+    Alcotest.(check int) "gave up at the cap" policy.Supervisor.max_restarts
+      restarts;
+    Alcotest.(check string) "records the last failure" "exit code 7" last
+  | Supervisor.Done _ -> Alcotest.fail "supervisor must give up");
+  Alcotest.(check int) "initial run + max_restarts attempts"
+    (policy.Supervisor.max_restarts + 1)
+    !calls
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -663,6 +997,18 @@ let () =
           Alcotest.test_case "record codec round trip" `Quick store_round_trip;
           Alcotest.test_case "in-memory backend" `Quick store_memory;
           Alcotest.test_case "on-disk backend" `Quick store_disk;
+          Alcotest.test_case "CRC-32 check vector, incremental digest" `Quick
+            crc32_vector;
+          Alcotest.test_case "rejects every corruption" `Quick
+            store_rejects_corruption;
+          qcheck store_codec_round_trip;
+          Alcotest.test_case "io-error: bounded retry then degrade" `Quick
+            store_io_error_degrades;
+          Alcotest.test_case "torn write: tmp debris tolerated" `Quick
+            store_torn_write_tolerated;
+          Alcotest.test_case "lost flush: note_crash reverts" `Quick
+            store_lost_flush_revert;
+          Alcotest.test_case "restore is total" `Quick store_restore_total;
         ] );
       ( "impairment",
         [
@@ -672,5 +1018,14 @@ let () =
             test_impair_validation;
           Alcotest.test_case "select timeout clamps the busy-spin" `Quick
             test_select_timeout;
+          Alcotest.test_case "edges: total loss, jitter-only, clear keeps held"
+            `Quick test_impair_edges;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "backoff doubles, caps, jitters in bounds" `Quick
+            test_supervisor_backoff;
+          Alcotest.test_case "retries with backoff, gives up at the cap" `Quick
+            test_supervisor_run;
         ] );
     ]
