@@ -64,9 +64,13 @@ let supervised ~supervise ~max_restarts body =
 (* ---------------------------------------------------------------- *)
 (* demo: in-process multi-instance *)
 
-let demo_once n base_port kill_spec kill_after restart_after duration submit
-    verbose =
-  let cfg = Live.config ~n ~base_port () in
+let demo_once n base_port no_batch kill_spec kill_after restart_after duration
+    submit verbose =
+  let cfg =
+    Live.config ~n ~base_port
+      ?batching:(if no_batch then Some false else None)
+      ()
+  in
   let recorder = Live.recorder () in
   let on_log =
     if verbose then Some (fun p line -> Fmt.epr "%a| %s@." Proc_id.pp p line)
@@ -165,16 +169,16 @@ let demo_once n base_port kill_spec kill_after restart_after duration submit
   print_stats (Cluster.nodes cluster);
   if ok && (submit = 0 || delivered = submit * n) then 0 else 1
 
-let demo n base_port kill_spec kill_after restart_after duration submit verbose
-    supervise max_restarts =
+let demo n base_port no_batch kill_spec kill_after restart_after duration
+    submit verbose supervise max_restarts =
   supervised ~supervise ~max_restarts (fun ~restarts:_ ->
-      demo_once n base_port kill_spec kill_after restart_after duration submit
-        verbose)
+      demo_once n base_port no_batch kill_spec kill_after restart_after
+        duration submit verbose)
 
 (* ---------------------------------------------------------------- *)
 (* member: one process per member *)
 
-let member_once me n base_port state_dir duration verbose =
+let member_once me n base_port no_batch state_dir duration verbose =
   if me < 0 || me >= n then begin
     Fmt.epr "timewheel-live: --me must be in [0, %d)@." n;
     exit 124
@@ -184,7 +188,11 @@ let member_once me n base_port state_dir duration verbose =
     | Some dir -> Live_store.on_disk ~dir ()
     | None -> Live_store.in_memory ()
   in
-  let cfg = Live.config ~n ~base_port ~store () in
+  let cfg =
+    Live.config ~n ~base_port ~store
+      ?batching:(if no_batch then Some false else None)
+      ()
+  in
   let recorder = Live.recorder () in
   let clock = Clock.create () in
   let self = Proc_id.of_int me in
@@ -221,9 +229,10 @@ let member_once me n base_port state_dir duration verbose =
   | Some m when Timewheel.Member.has_group m -> 0
   | _ -> 1
 
-let member me n base_port state_dir duration verbose supervise max_restarts =
+let member me n base_port no_batch state_dir duration verbose supervise
+    max_restarts =
   supervised ~supervise ~max_restarts (fun ~restarts:_ ->
-      member_once me n base_port state_dir duration verbose)
+      member_once me n base_port no_batch state_dir duration verbose)
 
 (* ---------------------------------------------------------------- *)
 (* chaos: the seeded live chaos scenarios *)
@@ -278,6 +287,16 @@ let base_port_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print automaton log lines.")
 
+let no_batch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:
+          "Force the portable per-datagram sendto/recvfrom path instead of \
+           the batched sendmmsg/recvmmsg syscalls (same effect as \
+           $(b,TW_MMSG=0); frame bytes and counters are identical either \
+           way).")
+
 let supervise_arg =
   Arg.(
     value & flag
@@ -319,7 +338,7 @@ let demo_cmd =
   in
   let term =
     Term.(
-      const demo $ n_arg $ base_port_arg $ kill_arg
+      const demo $ n_arg $ base_port_arg $ no_batch_arg $ kill_arg
       $ seconds ~default:2.0 [ "kill-after" ]
           "Settle time before the kill (and before updates when no kill)."
       $ seconds ~default:2.0 [ "restart-after" ]
@@ -353,7 +372,8 @@ let member_cmd =
   in
   let term =
     Term.(
-      const member $ me_arg $ n_arg $ base_port_arg $ state_dir_arg
+      const member $ me_arg $ n_arg $ base_port_arg $ no_batch_arg
+      $ state_dir_arg
       $ seconds ~default:10.0 [ "duration" ] "How long to run."
       $ verbose_arg $ supervise_arg $ max_restarts_arg)
   in

@@ -1,0 +1,89 @@
+(* Log-bucketed latency histogram in the HdrHistogram style.
+
+   Values below [sub] (32) are exact; above, each power-of-two range
+   splits into [sub] subbuckets, so the representative value of any
+   bucket is within 1/32 (~3%) of every value it absorbed. Recording
+   is a couple of shifts and one array increment — no allocation —
+   so it is safe inside a latency-measuring hot loop. *)
+
+let sub = 32
+let sub_bits = 5 (* log2 sub *)
+
+(* enough ranges to cover any int64-microsecond span we could observe *)
+let ranges = 56
+let buckets = sub + (ranges * sub)
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable lo : int; (* exact observed min; max_int when empty *)
+  mutable hi : int; (* exact observed max *)
+  mutable sum : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; total = 0; lo = max_int; hi = 0; sum = 0 }
+
+let msb v =
+  (* position of the highest set bit; v >= 1 *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index v =
+  if v < sub then v
+  else
+    let b = msb v - sub_bits in
+    let b = if b >= ranges then ranges - 1 else b in
+    sub + (b * sub) + ((v lsr b) - sub)
+
+(* representative (midpoint) value of a bucket *)
+let value_at idx =
+  if idx < sub then idx
+  else
+    let b = (idx - sub) / sub in
+    let s = (idx - sub) mod sub in
+    (((sub + s) lsl b) + ((sub + s + 1) lsl b) - 1) / 2
+
+let record t v =
+  let v = if v < 0 then 0 else v in
+  t.counts.(index v) <- t.counts.(index v) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum + v;
+  if v < t.lo then t.lo <- v;
+  if v > t.hi then t.hi <- v
+
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.lo
+let max_value t = t.hi
+let mean t = if t.total = 0 then 0.0 else float_of_int t.sum /. float_of_int t.total
+
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.total)) in
+      if r < 1 then 1 else if r > t.total then t.total else r
+    in
+    let acc = ref 0 in
+    let found = ref t.hi in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           found := value_at i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* clamp the bucket representative to the exact observed range *)
+    if !found < t.lo then t.lo else if !found > t.hi then t.hi else !found
+  end
+
+let merge ~into src =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total;
+  into.sum <- into.sum + src.sum;
+  if src.total > 0 then begin
+    if src.lo < into.lo then into.lo <- src.lo;
+    if src.hi > into.hi then into.hi <- src.hi
+  end

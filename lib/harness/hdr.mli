@@ -1,0 +1,32 @@
+(** Log-bucketed latency histogram in the HdrHistogram style.
+
+    Records non-negative integers (microseconds, in this repo's use)
+    with ~3% relative error: values below 32 are exact, larger values
+    land in one of 32 subbuckets per power-of-two range. Recording is
+    allocation-free, so the histogram can sit inside the latency path
+    it measures. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Negative values clamp to 0. *)
+
+val count : t -> int
+val min_value : t -> int
+(** Exact observed minimum; 0 when empty. *)
+
+val max_value : t -> int
+(** Exact observed maximum; 0 when empty. *)
+
+val mean : t -> float
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0, 100]: the representative value of
+    the bucket holding the rank-⌈p/100·count⌉ observation, clamped to
+    the exact observed min/max. 0 when empty. *)
+
+val merge : into:t -> t -> unit
+(** Fold one histogram into another (e.g. per-shard histograms into a
+    run total). *)

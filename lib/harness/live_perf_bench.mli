@@ -1,0 +1,70 @@
+(** M4 macrobenchmark: the live data plane at hardware speed.
+
+    Two experiments over real UDP sockets on localhost:
+
+    {b Flood} — raw {!Runtime.Transport} throughput: one sender
+    broadcasts minimal frames to [n-1] receivers as fast as the data
+    plane moves them. Run once batched ([sendmmsg]/[recvmmsg]) and
+    once on the portable per-datagram fallback, the pair measures the
+    syscall-batching speedup and the syscalls-per-frame ratio (from
+    the [live:syscall:*] counters).
+
+    {b Cluster} — the full Figure 1 stack under load: [shards]
+    independent [n]-member groups, one per OCaml domain
+    ({!Runtime.Cluster.Sharded}), each forming a view and then
+    sustaining a steady stream of totally-ordered updates. Records
+    submit→deliver latency into an {!Hdr} histogram (stamped by the
+    shard's own poll loop, so samples are at most one poll pass
+    coarse), aggregate frames/s across shards, and — the run being
+    faultless — every post-formation view change as a false
+    suspicion. *)
+
+type flood_result = {
+  fl_n : int;
+  fl_batched : bool;
+  fl_wall_seconds : float;
+  fl_sent : int;
+  fl_received : int;
+  fl_frames_per_sec : float;  (** received frames per wall second *)
+  fl_syscalls : int;  (** send + receive syscalls, both primitives *)
+  fl_syscalls_per_frame : float;  (** syscalls / (sent + received) *)
+}
+
+val flood :
+  ?n:int ->
+  ?seconds:float ->
+  ?base_port:int ->
+  ?batching:bool ->
+  unit ->
+  flood_result
+(** Defaults: [n = 4] transports on [base_port = 49400], one second.
+    [batching] as {!Runtime.Transport.create}. *)
+
+type cluster_result = {
+  cl_n : int;  (** members per shard *)
+  cl_shards : int;
+  cl_batched : bool;
+  cl_formed : bool;  (** every shard agreed on its full view *)
+  cl_wall_seconds : float;  (** slowest shard's steady-state window *)
+  cl_frames : int;  (** datagrams received across shards in the window *)
+  cl_frames_per_sec : float;  (** aggregate across shards *)
+  cl_submits : int;
+  cl_deliveries : int;
+  cl_latency : Hdr.t;  (** submit→deliver, microseconds, all shards *)
+  cl_false_suspicions : int;
+      (** post-formation view changes (the run is faultless, so any
+          change is a false suspicion) *)
+}
+
+val cluster :
+  ?n:int ->
+  ?shards:int ->
+  ?seconds:float ->
+  ?base_port:int ->
+  ?batching:bool ->
+  unit ->
+  cluster_result
+(** Defaults: [n = 5] members per shard, [shards = 1], two seconds of
+    steady state, ports from [base_port = 49600] (each shard strides
+    64 ports up). A shard that fails to form within 30 s reports
+    [cl_formed = false] with empty measurements rather than raising. *)

@@ -51,20 +51,24 @@ let run_until t ~deadline ?(poll_cap = Time.of_ms 100) pred =
       in
       let next = Time.min next deadline in
       let timeout = select_timeout ~progressed:(progress > 0) ~now ~next in
-      let fds =
-        List.filter_map
-          (fun n -> Option.map (fun fd -> (fd, n)) (Node.fd n))
-          t.nodes
+      (* poll(2), not select: no FD_SETSIZE cap on descriptor values,
+         which a many-socket multi-domain process blows through. The
+         timeout policy is unchanged; ms conversion rounds up so the
+         anti-busy-spin floor survives the coarser unit. *)
+      let live =
+        Array.of_list
+          (List.filter_map
+             (fun n -> Option.map (fun fd -> (fd, n)) (Node.fd n))
+             t.nodes)
       in
-      match Unix.select (List.map fst fds) [] [] timeout with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | readable, _, _ ->
-        List.iter
-          (fun fd ->
-            match List.assq_opt fd fds with
-            | Some n -> Node.recv_ready n
-            | None -> ())
-          readable
+      let fds = Array.map fst live in
+      let revents = Array.make (Array.length live) 0 in
+      match Poll.wait ~fds ~revents ~timeout_ms:(Poll.ms_of_span timeout) with
+      | Error (`Intr | `Error) -> ()
+      | Ok _ready ->
+        Array.iteri
+          (fun i r -> if r <> 0 then Node.recv_ready (snd live.(i)))
+          revents
     end
   done;
   !met
@@ -72,3 +76,25 @@ let run_until t ~deadline ?(poll_cap = Time.of_ms 100) pred =
 let run_for t ~span =
   let deadline = Time.add (Clock.now t.clock) span in
   ignore (run_until t ~deadline (fun () -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Multicore sharding *)
+
+module Sharded = struct
+  let recommended () = Domain.recommended_domain_count ()
+
+  let run ~shards f =
+    if shards <= 0 then invalid_arg "Cluster.Sharded.run: shards must be > 0";
+    if shards = 1 then [ f ~shard:0 ]
+    else begin
+      let domains =
+        List.init shards (fun shard -> Domain.spawn (fun () -> f ~shard))
+      in
+      (* join everything before re-raising, so no domain is leaked
+         when one shard fails *)
+      let results =
+        List.map (fun d -> try Ok (Domain.join d) with e -> Error e) domains
+      in
+      List.map (function Ok v -> v | Error e -> raise e) results
+    end
+end

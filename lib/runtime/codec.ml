@@ -59,16 +59,50 @@ let r_proc r =
   Proc_id.of_int i
 let w_time w (t : Time.t) = Wire.int w (Time.to_us t)
 let r_time r : Time.t = Time.of_us (Wire.r_int r)
-(* The writer a frame is currently being encoded into. Iterating sets
-   and oal entries through statically allocated callbacks that read
-   this cell — instead of closures capturing the writer — keeps the
-   per-datagram encode at zero heap allocation. Encoding is not
-   re-entrant (one frame at a time per domain), which the runtime's
-   single-threaded node loop guarantees; [write_frame] and the encode
-   entry points set the cell. *)
-let cur_writer = ref (Wire.writer ())
 
-let iter_proc p = w_proc !cur_writer p
+(* Per-domain codec scratch, in domain-local storage so sharded
+   clusters encode and decode concurrently without sharing mutable
+   state. Within one domain the codec stays non-re-entrant (one frame
+   at a time), which the runtime's single-threaded node loop
+   guarantees; [Domain.DLS.get] is allocation-free after first touch,
+   so the zero-allocation data plane survives.
+
+   [sc_writer] is the writer a frame is currently being encoded into:
+   iterating sets and oal entries through statically allocated
+   callbacks that read this cell — instead of closures capturing the
+   writer — keeps the per-datagram encode at zero heap allocation.
+
+   [sc_sets] is the reused set builder: a decision frame at 64 members
+   carries dozens of proc sets; building each via [Proc_set.of_list]
+   costs an array copy per element plus the intermediate list, the
+   builder one allocation per set. Sets never nest, so one per domain
+   suffices.
+
+   [sc_entries] is the oal-entry scratch: entries are parsed into this
+   array and handed to [Oal.of_wire_indexed], skipping the
+   intermediate list a [Wire.r_list] parse would build. Grows to the
+   largest oal seen; stale slots beyond the current count are ignored.
+
+   [sc_reader] is the reused frame reader for the decode path — one
+   long-lived reader re-aimed per frame instead of allocated per
+   frame. *)
+type scratch = {
+  mutable sc_writer : Wire.writer;
+  sc_sets : Proc_set.Builder.t;
+  mutable sc_entries : Oal.entry array;
+  sc_reader : Wire.reader;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sc_writer = Wire.writer ();
+        sc_sets = Proc_set.Builder.create ();
+        sc_entries = [||];
+        sc_reader = Wire.reader "";
+      })
+
+let iter_proc p = w_proc (Domain.DLS.get scratch_key).sc_writer p
 
 (* count + ascending members — the same bytes [Wire.list] over
    [Proc_set.to_list] produced, without materializing the list or
@@ -77,17 +111,11 @@ let w_proc_set w s =
   Wire.int w (Proc_set.cardinal s);
   Proc_set.iter iter_proc s
 
-(* Reused set builder (non-reentrant, like [cur_writer]): a decision
-   frame at 64 members carries dozens of proc sets; building each via
-   [Proc_set.of_list] costs an array copy per element plus the
-   intermediate list, the builder one allocation per set. Sets never
-   nest, so one builder per domain suffices. *)
-let set_builder = Proc_set.Builder.create ()
-
 let r_proc_set r =
   let count = Wire.r_int r in
   if count < 0 then Wire.fail "negative list count";
   if count > Wire.remaining r then Wire.fail "list count overruns frame";
+  let set_builder = (Domain.DLS.get scratch_key).sc_sets in
   Proc_set.Builder.clear set_builder;
   for _ = 1 to count do
     Proc_set.Builder.add set_builder (r_proc r)
@@ -215,7 +243,8 @@ let r_latest r =
   let group_id = r_group_id r in
   (ordinal, group, group_id)
 
-let iter_oal_entry _ordinal e = w_oal_entry !cur_writer e
+let iter_oal_entry _ordinal e =
+  w_oal_entry (Domain.DLS.get scratch_key).sc_writer e
 
 (* field-for-field the bytes of the [Oal.to_wire] view, but walking the
    live structure directly: the oal rides in every decision message, so
@@ -227,31 +256,25 @@ let w_oal w oal =
   Oal.iter_entries_ord oal iter_oal_entry;
   Wire.option w_latest w (Oal.latest_membership oal)
 
-(* Reused entry scratch for oal decoding (non-reentrant, see
-   [set_builder]): entries are parsed into this array and handed to
-   [Oal.of_wire_indexed], skipping the intermediate list an
-   [Wire.r_list] parse would build. Grows to the largest oal seen;
-   stale slots beyond the current count are simply ignored. *)
-let entry_scratch : Oal.entry array ref = ref [||]
-
 let r_oal r =
   let w_low = Wire.r_int r in
   let w_next_ordinal = Wire.r_int r in
   let count = Wire.r_int r in
   if count < 0 then Wire.fail "negative list count";
   if count > Wire.remaining r then Wire.fail "list count overruns frame";
+  let scratch = Domain.DLS.get scratch_key in
   if count > 0 then begin
     let e0 = r_oal_entry r in
-    if Array.length !entry_scratch < count then
-      entry_scratch := Array.make (Stdlib.max count 64) e0
-    else !entry_scratch.(0) <- e0;
-    let sc = !entry_scratch in
+    if Array.length scratch.sc_entries < count then
+      scratch.sc_entries <- Array.make (Stdlib.max count 64) e0
+    else scratch.sc_entries.(0) <- e0;
+    let sc = scratch.sc_entries in
     for i = 1 to count - 1 do
       sc.(i) <- r_oal_entry r
     done
   end;
   let w_latest = Wire.r_option r_latest r in
-  let sc = !entry_scratch in
+  let sc = scratch.sc_entries in
   match
     Oal.of_wire_indexed ~low:w_low ~next_ordinal:w_next_ordinal
       ~latest:w_latest ~count
@@ -269,11 +292,11 @@ let r_oal r =
    with zero allocation. *)
 
 let fold_w_proposal _id (p : _ Proposal.t) pc =
-  w_proposal pc !cur_writer p;
+  w_proposal pc (Domain.DLS.get scratch_key).sc_writer p;
   pc
 
 let fold_w_delivered id ordinal () =
-  let w = !cur_writer in
+  let w = (Domain.DLS.get scratch_key).sc_writer in
   w_proposal_id w id;
   match ordinal with
   | None -> Wire.byte w 0
@@ -531,7 +554,7 @@ let magic1 = 'W'
    staging buffer, and byte-for-byte the format documented in the mli
    (the length varint is never padded) *)
 let write_frame pc ~sender msg w =
-  cur_writer := w;
+  (Domain.DLS.get scratch_key).sc_writer <- w;
   Wire.byte w (Char.code magic0);
   Wire.byte w (Char.code magic1);
   Wire.byte w version;
@@ -561,31 +584,38 @@ let decode_window pc data ~pos ~len =
   else if Char.code data.[pos + 2] <> version then
     Error (Bad_version (Char.code data.[pos + 2]))
   else begin
-    let r = Wire.reader ~pos:(pos + 3) ~len:(len - 3) data in
-    match
-      let sender = Wire.r_int r in
-      let declared = Wire.r_int r in
-      (sender, declared)
-    with
+    (* reused per-domain reader: no allocation per frame. Sound for
+       the same reason the scratch writer is — frames decode one at a
+       time per domain, and nothing retains the reader past the call *)
+    let r = (Domain.DLS.get scratch_key).sc_reader in
+    Wire.reset_window r data ~pos:(pos + 3) ~len:(len - 3);
+    (* the two header ints are matched one at a time — pairing them up
+       would build a tuple per frame on an otherwise allocation-lean
+       path *)
+    match Wire.r_int r with
     | exception Wire.Error _ -> Error Truncated
-    | sender, _ when sender < 0 -> Error (Malformed "negative sender id")
-    | sender, declared ->
-      let actual = Wire.remaining r in
-      if declared <> actual then Error (Length_mismatch { declared; actual })
-      else begin
-        match
-          let msg = r_msg pc r in
-          if Wire.remaining r <> 0 then Wire.fail "trailing bytes after message";
-          msg
-        with
-        | exception Wire.Error msg -> Error (Malformed msg)
-        (* domain-validating constructors (Proc_id, Time, ...) raise on
-           out-of-range values a mutated frame can carry; the codec is
-           total, so those surface as Malformed too *)
-        | exception Invalid_argument msg -> Error (Malformed msg)
-        | exception Failure msg -> Error (Malformed msg)
-        | msg -> Ok (Proc_id.of_int sender, msg)
-      end
+    | sender when sender < 0 -> Error (Malformed "negative sender id")
+    | sender -> (
+      match Wire.r_int r with
+      | exception Wire.Error _ -> Error Truncated
+      | declared ->
+        let actual = Wire.remaining r in
+        if declared <> actual then Error (Length_mismatch { declared; actual })
+        else begin
+          match
+            let msg = r_msg pc r in
+            if Wire.remaining r <> 0 then
+              Wire.fail "trailing bytes after message";
+            msg
+          with
+          | exception Wire.Error msg -> Error (Malformed msg)
+          (* domain-validating constructors (Proc_id, Time, ...) raise on
+             out-of-range values a mutated frame can carry; the codec is
+             total, so those surface as Malformed too *)
+          | exception Invalid_argument msg -> Error (Malformed msg)
+          | exception Failure msg -> Error (Malformed msg)
+          | msg -> Ok (Proc_id.of_int sender, msg)
+        end)
   end
 
 let decode pc frame = decode_window pc frame ~pos:0 ~len:(String.length frame)

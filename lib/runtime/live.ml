@@ -14,9 +14,10 @@ type config = {
   params : Params.t;
   cs_config : Clocksync.Protocol.config;
   store : Live_store.t;
+  batching : bool option;
 }
 
-let config ?(base_port = 47800) ?params ?cs_config ?store ~n () =
+let config ?(base_port = 47800) ?params ?cs_config ?store ?batching ~n () =
   let params =
     match params with
     | Some p -> p
@@ -32,7 +33,7 @@ let config ?(base_port = 47800) ?params ?cs_config ?store ~n () =
     | None -> Clocksync.Protocol.default_config ~n
   in
   let store = match store with Some s -> s | None -> Live_store.in_memory () in
-  { n; base_port; params; cs_config; store }
+  { n; base_port; params; cs_config; store; batching }
 
 type view = {
   at : Time.t;
@@ -76,7 +77,8 @@ let mk_node cfg ~clock ~self ?recorder ?on_log () =
     Transport.create
       ~encode_to:(Codec.encode_to Codec.string_payload)
       ~decode:(Codec.decode_bytes Codec.string_payload)
-      ~kind_of:Full_stack.kind_of_msg ~self ~n:cfg.n ~port_of ~stats ()
+      ~kind_of:Full_stack.kind_of_msg ?batching:cfg.batching ~self ~n:cfg.n
+      ~port_of ~stats ()
   in
   let on_obs =
     match recorder with

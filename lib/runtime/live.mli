@@ -23,6 +23,11 @@ type config = {
   params : Params.t;
   cs_config : Clocksync.Protocol.config;
   store : Live_store.t;
+  batching : bool option;
+      (** Forced syscall-batching mode for every transport; [None]
+          (the default) defers to {!Mmsg.default_enabled} — batched
+          where the platform supports it, portable loop under
+          [TW_MMSG=0]. *)
 }
 
 val config :
@@ -30,6 +35,7 @@ val config :
   ?params:Params.t ->
   ?cs_config:Clocksync.Protocol.config ->
   ?store:Live_store.t ->
+  ?batching:bool ->
   n:int ->
   unit ->
   config

@@ -1,0 +1,37 @@
+external tw_mmsg_supported : unit -> bool = "tw_mmsg_supported"
+
+external tw_sendmmsg :
+  Unix.file_descr -> Bytes.t -> int array -> int -> int -> int = "tw_sendmmsg"
+  [@@noalloc]
+
+external tw_recvmmsg :
+  Unix.file_descr -> Bytes.t -> int -> int array -> int -> int = "tw_recvmmsg"
+  [@@noalloc]
+
+let supported = tw_mmsg_supported ()
+
+let env_disabled () =
+  match Sys.getenv_opt "TW_MMSG" with
+  | Some ("0" | "off" | "false" | "OFF" | "FALSE") -> true
+  | _ -> false
+
+let default_enabled () = supported && not (env_disabled ())
+let slots = 64
+
+type error = [ `Would_block | `Refused | `Intr | `Unsupported | `Error ]
+
+let classify r : (int, error) result =
+  if r >= 0 then Ok r
+  else
+    match r with
+    | -1 -> Error `Would_block
+    | -2 -> Error `Refused
+    | -3 -> Error `Intr
+    | -5 -> Error `Unsupported
+    | _ -> Error `Error
+
+let send_batch fd ~buf ~meta ~from ~count =
+  classify (tw_sendmmsg fd buf meta from count)
+
+let recv_batch fd ~ring ~slot ~lens ~vlen =
+  classify (tw_recvmmsg fd ring slot lens vlen)

@@ -136,7 +136,10 @@ let run_init t =
       ~incarnation:t.incarnation
   in
   t.state <- Some s;
-  List.iter (apply_effect t) effects
+  List.iter (apply_effect t) effects;
+  (* init runs outside the poll loop, so its sends (join broadcasts)
+     must leave now rather than wait for the first poll's flush *)
+  Transport.flush t.transport
 
 let start t = if t.state = None then run_init t
 
@@ -205,6 +208,9 @@ let poll t ~now =
     let released = Transport.pump t.transport ~now in
     let fired = Eventloop.Timer_wheel.advance t.wheel ~to_:(Time.to_us now) in
     let dispatched = Eventloop.Dispatcher.run_pending t.dispatcher in
+    (* end of the dispatch pass: everything the handlers sent leaves
+       as one batch *)
+    Transport.flush t.transport;
     released + fired + dispatched
   end
 

@@ -1,0 +1,15 @@
+external tw_poll : Unix.file_descr array -> int array -> int -> int -> int
+  = "tw_poll"
+
+type error = [ `Intr | `Error ]
+
+let wait ~fds ~revents ~timeout_ms =
+  let n = Array.length fds in
+  if Array.length revents < n then invalid_arg "Poll.wait: revents too short";
+  match tw_poll fds revents n timeout_ms with
+  | r when r >= 0 -> Ok r
+  | -3 -> Error `Intr
+  | _ -> Error `Error
+
+let ms_of_span span =
+  if span <= 0.0 then 0 else Stdlib.max 1 (int_of_float (ceil (span *. 1000.0)))

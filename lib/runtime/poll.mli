@@ -1,0 +1,27 @@
+(** poll(2) for the cluster loop.
+
+    Replaces [Unix.select], whose [fd_set] caps descriptor values at
+    FD_SETSIZE (1024) — too small for many-socket multi-domain runs.
+    Readiness covers error/hangup too, so a dead socket wakes the
+    loop and the subsequent read surfaces the condition (the same
+    contract select gave us). The blocking wait releases the OCaml
+    runtime lock so other domains keep running. *)
+
+type error = [ `Intr | `Error ]
+
+val wait :
+  fds:Unix.file_descr array ->
+  revents:int array ->
+  timeout_ms:int ->
+  (int, error) result
+(** POLLIN-polls [fds]; sets [revents.(i)] to 1 when [fds.(i)] is
+    readable (or errored/hung up), 0 otherwise, and returns the ready
+    count. [revents] must be at least as long as [fds]. A [timeout_ms]
+    of 0 returns immediately; there is no infinite wait (callers
+    always have a deadline). *)
+
+val ms_of_span : float -> int
+(** Seconds → milliseconds for [timeout_ms], rounding up so a
+    positive sub-millisecond timeout still sleeps (1ms) rather than
+    busy-spinning — the same guard the select loop's timeout floor
+    provided. Zero stays zero. *)

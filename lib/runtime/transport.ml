@@ -16,6 +16,30 @@ type kind_counters = {
 type impair_rule = { ir_delay : Time.t; ir_jitter : Time.t; ir_drop : float }
 type held = { h_due : Time.t; h_dst : int; h_frame : Bytes.t }
 
+(* Outbound frames accumulate here, back to back in [bt_buf], and
+   leave in one [sendmmsg] per [flush] (or a sendto loop on the
+   fallback path — same frames, same flush points, different syscall
+   count). [bt_meta] is the [| off; len; port |]-per-message layout
+   the C stub consumes; [bt_dst] keeps the destination index for the
+   fallback and for nothing else. [bt_writer] is one long-lived fixed
+   writer rebased at the batch tail per frame, so the batched encode
+   allocates exactly as much as the unbatched one did: nothing. *)
+type batch = {
+  bt_buf : Bytes.t;
+  bt_meta : int array;
+  bt_dst : int array;
+  mutable bt_len : int;
+  mutable bt_count : int;
+  bt_writer : Wire.writer;
+}
+
+(* [recvmmsg] ring: datagram [i] of one syscall lands at offset
+   [i * ring_slot]. A slot is 65536 >= the largest UDP datagram, so
+   frames are never truncated; allocated lazily on first batched
+   drain (fallback transports never pay for it). *)
+let ring_slot = 65536
+let ring_vlen = 16
+
 type 'm t = {
   encode_to : sender:Proc_id.t -> 'm -> Wire.writer -> int;
   decode :
@@ -24,10 +48,12 @@ type 'm t = {
   self : Proc_id.t;
   n : int;
   addrs : Unix.sockaddr array; (* indexed by proc id; built once *)
+  ports : int array; (* same index; what the sendmmsg stub needs *)
   socket : Unix.file_descr;
-  send_buf : Bytes.t; (* every outgoing frame is built here in place *)
-  send_writer : Wire.writer; (* long-lived fixed writer over send_buf *)
-  recv_buf : Bytes.t;
+  batch : batch;
+  mutable ring : Bytes.t; (* length 0 until the first batched drain *)
+  ring_lens : int array;
+  recv_buf : Bytes.t; (* fallback drain reads into this *)
   stats : Stats.t;
   kinds : (string, kind_counters) Hashtbl.t;
   sent_total : Stats.counter;
@@ -40,6 +66,10 @@ type 'm t = {
   drop_bad_version : Stats.counter;
   drop_length_mismatch : Stats.counter;
   drop_malformed : Stats.counter;
+  sc_sendto : Stats.counter;
+  sc_recvfrom : Stats.counter;
+  sc_sendmmsg : Stats.counter;
+  sc_recvmmsg : Stats.counter;
   (* the shim is off ([impair_count = 0]) unless a scenario installs a
      rule, so the zero-allocation data plane is untouched by default *)
   mutable impair_rules : impair_rule option array; (* length 0 = never used *)
@@ -49,11 +79,12 @@ type 'm t = {
   mutable held : held list; (* newest first; pump sorts the due ones *)
   impair_dropped : Stats.counter;
   impair_released : Stats.counter;
+  mutable use_mmsg : bool; (* downgrades once on runtime ENOSYS *)
   mutable closed : bool;
 }
 
-let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
-    ~stats () =
+let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ?batching ~self ~n
+    ~port_of ~stats () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   (match
      Unix.set_nonblock socket;
@@ -69,7 +100,14 @@ let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
     Array.init n (fun p ->
         Unix.ADDR_INET (Unix.inet_addr_loopback, port_of (Proc_id.of_int p)))
   in
-  let send_buf = Bytes.create 65536 in
+  let ports = Array.init n (fun p -> port_of (Proc_id.of_int p)) in
+  (* two max frames, so after a pressure flush the next frame always
+     fits and a single frame can never overflow for size reasons the
+     old 64 KiB scratch buffer tolerated *)
+  let bt_buf = Bytes.create (2 * 65536) in
+  let use_mmsg =
+    match batching with Some b -> b && Mmsg.supported | None -> Mmsg.default_enabled ()
+  in
   {
     encode_to;
     decode;
@@ -77,9 +115,19 @@ let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
     self;
     n;
     addrs;
+    ports;
     socket;
-    send_buf;
-    send_writer = Wire.writer_into send_buf ~pos:0;
+    batch =
+      {
+        bt_buf;
+        bt_meta = Array.make (3 * Mmsg.slots) 0;
+        bt_dst = Array.make Mmsg.slots 0;
+        bt_len = 0;
+        bt_count = 0;
+        bt_writer = Wire.writer_into bt_buf ~pos:0;
+      };
+    ring = Bytes.create 0;
+    ring_lens = Array.make ring_vlen 0;
     recv_buf = Bytes.create 65536;
     stats;
     kinds = Hashtbl.create 16;
@@ -93,6 +141,10 @@ let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
     drop_bad_version = Stats.counter stats "live:drop:bad-version";
     drop_length_mismatch = Stats.counter stats "live:drop:length-mismatch";
     drop_malformed = Stats.counter stats "live:drop:malformed";
+    sc_sendto = Stats.counter stats "live:syscall:sendto";
+    sc_recvfrom = Stats.counter stats "live:syscall:recvfrom";
+    sc_sendmmsg = Stats.counter stats "live:syscall:sendmmsg";
+    sc_recvmmsg = Stats.counter stats "live:syscall:recvmmsg";
     impair_rules = [||];
     impair_count = 0;
     impair_clock = (fun () -> Time.zero);
@@ -101,6 +153,7 @@ let create ~encode_to ~decode ?(kind_of = fun _ -> "msg") ~self ~n ~port_of
     held = [];
     impair_dropped = Stats.counter stats "live:impair:drop";
     impair_released = Stats.counter stats "live:impair:released";
+    use_mmsg;
     closed = false;
   }
 
@@ -108,6 +161,7 @@ let self t = t.self
 let n t = t.n
 let fd t = t.socket
 let is_closed t = t.closed
+let batched t = t.use_mmsg
 
 let slow_kind_counters t kind =
   let kc =
@@ -127,8 +181,9 @@ let slow_kind_counters t kind =
 let kind_counters t kind =
   try Hashtbl.find t.kinds kind with Not_found -> slow_kind_counters t kind
 
-let try_sendto t buf len dst =
-  match Unix.sendto t.socket buf 0 len [] t.addrs.(dst) with
+let try_sendto t buf ~pos ~len dst =
+  Stats.bump t.sc_sendto;
+  match Unix.sendto t.socket buf pos len [] t.addrs.(dst) with
   | _ -> true
   | exception
       Unix.Unix_error
@@ -136,6 +191,92 @@ let try_sendto t buf len dst =
     (* an unreliable datagram service may drop; the stack copes *)
     Stats.bump t.drop_send;
     false
+
+(* ------------------------------------------------------------------ *)
+(* Batched send path *)
+
+let flush_sendto t ~from =
+  let b = t.batch in
+  for i = from to b.bt_count - 1 do
+    ignore
+      (try_sendto t b.bt_buf ~pos:b.bt_meta.(3 * i) ~len:b.bt_meta.((3 * i) + 1)
+         b.bt_dst.(i))
+  done
+
+let drop_rest t ~from =
+  Stats.bump_by t.drop_send (t.batch.bt_count - from)
+
+(* One sendmmsg per [Mmsg.slots] frames in the common case. Error
+   semantics mirror the per-datagram path: would-block / no-buffers
+   drops the remainder (the kernel queue is full; the protocol
+   retransmits), a connection-refused bounce — async ICMP from an
+   earlier datagram to a dead peer — charges one frame and moves on,
+   EINTR retries. The attempt bound makes any kernel misbehavior
+   terminate in drops rather than a spin. *)
+let flush_mmsg t =
+  let b = t.batch in
+  let from = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = (2 * b.bt_count) + 8 in
+  while !from < b.bt_count && t.use_mmsg do
+    if !attempts > max_attempts then begin
+      drop_rest t ~from:!from;
+      from := b.bt_count
+    end
+    else begin
+      incr attempts;
+      Stats.bump t.sc_sendmmsg;
+      match
+        Mmsg.send_batch t.socket ~buf:b.bt_buf ~meta:b.bt_meta ~from:!from
+          ~count:b.bt_count
+      with
+      | Ok 0 ->
+        (* kernel accepted nothing without raising: treat as pressure *)
+        drop_rest t ~from:!from;
+        from := b.bt_count
+      | Ok k -> from := !from + k
+      | Error `Refused ->
+        Stats.bump t.drop_send;
+        incr from
+      | Error `Intr -> ()
+      | Error (`Would_block | `Error) ->
+        drop_rest t ~from:!from;
+        from := b.bt_count
+      | Error `Unsupported ->
+        (* runtime ENOSYS: downgrade for good, finish this batch over
+           sendto so no frame is lost to the probe *)
+        t.use_mmsg <- false
+    end
+  done;
+  if not t.use_mmsg then flush_sendto t ~from:!from
+
+let flush t =
+  let b = t.batch in
+  if b.bt_count > 0 then begin
+    if not t.closed then
+      if t.use_mmsg then flush_mmsg t else flush_sendto t ~from:0;
+    b.bt_count <- 0;
+    b.bt_len <- 0
+  end
+
+(* Encode at the batch tail through the long-lived writer; on fixed
+   buffer overflow flush the pending frames and retry once from an
+   empty buffer — only a frame too large for the buffer itself (and
+   therefore far over the datagram limit) still fails. *)
+let encode_frame t msg =
+  let b = t.batch in
+  Wire.rebase b.bt_writer b.bt_buf ~pos:b.bt_len;
+  match t.encode_to ~sender:t.self msg b.bt_writer with
+  | len -> len
+  | exception Wire.Error _ ->
+    if b.bt_count = 0 then -1
+    else begin
+      flush t;
+      Wire.rebase b.bt_writer b.bt_buf ~pos:0;
+      (match t.encode_to ~sender:t.self msg b.bt_writer with
+      | len -> len
+      | exception Wire.Error _ -> -1)
+    end
 
 let count_sent t msg len =
   Stats.bump t.sent_total;
@@ -145,43 +286,54 @@ let count_sent t msg len =
 
 let send t ~dst msg =
   if not t.closed then begin
-    match t.encode_to ~sender:t.self msg t.send_writer with
-    | exception Wire.Error _ ->
-      (* does not fit the scratch buffer: necessarily over the
-         datagram limit as well *)
-      Stats.bump t.drop_oversize
-    | len ->
-      if len > Codec.max_frame then Stats.bump t.drop_oversize
-      else begin
-        let d = Proc_id.to_int dst in
-        let rule =
-          if t.impair_count = 0 then None else t.impair_rules.(d)
-        in
-        match rule with
-        | None -> if try_sendto t t.send_buf len d then count_sent t msg len
-        | Some r ->
-          if Rng.bool t.impair_rng r.ir_drop then Stats.bump t.impair_dropped
-          else begin
-            let extra =
-              if Time.compare r.ir_jitter Time.zero > 0 then
-                Time.add r.ir_delay
-                  (Rng.uniform_time t.impair_rng Time.zero r.ir_jitter)
-              else r.ir_delay
-            in
-            if Time.compare extra Time.zero <= 0 then begin
-              if try_sendto t t.send_buf len d then count_sent t msg len
-            end
-            else begin
-              (* held frames count as sent now (the kind is only known
-                 here); [pump] transmits them when due *)
-              let due = Time.add (t.impair_clock ()) extra in
-              t.held <-
-                { h_due = due; h_dst = d; h_frame = Bytes.sub t.send_buf 0 len }
-                :: t.held;
+    let len = encode_frame t msg in
+    if len < 0 || len > Codec.max_frame then Stats.bump t.drop_oversize
+    else begin
+      let b = t.batch in
+      let d = Proc_id.to_int dst in
+      let rule = if t.impair_count = 0 then None else t.impair_rules.(d) in
+      match rule with
+      | None ->
+        (* commit the frame to the batch; it counts as sent now (an
+           unreliable datagram service may still drop it at flush) *)
+        let i = b.bt_count in
+        b.bt_meta.(3 * i) <- b.bt_len;
+        b.bt_meta.((3 * i) + 1) <- len;
+        b.bt_meta.((3 * i) + 2) <- t.ports.(d);
+        b.bt_dst.(i) <- d;
+        b.bt_count <- i + 1;
+        b.bt_len <- b.bt_len + len;
+        count_sent t msg len;
+        if
+          b.bt_count >= Mmsg.slots
+          || b.bt_len + Codec.max_frame > Bytes.length b.bt_buf
+        then flush t
+      | Some r ->
+        (* impaired destinations bypass the batch: the shim owns their
+           timing, and the frame sits at the batch tail uncommitted *)
+        if Rng.bool t.impair_rng r.ir_drop then Stats.bump t.impair_dropped
+        else begin
+          let extra =
+            if Time.compare r.ir_jitter Time.zero > 0 then
+              Time.add r.ir_delay
+                (Rng.uniform_time t.impair_rng Time.zero r.ir_jitter)
+            else r.ir_delay
+          in
+          if Time.compare extra Time.zero <= 0 then begin
+            if try_sendto t b.bt_buf ~pos:b.bt_len ~len d then
               count_sent t msg len
-            end
           end
-      end
+          else begin
+            (* held frames count as sent now (the kind is only known
+               here); [pump] transmits them when due *)
+            let due = Time.add (t.impair_clock ()) extra in
+            t.held <-
+              { h_due = due; h_dst = d; h_frame = Bytes.sub b.bt_buf b.bt_len len }
+              :: t.held;
+            count_sent t msg len
+          end
+        end
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -241,7 +393,8 @@ let pump t ~now =
     in
     List.iter
       (fun h ->
-        ignore (try_sendto t h.h_frame (Bytes.length h.h_frame) h.h_dst);
+        ignore
+          (try_sendto t h.h_frame ~pos:0 ~len:(Bytes.length h.h_frame) h.h_dst);
         Stats.bump t.impair_released)
       due;
     List.length due
@@ -260,40 +413,73 @@ let drop_counter t (err : Codec.error) =
   | Length_mismatch _ -> t.drop_length_mismatch
   | Malformed _ -> t.drop_malformed
 
+(* One received frame, wherever it landed (recvmmsg ring or fallback
+   receive buffer) — decoded in place; the datagram is fully consumed
+   by [handler] before the buffer window is reused. *)
+let handle_frame t ~handler buf ~pos ~len handled =
+  match t.decode buf ~pos ~len with
+  | Ok (src, msg) ->
+    if Proc_id.to_int src < t.n && not (Proc_id.equal src t.self) then begin
+      Stats.bump t.recv_total;
+      let kc = kind_counters t (t.kind_of msg) in
+      Stats.bump kc.kc_recv;
+      Stats.bump_by kc.kc_recv_bytes len;
+      incr handled;
+      handler ~src msg
+    end
+    else Stats.bump t.drop_foreign
+  | Error err -> Stats.bump (drop_counter t err)
+
+let drain_mmsg t ~budget ~handler ~handled ~seen =
+  if Bytes.length t.ring = 0 then
+    t.ring <- Bytes.create (ring_vlen * ring_slot);
+  let continue = ref true in
+  while !continue && !seen < budget && t.use_mmsg do
+    let want = Stdlib.min ring_vlen (budget - !seen) in
+    Stats.bump t.sc_recvmmsg;
+    match
+      Mmsg.recv_batch t.socket ~ring:t.ring ~slot:ring_slot ~lens:t.ring_lens
+        ~vlen:want
+    with
+    | Ok 0 | Error (`Would_block | `Error) -> continue := false
+    | Ok got ->
+      for i = 0 to got - 1 do
+        incr seen;
+        handle_frame t ~handler t.ring ~pos:(i * ring_slot)
+          ~len:t.ring_lens.(i) handled
+      done;
+      (* a short batch means the queue is (momentarily) empty *)
+      if got < want then continue := false
+    | Error (`Refused | `Intr) ->
+      (* ICMP port-unreachable bounce from a dead peer: ignore *)
+      ()
+    | Error `Unsupported -> t.use_mmsg <- false
+  done
+
+let drain_loop t ~budget ~handler ~handled ~seen =
+  let continue = ref true in
+  while !continue && !seen < budget do
+    Stats.bump t.sc_recvfrom;
+    match Unix.recvfrom t.socket t.recv_buf 0 (Bytes.length t.recv_buf) [] with
+    | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN), _, _) ->
+      continue := false
+    | exception Unix.Unix_error ((ECONNREFUSED | EINTR), _, _) ->
+      (* ICMP port-unreachable bounce from a dead peer: ignore *)
+      ()
+    | len, _src_addr ->
+      incr seen;
+      handle_frame t ~handler t.recv_buf ~pos:0 ~len handled
+  done
+
 let drain ?budget t ~handler =
   if t.closed then 0
   else begin
     let budget = match budget with Some b -> b | None -> max_int in
     let handled = ref 0 in
     let seen = ref 0 in
-    let continue = ref true in
-    while !continue && !seen < budget do
-      match Unix.recvfrom t.socket t.recv_buf 0 (Bytes.length t.recv_buf) []
-      with
-      | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN), _, _) ->
-        continue := false
-      | exception Unix.Unix_error ((ECONNREFUSED | EINTR), _, _) ->
-        (* ICMP port-unreachable bounce from a dead peer: ignore *)
-        ()
-      | len, _src_addr -> (
-        incr seen;
-        (* decode straight out of the receive buffer — the datagram is
-           fully consumed by [handler] before the next [recvfrom]
-           overwrites the window *)
-        match t.decode t.recv_buf ~pos:0 ~len with
-        | Ok (src, msg) ->
-          if Proc_id.to_int src < t.n && not (Proc_id.equal src t.self)
-          then begin
-            Stats.bump t.recv_total;
-            let kc = kind_counters t (t.kind_of msg) in
-            Stats.bump kc.kc_recv;
-            Stats.bump_by kc.kc_recv_bytes len;
-            incr handled;
-            handler ~src msg
-          end
-          else Stats.bump t.drop_foreign
-        | Error err -> Stats.bump (drop_counter t err))
-    done;
+    if t.use_mmsg then drain_mmsg t ~budget ~handler ~handled ~seen;
+    (* covers both the fallback mode and a mid-drain ENOSYS downgrade *)
+    if not t.use_mmsg then drain_loop t ~budget ~handler ~handled ~seen;
     !handled
   end
 
@@ -301,5 +487,8 @@ let close t =
   if not t.closed then begin
     t.closed <- true;
     t.held <- [];
+    (* pending batched frames go down with the process: crash-stop *)
+    t.batch.bt_count <- 0;
+    t.batch.bt_len <- 0;
     (try Unix.close t.socket with Unix.Unix_error _ -> ())
   end

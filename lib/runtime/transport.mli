@@ -10,11 +10,23 @@
     per {!Codec.error} kind in the stats and the frame discarded:
     fail-aware rejection of garbage from the network.
 
-    The data plane is allocation-free per datagram: sends encode
-    through one long-lived writer over a reused scratch buffer
-    ({!Codec.encode_to}) to precomputed peer addresses, and receives
-    decode straight out of the receive buffer ({!Codec.decode_bytes}),
-    so steady-state cost per datagram is flat in group size.
+    The data plane is allocation-free per datagram and batched per
+    syscall: sends encode through one long-lived writer at the tail of
+    a reused batch buffer and accumulate until {!flush} (called by the
+    node driver at the end of every dispatch pass, and internally on
+    buffer pressure), which moves the whole batch with one [sendmmsg];
+    {!drain} fills a preallocated ring with one [recvmmsg] per up-to-16
+    datagrams and decodes frames in place. Where the batched syscalls
+    are unavailable (non-Linux, runtime [ENOSYS], or [TW_MMSG=0] /
+    [~batching:false] forcing the portable path) the same batch is
+    walked with a [sendto]/[recvfrom] loop — identical frame bytes and
+    counters, one syscall per datagram. Syscalls are counted under
+    [live:syscall:sendto|recvfrom|sendmmsg|recvmmsg].
+
+    Batched frames count as sent when committed to the batch (the kind
+    is known there); a flush-time kernel drop still bumps
+    [live:drop:send] — the same dropped-not-retried contract as
+    before, observed one flush later.
 
     For live chaos scenarios the transport carries a loopback
     {e impairment shim} ({!impair}): per-destination outbound
@@ -34,6 +46,7 @@ val create :
   decode:
     (Bytes.t -> pos:int -> len:int -> (Proc_id.t * 'm, Codec.error) result) ->
   ?kind_of:('m -> string) ->
+  ?batching:bool ->
   self:Proc_id.t ->
   n:int ->
   port_of:(Proc_id.t -> int) ->
@@ -46,7 +59,11 @@ val create :
     [live:drop:*] counters, and — keyed by [kind_of msg], default
     ["msg"] — per-kind [live:sent:<kind>]/[live:sent-bytes:<kind>]
     and [live:recv:<kind>]/[live:recv-bytes:<kind>] counters. All are
-    interned once, so counting costs no allocation per datagram. *)
+    interned once, so counting costs no allocation per datagram.
+    [batching] selects the mmsg syscalls vs the portable loop;
+    default {!Mmsg.default_enabled} (on where supported, off under
+    [TW_MMSG=0]). [~batching:true] is still clamped to platform
+    support. *)
 
 val self : 'm t -> Proc_id.t
 val n : 'm t -> int
@@ -56,6 +73,18 @@ val fd : 'm t -> Unix.file_descr
 val send : 'm t -> dst:Proc_id.t -> 'm -> unit
 val broadcast : 'm t -> 'm -> unit
 (** To every team member except [self]. *)
+
+val flush : 'm t -> unit
+(** Transmit the accumulated outbound batch. The node driver calls
+    this at the end of every dispatch pass (and after init effects);
+    callers driving a transport directly must flush before expecting
+    frames on the wire. No-op when the batch is empty; pending frames
+    are discarded (not sent) if the transport is closed first. *)
+
+val batched : 'm t -> bool
+(** Whether flushes currently use the batched syscalls ([false] on
+    the portable fallback path, including after a runtime [ENOSYS]
+    downgrade). *)
 
 val drain : ?budget:int -> 'm t -> handler:(src:Proc_id.t -> 'm -> unit) -> int
 (** Receive and decode datagrams queued on the socket until it would

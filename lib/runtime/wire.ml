@@ -10,7 +10,7 @@ let fail msg = raise (Error msg)
 type writer = {
   mutable out : Bytes.t;
   mutable wpos : int;
-  origin : int;
+  mutable origin : int;
   growable : bool;
 }
 
@@ -24,6 +24,17 @@ let writer_into buf ~pos =
 
 let pos w = w.wpos - w.origin
 let reset w = w.wpos <- w.origin
+
+(* Re-point a fixed writer at a new buffer/offset: the transport's
+   batch path encodes every frame at the batch tail through one
+   long-lived writer instead of allocating a writer per frame. *)
+let rebase w buf ~pos =
+  if w.growable then invalid_arg "Wire.rebase: writer is growable";
+  if pos < 0 || pos > Bytes.length buf then
+    invalid_arg "Wire.rebase: position out of bounds";
+  w.out <- buf;
+  w.wpos <- pos;
+  w.origin <- pos
 
 let contents w = Bytes.sub_string w.out w.origin (w.wpos - w.origin)
 
@@ -122,13 +133,32 @@ let end_frame w mark =
   end;
   put_varint_at w mark z
 
-type reader = { data : string; mutable pos : int; limit : int }
+type reader = { mutable data : string; mutable pos : int; mutable limit : int }
 
 let reader ?(pos = 0) ?len data =
   let len = match len with Some l -> l | None -> String.length data - pos in
   if pos < 0 || len < 0 || pos + len > String.length data then
     invalid_arg "Wire.reader: window out of bounds";
   { data; pos; limit = pos + len }
+
+(* Re-aim an existing reader at a new window: the codec decodes every
+   frame through one reused reader instead of allocating one per
+   frame. [reset_window] is the allocation-free spelling — required
+   labels, so no [Some] boxes materialize at the call site the way
+   [reset_reader]'s optional arguments force. *)
+let reset_window r data ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    invalid_arg "Wire.reset_reader: window out of bounds";
+  r.data <- data;
+  r.pos <- pos;
+  r.limit <- pos + len
+
+let reset_reader r ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  reset_window r data ~pos ~len
+
+let reset_reader_bytes r ?pos ?len data =
+  reset_reader r ?pos ?len (Bytes.unsafe_to_string data)
 
 let reader_bytes ?pos ?len data =
   (* zero-copy view: sound because readers never write [data] and every
@@ -144,14 +174,17 @@ let r_byte r =
   r.pos <- r.pos + 1;
   c
 
-let r_int r =
-  let rec go shift acc =
-    if shift > 62 then fail "varint too long";
-    let b = r_byte r in
-    let acc = acc lor ((b land 0x7f) lsl shift) in
-    if b land 0x80 = 0 then acc else go (shift + 7) acc
-  in
-  unzigzag (go 0 0)
+(* top-level so reading a varint allocates nothing: as an inner
+   [let rec] this loop captured [r] and cost a fresh closure per
+   [r_int] — the single largest decode-side allocation, paid for
+   every integer field of every frame *)
+let rec r_varint r shift acc =
+  if shift > 62 then fail "varint too long";
+  let b = r_byte r in
+  let acc = acc lor ((b land 0x7f) lsl shift) in
+  if b land 0x80 = 0 then acc else r_varint r (shift + 7) acc
+
+let r_int r = unzigzag (r_varint r 0 0)
 
 let r_bool r =
   match r_byte r with

@@ -35,6 +35,13 @@ val reset : writer -> unit
     a long-lived writer over a scratch buffer be reused per datagram
     without reallocating. *)
 
+val rebase : writer -> Bytes.t -> pos:int -> unit
+(** Re-point a fixed writer at [buf]/[pos] (new starting point, empty
+    contents). The batched transport encodes each frame at the tail of
+    its batch buffer through one long-lived writer this way. Raises
+    [Invalid_argument] on a growable writer or an out-of-bounds
+    position. *)
+
 val contents : writer -> string
 
 val byte : writer -> int -> unit
@@ -70,6 +77,21 @@ val reader_bytes : ?pos:int -> ?len:int -> Bytes.t -> reader
 (** Zero-copy read window over a [Bytes.t] (the transport's receive
     buffer). The caller must not mutate the buffer while the reader is
     in use. *)
+
+val reset_reader : reader -> ?pos:int -> ?len:int -> string -> unit
+(** Re-aim an existing reader at a new window (same contract as
+    {!reader}), so a long-lived reader can be reused per frame without
+    allocating. *)
+
+val reset_window : reader -> string -> pos:int -> len:int -> unit
+(** {!reset_reader} with both bounds required. The optional arguments
+    of {!reset_reader} cost two [Some] boxes per call at the call
+    site; the decode hot path re-aims its reader through this
+    spelling instead, which allocates nothing. *)
+
+val reset_reader_bytes : reader -> ?pos:int -> ?len:int -> Bytes.t -> unit
+(** {!reset_reader} over a [Bytes.t], zero-copy like
+    {!reader_bytes}. *)
 
 val remaining : reader -> int
 val r_byte : reader -> int

@@ -1,67 +1,93 @@
 type series = { mutable values : float list; mutable len : int }
 
+(* Counter cells are atomics so interned bumps are domain-safe without
+   a lock on the hot path; the tables themselves (interning, series,
+   reporting, merge) are cold paths guarded by [lock]. Single-domain
+   arithmetic is unchanged: an uncontended [Atomic.incr] is the same
+   +1 the old [int ref] did, so counter values are bit-identical. *)
 type t = {
-  counters : (string, int ref) Hashtbl.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
   series : (string, series) Hashtbl.t;
+  lock : Mutex.t;
 }
 
-let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    series = Hashtbl.create 32;
+    lock = Mutex.create ();
+  }
 
-let incr_by t name k =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r := !r + k
-  | None -> Hashtbl.add t.counters name (ref k)
-
-let incr t name = incr_by t name 1
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
 
 (* An interned counter is the very cell the string API updates, so the
    two views can never disagree and [merge] needs no special case. *)
-type counter = int ref
+type counter = int Atomic.t
 
-let counter t name =
+let find_or_add t name =
   match Hashtbl.find_opt t.counters name with
-  | Some r -> r
+  | Some c -> c
   | None ->
-    let r = ref 0 in
-    Hashtbl.add t.counters name r;
-    r
+    let c = Atomic.make 0 in
+    Hashtbl.add t.counters name c;
+    c
 
-let bump c = Stdlib.incr c
-let bump_by c k = c := !c + k
-let counter_value c = !c
+let incr_by t name k =
+  let c = locked t (fun () -> find_or_add t name) in
+  ignore (Atomic.fetch_and_add c k)
+
+let incr t name = incr_by t name 1
+let counter t name = locked t (fun () -> find_or_add t name)
+let bump c = Atomic.incr c
+let bump_by c k = ignore (Atomic.fetch_and_add c k)
+let counter_value c = Atomic.get c
 
 let count t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some c -> Atomic.get c
+      | None -> 0)
 
 let counters t =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  locked t (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) t.counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let record t name v =
-  match Hashtbl.find_opt t.series name with
-  | Some s ->
-    s.values <- v :: s.values;
-    s.len <- s.len + 1
-  | None -> Hashtbl.add t.series name { values = [ v ]; len = 1 }
+  locked t (fun () ->
+      match Hashtbl.find_opt t.series name with
+      | Some s ->
+        s.values <- v :: s.values;
+        s.len <- s.len + 1
+      | None -> Hashtbl.add t.series name { values = [ v ]; len = 1 })
 
 let record_time t name span = record t name (float_of_int (Time.to_us span))
 
 let samples t name =
-  match Hashtbl.find_opt t.series name with
-  | None -> [||]
-  | Some s ->
-    let arr = Array.make s.len 0.0 in
-    let rec fill i = function
-      | [] -> ()
-      | v :: rest ->
-        arr.(i) <- v;
-        fill (i - 1) rest
-    in
-    fill (s.len - 1) s.values;
-    arr
+  locked t (fun () ->
+      match Hashtbl.find_opt t.series name with
+      | None -> [||]
+      | Some s ->
+        let arr = Array.make s.len 0.0 in
+        let rec fill i = function
+          | [] -> ()
+          | v :: rest ->
+            arr.(i) <- v;
+            fill (i - 1) rest
+        in
+        fill (s.len - 1) s.values;
+        arr)
 
 let series_names t =
-  Hashtbl.fold (fun name _ acc -> name :: acc) t.series []
+  locked t (fun () -> Hashtbl.fold (fun name _ acc -> name :: acc) t.series [])
   |> List.sort String.compare
 
 type summary = {
@@ -118,7 +144,20 @@ let pp_summary ppf s =
     s.p95 s.max
 
 let merge dst src =
-  Hashtbl.iter (fun name r -> incr_by dst name !r) src.counters;
-  Hashtbl.iter
-    (fun name s -> List.iter (record dst name) (List.rev s.values))
-    src.series
+  (* Snapshot [src] under its own lock, then fold into [dst] under
+     [dst]'s — never holding both, so concurrent merges in opposite
+     directions cannot deadlock. *)
+  let cs =
+    locked src (fun () ->
+        Hashtbl.fold
+          (fun name c acc -> (name, Atomic.get c) :: acc)
+          src.counters [])
+  in
+  let ss =
+    locked src (fun () ->
+        Hashtbl.fold
+          (fun name s acc -> (name, List.rev s.values) :: acc)
+          src.series [])
+  in
+  List.iter (fun (name, v) -> incr_by dst name v) cs;
+  List.iter (fun (name, vs) -> List.iter (record dst name) vs) ss

@@ -28,7 +28,12 @@ val counters : t -> (string * int) list
     string API updates, so [incr]/[count]/[counters]/[merge] and
     interned bumps always observe the same totals. Handles stay valid
     for the lifetime of [t], including across [merge]s into or out of
-    it. The string API remains for cold paths and reporting. *)
+    it. The string API remains for cold paths and reporting.
+
+    All operations are domain-safe: interned bumps are atomic (so
+    concurrent bumps from any number of domains lose no counts) and
+    table accesses are serialized internally. Single-domain totals are
+    bit-identical to the unsynchronized implementation. *)
 
 type counter
 

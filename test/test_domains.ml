@@ -1,0 +1,171 @@
+(* Domain-safety of the shared runtime pieces.
+
+   The sharded cluster (Cluster.Sharded) runs one poll loop per OCaml
+   domain. Nothing mutable is meant to be shared between shards except
+   Stats — whose counters are atomic cells — and the codec, whose
+   scratch state (writer, proc-set builder, oal entry array, window
+   reader) lives in domain-local storage. These tests drive exactly
+   those two from several domains at once and check that no count is
+   lost and no frame is corrupted; plus the single-domain
+   bit-identity contract: with one domain, totals are exactly what
+   the unsynchronized implementation produced. *)
+
+open Tasim
+
+let domains = 4
+let bumps_per_domain = 100_000
+
+let spawn_all f = List.init domains (fun i -> Domain.spawn (fun () -> f i))
+let join_all ds = List.iter Domain.join ds
+
+(* concurrent bumps on one shared counter lose nothing *)
+let stats_concurrent_bumps () =
+  let s = Stats.create () in
+  let c = Stats.counter s "shared" in
+  join_all
+    (spawn_all (fun _ ->
+         for _ = 1 to bumps_per_domain do
+           Stats.bump c
+         done));
+  Alcotest.(check int) "no bump lost" (domains * bumps_per_domain)
+    (Stats.count s "shared")
+
+(* concurrent interning: every domain interns the same names while
+   bumping them; totals survive and the table stays consistent *)
+let stats_concurrent_intern () =
+  let s = Stats.create () in
+  join_all
+    (spawn_all (fun d ->
+         let mine = Stats.counter s (Printf.sprintf "domain:%d" d) in
+         let shared = Stats.counter s "interned-everywhere" in
+         for _ = 1 to bumps_per_domain do
+           Stats.bump mine;
+           Stats.bump_by shared 2
+         done));
+  for d = 0 to domains - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "domain %d private counter" d)
+      bumps_per_domain
+      (Stats.count s (Printf.sprintf "domain:%d" d))
+  done;
+  Alcotest.(check int) "shared interned counter" (2 * domains * bumps_per_domain)
+    (Stats.count s "interned-everywhere");
+  (* the string API aliases the same cells *)
+  Stats.incr s "interned-everywhere";
+  Alcotest.(check int) "string incr lands on the same cell"
+    ((2 * domains * bumps_per_domain) + 1)
+    (Stats.count s "interned-everywhere")
+
+(* mixed string/interned updates from several domains, then a merge:
+   the merged totals are the arithmetic sum *)
+let stats_concurrent_merge () =
+  let parts =
+    List.init domains (fun _ ->
+        let s = Stats.create () in
+        ( s,
+          Domain.spawn (fun () ->
+              for i = 1 to 1000 do
+                Stats.incr s "events";
+                Stats.incr_by s "bytes" i
+              done) ))
+  in
+  List.iter (fun (_, d) -> Domain.join d) parts;
+  let dst = Stats.create () in
+  List.iter (fun (s, _) -> Stats.merge dst s) parts;
+  Alcotest.(check int) "merged events" (domains * 1000)
+    (Stats.count dst "events");
+  Alcotest.(check int) "merged bytes"
+    (domains * (1000 * 1001 / 2))
+    (Stats.count dst "bytes")
+
+(* single-domain totals are bit-identical to the plain-int behaviour:
+   every update path lands exactly, no rounding, no loss *)
+let stats_single_domain_identity () =
+  let s = Stats.create () in
+  let c = Stats.counter s "exact" in
+  for _ = 1 to 17 do
+    Stats.bump c
+  done;
+  Stats.bump_by c 25;
+  Stats.incr s "exact";
+  Stats.incr_by s "exact" 7;
+  Alcotest.(check int) "17 + 25 + 1 + 7" 50 (Stats.count s "exact");
+  Alcotest.(check int) "interned view agrees" 50 (Stats.counter_value c)
+
+(* the codec's domain-local scratch: concurrent encode/decode in every
+   domain, frames must round-trip bit-exactly (a shared scratch would
+   interleave and corrupt) *)
+let codec_parallel_round_trip () =
+  let pc = Runtime.Codec.string_payload in
+  let mk_msg d i : Runtime.Live.msg =
+    Timewheel.Full_stack.Gc
+      (Timewheel.Control_msg.Submit
+         {
+           semantics = Broadcast.Semantics.total_strong;
+           payload = Printf.sprintf "domain-%d-payload-%d" d i;
+         })
+  in
+  let failures =
+    spawn_all (fun d ->
+        let sender = Proc_id.of_int (d + 1) in
+        let buf = Bytes.create Runtime.Codec.max_frame in
+        let w = Runtime.Wire.writer_into buf ~pos:0 in
+        let bad = ref 0 in
+        for i = 1 to 20_000 do
+          let msg = mk_msg d i in
+          let len = Runtime.Codec.encode_to pc ~sender msg w in
+          match Runtime.Codec.decode_bytes pc buf ~pos:0 ~len with
+          | Ok (src, msg') when Proc_id.equal src sender && msg' = msg -> ()
+          | Ok _ | Error _ -> incr bad
+        done;
+        !bad)
+    |> List.map Domain.join
+  in
+  Alcotest.(check (list int)) "no corrupted frame in any domain"
+    (List.init domains (fun _ -> 0))
+    failures
+
+(* Sharded.run: results come back in shard order, exceptions are
+   re-raised after every domain is joined *)
+let sharded_run () =
+  let results = Runtime.Cluster.Sharded.run ~shards:4 (fun ~shard -> shard * 10) in
+  Alcotest.(check (list int)) "shard order" [ 0; 10; 20; 30 ] results;
+  Alcotest.(check (list int)) "inline single shard" [ 0 ]
+    (Runtime.Cluster.Sharded.run ~shards:1 (fun ~shard -> shard));
+  Alcotest.(check bool) "zero shards rejected" true
+    (match Runtime.Cluster.Sharded.run ~shards:0 (fun ~shard -> shard) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "a shard's exception resurfaces" true
+    (match
+       Runtime.Cluster.Sharded.run ~shards:3 (fun ~shard ->
+           if shard = 1 then failwith "shard down" else shard)
+     with
+    | _ -> false
+    | exception Failure msg -> msg = "shard down")
+
+let () =
+  Alcotest.run "domains"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "concurrent bumps lose no counts" `Quick
+            stats_concurrent_bumps;
+          Alcotest.test_case "concurrent interning stays consistent" `Quick
+            stats_concurrent_intern;
+          Alcotest.test_case "per-domain stats merge to the exact sum" `Quick
+            stats_concurrent_merge;
+          Alcotest.test_case "single-domain totals are exact" `Quick
+            stats_single_domain_identity;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "parallel round-trips (domain-local scratch)"
+            `Quick codec_parallel_round_trip;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "Sharded.run: order, inline, errors" `Quick
+            sharded_run;
+        ] );
+    ]

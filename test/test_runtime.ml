@@ -706,6 +706,13 @@ let mk_toy_transport ?(stats = Stats.create ()) ~port self =
     ~port_of:(fun p -> port + Proc_id.to_int p)
     ~stats ()
 
+(* send + flush: the batched transport hands frames to the kernel at
+   flush points (the node driver's end-of-pass), which a raw
+   transport driven directly must invoke itself *)
+let toy_send t ~dst m =
+  Transport.send t ~dst m;
+  Transport.flush t
+
 (* loopback is fast but still asynchronous: poll until a frame lands *)
 let toy_recv t =
   let got = ref [] in
@@ -735,12 +742,12 @@ let test_impair_shim () =
       let now = ref (Time.of_ms 1000) in
       let clock () = !now in
       (* no rule: frames cross directly *)
-      Transport.send t0 ~dst:(pid 1) 41;
+      toy_send t0 ~dst:(pid 1) 41;
       Alcotest.(check (list int)) "direct" [ 41 ] (toy_recv t1);
       (* a 50ms delay rule holds the frame until pumped past due *)
       Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_ms 50) ~now:clock ();
       Alcotest.(check int) "one impaired peer" 1 (Transport.impaired t0);
-      Transport.send t0 ~dst:(pid 1) 42;
+      toy_send t0 ~dst:(pid 1) 42;
       Alcotest.(check bool) "held, not on the wire" true (toy_recv_nothing t1);
       Alcotest.(check bool) "release scheduled at send+delay" true
         (Transport.next_release t0 = Some (Time.add !now (Time.of_ms 50)));
@@ -752,26 +759,26 @@ let test_impair_shim () =
       Alcotest.(check bool) "nothing left to release" true
         (Transport.next_release t0 = None);
       (* two held frames to one peer with equal due keep send order *)
-      Transport.send t0 ~dst:(pid 1) 43;
-      Transport.send t0 ~dst:(pid 1) 44;
+      toy_send t0 ~dst:(pid 1) 43;
+      toy_send t0 ~dst:(pid 1) 44;
       now := Time.add !now (Time.of_ms 50);
       Alcotest.(check int) "both released" 2 (Transport.pump t0 ~now:!now);
       Alcotest.(check (list int)) "send order preserved" [ 43; 44 ]
         (toy_recv t1);
       (* drop = 1.0 swallows deterministically *)
       Transport.impair t0 ~dst:(pid 1) ~drop:1.0 ~now:clock ();
-      Transport.send t0 ~dst:(pid 1) 45;
+      toy_send t0 ~dst:(pid 1) 45;
       Alcotest.(check bool) "dropped" true (toy_recv_nothing t1);
       Alcotest.(check int) "drop counted" 1
         (Stats.count stats0 "live:impair:drop");
       (* clearing the rule restores the direct path *)
       Transport.clear_impair t0 ~dst:(pid 1);
       Alcotest.(check int) "no impaired peers" 0 (Transport.impaired t0);
-      Transport.send t0 ~dst:(pid 1) 46;
+      toy_send t0 ~dst:(pid 1) 46;
       Alcotest.(check (list int)) "direct again" [ 46 ] (toy_recv t1);
       (* clear_impairments discards what is still held *)
       Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_ms 50) ~now:clock ();
-      Transport.send t0 ~dst:(pid 1) 47;
+      toy_send t0 ~dst:(pid 1) 47;
       Transport.clear_impairments t0;
       now := Time.add !now (Time.of_sec 1);
       Alcotest.(check int) "held frame discarded" 0 (Transport.pump t0 ~now:!now);
@@ -840,7 +847,7 @@ let test_impair_edges () =
          held, so there is never a pending release *)
       Transport.impair t0 ~dst:(pid 1) ~drop:1.0 ~now:clock ();
       for m = 1 to 5 do
-        Transport.send t0 ~dst:(pid 1) m
+        toy_send t0 ~dst:(pid 1) m
       done;
       Alcotest.(check bool) "no release pending under total loss" true
         (Transport.next_release t0 = None);
@@ -853,7 +860,7 @@ let test_impair_edges () =
       Transport.impair t0 ~dst:(pid 1) ~delay:Time.zero ~jitter:(Time.of_ms 5)
         ~now:clock ();
       let sent = [ 10; 11; 12; 13; 14; 15 ] in
-      List.iter (fun m -> Transport.send t0 ~dst:(pid 1) m) sent;
+      List.iter (fun m -> toy_send t0 ~dst:(pid 1) m) sent;
       (match Transport.next_release t0 with
       | None -> Alcotest.fail "jitter-only frames must be held"
       | Some due ->
@@ -871,14 +878,14 @@ let test_impair_edges () =
          and keep their due times (clear_impairments, tested above,
          is the discarding variant) *)
       Transport.impair t0 ~dst:(pid 1) ~delay:(Time.of_ms 40) ~now:clock ();
-      Transport.send t0 ~dst:(pid 1) 20;
-      Transport.send t0 ~dst:(pid 1) 21;
+      toy_send t0 ~dst:(pid 1) 20;
+      toy_send t0 ~dst:(pid 1) 21;
       Transport.clear_impair t0 ~dst:(pid 1);
       Alcotest.(check int) "rule gone" 0 (Transport.impaired t0);
       Alcotest.(check bool) "held frames keep their due times" true
         (Transport.next_release t0 = Some (Time.add !now (Time.of_ms 40)));
       (* new sends cross directly while the old frames wait *)
-      Transport.send t0 ~dst:(pid 1) 22;
+      toy_send t0 ~dst:(pid 1) 22;
       Alcotest.(check (list int)) "direct send overtakes held frames" [ 22 ]
         (toy_recv t1);
       Alcotest.(check int) "not due yet" 0 (Transport.pump t0 ~now:!now);
@@ -887,6 +894,200 @@ let test_impair_edges () =
         (Transport.pump t0 ~now:!now);
       Alcotest.(check (list int)) "held frames finally arrive" [ 20; 21 ]
         (toy_recv t1))
+
+(* ------------------------------------------------------------------ *)
+(* batched data plane: the mmsg path and the per-datagram fallback
+   must put byte-identical frames on the wire and count identically *)
+
+let raw_base_port = 48890
+
+(* a raw UDP socket standing in for the peer: captures datagram bytes
+   without any transport machinery in the way *)
+let raw_receiver port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.set_nonblock fd;
+  fd
+
+let raw_recv_n fd ~expect =
+  let buf = Bytes.create 65536 in
+  let got = ref [] in
+  let count = ref 0 in
+  let tries = ref 250 in
+  while !count < expect && !tries > 0 do
+    match Unix.recvfrom fd buf 0 65536 [] with
+    | len, _ ->
+      got := Bytes.sub_string buf 0 len :: !got;
+      incr count
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+      decr tries;
+      Unix.sleepf 0.002
+  done;
+  List.rev !got
+
+(* drive one transport through sends, flushes and an impaired hold so
+   every send-side path contributes frames *)
+let drive_sends t ~dst =
+  let now = ref (Time.of_ms 100) in
+  Transport.impair t ~dst ~delay:(Time.of_ms 5) ~now:(fun () -> !now) ();
+  Transport.send t ~dst 1001;
+  (* held *)
+  Transport.clear_impair t ~dst;
+  for i = 1 to 10 do
+    Transport.send t ~dst i
+  done;
+  Transport.flush t;
+  for i = 11 to 13 do
+    Transport.send t ~dst (i * 7)
+  done;
+  Transport.flush t;
+  now := Time.add !now (Time.of_ms 5);
+  ignore (Transport.pump t ~now:!now)
+
+let send_counters stats =
+  List.filter
+    (fun (name, _) ->
+      (* everything except the syscall counters, which legitimately
+         differ between the two primitives *)
+      String.length name >= 5
+      && String.sub name 0 5 = "live:"
+      && not
+           (String.length name >= 12 && String.sub name 0 12 = "live:syscall"))
+    (Stats.counters stats)
+
+let test_batched_fallback_identical () =
+  if not Runtime.Mmsg.supported then ()
+  else begin
+    let run ~batching ~port =
+      let stats = Stats.create () in
+      let t =
+        Transport.create ~encode_to:toy_encode ~decode:toy_decode ~batching
+          ~self:(pid 0) ~n:2
+          ~port_of:(fun p -> port + Proc_id.to_int p)
+          ~stats ()
+      in
+      let peer = raw_receiver (port + 1) in
+      Fun.protect
+        ~finally:(fun () ->
+          Transport.close t;
+          Unix.close peer)
+        (fun () ->
+          Alcotest.(check bool) "batching mode as requested" batching
+            (Transport.batched t);
+          drive_sends t ~dst:(pid 1);
+          (raw_recv_n peer ~expect:14, send_counters stats))
+    in
+    let frames_batched, counters_batched =
+      run ~batching:true ~port:raw_base_port
+    in
+    let frames_fallback, counters_fallback =
+      run ~batching:false ~port:(raw_base_port + 8)
+    in
+    Alcotest.(check int) "frame count" 14 (List.length frames_batched);
+    Alcotest.(check (list string)) "frame bytes identical" frames_batched
+      frames_fallback;
+    Alcotest.(check (list (pair string int))) "counters identical"
+      counters_batched counters_fallback
+  end
+
+let test_batch_flush_on_pressure () =
+  if not Runtime.Mmsg.supported then ()
+  else begin
+    let port = raw_base_port + 16 in
+    let stats = Stats.create () in
+    let t =
+      Transport.create ~encode_to:toy_encode ~decode:toy_decode ~batching:true
+        ~self:(pid 0) ~n:2
+        ~port_of:(fun p -> port + Proc_id.to_int p)
+        ~stats ()
+    in
+    let peer = raw_receiver (port + 1) in
+    Fun.protect
+      ~finally:(fun () ->
+        Transport.close t;
+        Unix.close peer)
+      (fun () ->
+        (* one slot past capacity: the 65th commit must force a flush
+           of the first 64 without any explicit flush call *)
+        for i = 1 to 65 do
+          Transport.send t ~dst:(pid 1) i
+        done;
+        let burst = raw_recv_n peer ~expect:64 in
+        Alcotest.(check int) "batch flushed itself at capacity" 64
+          (List.length burst);
+        Alcotest.(check int) "all 65 counted as sent at commit" 65
+          (Stats.count stats "live:sent");
+        Transport.flush t;
+        Alcotest.(check int) "explicit flush moves the straggler" 1
+          (List.length (raw_recv_n peer ~expect:1)))
+  end
+
+(* TW_MMSG=0 must force the portable path when no explicit batching
+   override is given *)
+let test_env_disables_batching () =
+  if not Runtime.Mmsg.supported then ()
+  else begin
+    let mk port =
+      Transport.create ~encode_to:toy_encode ~decode:toy_decode ~self:(pid 0)
+        ~n:2
+        ~port_of:(fun p -> port + Proc_id.to_int p)
+        ~stats:(Stats.create ()) ()
+    in
+    Unix.putenv "TW_MMSG" "0";
+    let t = mk (raw_base_port + 24) in
+    let disabled = Transport.batched t in
+    Transport.close t;
+    Unix.putenv "TW_MMSG" "";
+    let t = mk (raw_base_port + 24) in
+    let restored = Transport.batched t in
+    Transport.close t;
+    Alcotest.(check bool) "TW_MMSG=0 forces the fallback" false disabled;
+    Alcotest.(check bool) "unset re-enables batching" true restored
+  end
+
+(* the poll(2) binding under the cluster loop *)
+let test_poll_wait () =
+  let port = raw_base_port + 32 in
+  let a = raw_receiver port in
+  let b = raw_receiver (port + 1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close a;
+      Unix.close b)
+    (fun () ->
+      let fds = [| a; b |] in
+      let revents = [| 0; 0 |] in
+      (* nothing readable: times out with no descriptor marked *)
+      (match Runtime.Poll.wait ~fds ~revents ~timeout_ms:10 with
+      | Ok 0 -> ()
+      | Ok n -> Alcotest.failf "expected 0 ready, got %d" n
+      | Error _ -> Alcotest.fail "poll errored on idle sockets");
+      Alcotest.(check (list int)) "no revents" [ 0; 0 ]
+        (Array.to_list revents);
+      (* one datagram to b: only b's slot lights up *)
+      let payload = Bytes.of_string "x" in
+      ignore
+        (Unix.sendto a payload 0 1 []
+           (Unix.ADDR_INET (Unix.inet_addr_loopback, port + 1)));
+      (match Runtime.Poll.wait ~fds ~revents ~timeout_ms:1000 with
+      | Ok n -> Alcotest.(check int) "one ready" 1 n
+      | Error _ -> Alcotest.fail "poll errored with a datagram pending");
+      Alcotest.(check (list int)) "only b readable" [ 0; 1 ]
+        (Array.to_list revents);
+      (* revents array length is validated *)
+      Alcotest.(check bool) "short revents rejected" true
+        (match Runtime.Poll.wait ~fds ~revents:[| 0 |] ~timeout_ms:0 with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let test_poll_ms_of_span () =
+  Alcotest.(check int) "zero span" 0 (Runtime.Poll.ms_of_span 0.0);
+  Alcotest.(check int) "negative span" 0 (Runtime.Poll.ms_of_span (-1.0));
+  (* sub-millisecond spans round UP to the 1 ms floor: the poll loop's
+     anti-busy-spin floor must survive the coarser unit *)
+  Alcotest.(check int) "0.1 ms rounds up" 1 (Runtime.Poll.ms_of_span 0.0001);
+  Alcotest.(check int) "1 ms exact" 1 (Runtime.Poll.ms_of_span 0.001);
+  Alcotest.(check int) "10.4 ms rounds up" 11 (Runtime.Poll.ms_of_span 0.0104)
 
 (* ------------------------------------------------------------------ *)
 (* restart supervisor: backoff shape and the retry loop *)
@@ -1020,6 +1221,22 @@ let () =
             test_select_timeout;
           Alcotest.test_case "edges: total loss, jitter-only, clear keeps held"
             `Quick test_impair_edges;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batched and fallback wire bytes identical" `Quick
+            test_batched_fallback_identical;
+          Alcotest.test_case "full batch flushes itself" `Quick
+            test_batch_flush_on_pressure;
+          Alcotest.test_case "TW_MMSG=0 forces the fallback" `Quick
+            test_env_disables_batching;
+        ] );
+      ( "poll",
+        [
+          Alcotest.test_case "wait: timeout, readiness, validation" `Quick
+            test_poll_wait;
+          Alcotest.test_case "ms_of_span rounds up, clamps at zero" `Quick
+            test_poll_ms_of_span;
         ] );
       ( "supervisor",
         [
